@@ -1,0 +1,112 @@
+"""Ablation — how far is greedy CS+ from the true GDL optimum?
+
+The paper proves CS+ is no worse than the single-root-GroupBy plan but
+explicitly does not guarantee it finds the minimum of GDLPlan
+(Section 5.2).  This ablation quantifies the gap: the exhaustive
+(subset × live-variables) DP supplies the true optimum on small views,
+and we report the ratio for CS+ (greedy four-candidate rule) and the
+VE variants on the Table 2 views and on random schemas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _harness import reporter
+
+from repro.catalog import Catalog
+from repro.data import random_relation, var
+from repro.datagen import linear_view, multistar_view, star_view
+from repro.optimizer import (
+    CSPlusNonlinear,
+    ExhaustiveGDL,
+    QuerySpec,
+    VariableElimination,
+)
+
+_REPORT = reporter(
+    "ablation_greedy_gap",
+    "Ablation — plan cost relative to the exhaustive GDL optimum",
+    ["workload", "algorithm", "avg_ratio_to_optimum", "worst_ratio",
+     "avg_optimum_cost"],
+)
+
+ALGORITHMS = {
+    "cs+nonlinear": lambda: CSPlusNonlinear(),
+    "ve(width)": lambda: VariableElimination("width"),
+    "ve(degree)+ext": lambda: VariableElimination("degree", extended=True),
+}
+
+
+def _random_specs(n_cases=8):
+    cases = []
+    for seed in range(n_cases):
+        rng = np.random.default_rng(1000 + seed)
+        n_vars = int(rng.integers(3, 5))
+        variables = [
+            var(f"x{i}", int(rng.integers(2, 5))) for i in range(n_vars)
+        ]
+        catalog = Catalog()
+        names = []
+        for t in range(int(rng.integers(3, 5))):
+            arity = int(rng.integers(1, 3))
+            chosen = sorted(rng.choice(n_vars, size=arity, replace=False))
+            rel = random_relation(
+                [variables[i] for i in chosen],
+                float(rng.uniform(0.5, 1.0)),
+                rng,
+                name=f"t{t}",
+            )
+            names.append(catalog.register(rel))
+        covered = sorted(
+            {v for t in names for v in catalog.stats(t).variables}
+        )
+        cases.append(
+            (catalog, QuerySpec(tables=tuple(names),
+                                query_vars=(covered[0],)))
+        )
+    return cases
+
+
+def _table2_specs():
+    cases = []
+    for maker in (star_view, multistar_view, linear_view):
+        view = maker(n_tables=5, domain_size=10)
+        cases.append(
+            (
+                view.catalog,
+                QuerySpec(
+                    tables=view.tables,
+                    query_vars=(view.chain_variables[0],),
+                ),
+            )
+        )
+    return cases
+
+
+@pytest.mark.parametrize("workload", ["table2_views", "random_schemas"])
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_greedy_gap(benchmark, workload, algorithm):
+    cases = _table2_specs() if workload == "table2_views" else _random_specs()
+
+    optima = [
+        ExhaustiveGDL().optimize(spec, catalog).cost
+        for catalog, spec in cases
+    ]
+
+    def run():
+        return [
+            ALGORITHMS[algorithm]().optimize(spec, catalog).cost
+            for catalog, spec in cases
+        ]
+
+    costs = benchmark.pedantic(run, rounds=2, iterations=1)
+    ratios = [c / o for c, o in zip(costs, optima)]
+    benchmark.extra_info.update(
+        avg_ratio=float(np.mean(ratios)), worst_ratio=float(np.max(ratios))
+    )
+    _REPORT.add(
+        workload, algorithm, float(np.mean(ratios)), float(np.max(ratios)),
+        float(np.mean(optima)),
+    )

@@ -1,0 +1,101 @@
+"""Ablation — the storage substrate's knobs.
+
+Two sensitivity sweeps over the simulated engine, exercising the parts
+of the stack that stand in for the paper's PostgreSQL testbed:
+
+* **buffer pool size** — repeated queries against the same view hit or
+  miss the cache depending on pool capacity: tiny pools re-read every
+  page (cold every time), pools larger than the working set make the
+  second run IO-free;
+* **cost model** — plans chosen under the paper's §5.1 analytical
+  model versus the page-IO model, executed on the simulated clock:
+  both models should pick plans of comparable executed quality on this
+  schema (the §5.1 model is a faithful proxy), which justifies using
+  it throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SUPPLY_SCALE
+from _harness import reporter
+
+from repro.cost import IOCostModel, SimpleCostModel
+from repro.datagen import supply_chain
+from repro.optimizer import CSPlusNonlinear, QuerySpec
+from repro.plans import Executor
+from repro.semiring import SUM_PRODUCT
+from repro.storage import BufferPool, IOStats
+
+POOL_PAGES = (16, 128, 1024, 8192)
+
+_POOL_REPORT = reporter(
+    "ablation_buffer_pool",
+    "Ablation — repeated-query IO vs buffer pool size",
+    ["pool_pages", "first_run_reads", "second_run_reads",
+     "second_run_hits"],
+)
+_MODEL_REPORT = reporter(
+    "ablation_cost_model",
+    "Ablation — executed cost of plans chosen under each cost model",
+    ["query", "model", "est_cost", "sim_elapsed"],
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return supply_chain(scale=SUPPLY_SCALE, seed=7)
+
+
+@pytest.mark.parametrize("pool_pages", POOL_PAGES)
+def test_buffer_pool_sensitivity(benchmark, instance, pool_pages):
+    sc = instance
+    spec = QuerySpec(tables=sc.tables, query_vars=("wid",))
+    plan = CSPlusNonlinear().optimize(spec, sc.catalog).plan
+
+    def run_twice():
+        executor = Executor(
+            sc.catalog, SUM_PRODUCT, pool=BufferPool(pool_pages)
+        )
+        first = IOStats()
+        executor.run(plan, first)
+        second = IOStats()
+        executor.run(plan, second)
+        return first, second
+
+    first, second = benchmark(run_twice)
+    benchmark.extra_info.update(
+        first_reads=first.page_reads,
+        second_reads=second.page_reads,
+        second_hits=second.buffer_hits,
+    )
+    _POOL_REPORT.add(
+        pool_pages, first.page_reads, second.page_reads,
+        second.buffer_hits,
+    )
+
+
+@pytest.mark.parametrize("query", ["cid", "wid", "pid"])
+@pytest.mark.parametrize(
+    "model_name,model",
+    [("simple", SimpleCostModel()), ("io", IOCostModel())],
+    ids=["simple", "io"],
+)
+def test_cost_model_ablation(benchmark, instance, query, model_name, model):
+    sc = instance
+    spec = QuerySpec(tables=sc.tables, query_vars=(query,))
+    result = CSPlusNonlinear().optimize(spec, sc.catalog, model)
+    executor = Executor(sc.catalog, SUM_PRODUCT)
+
+    def run():
+        stats = IOStats()
+        executor.pool.clear()
+        executor.run(result.plan, stats)
+        return stats
+
+    stats = benchmark(run)
+    benchmark.extra_info.update(
+        est_cost=result.cost, sim_elapsed=stats.elapsed()
+    )
+    _MODEL_REPORT.add(query, model_name, result.cost, stats.elapsed())

@@ -1,0 +1,89 @@
+"""Figure 7 — Plan Linearity Experiment.
+
+Paper setup: on the supply-chain schema, run
+    Q1: select cid, SUM(inv) from invest group by cid
+    Q2: select tid, SUM(inv) from invest group by tid
+with linear CS+ and nonlinear CS+ plans while sweeping the density of
+the ``ctdeals`` relation.  Expected shape: as density grows, nonlinear
+plans win for Q1 (Eq. 1 fails for cid) while Q2's linear and nonlinear
+times coincide (Eq. 1 holds for tid).
+
+Each benchmark times the *execution* of the chosen plan; simulated-IO
+cost units and the Eq. 1 verdict land in ``benchmarks/out/fig07*``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SUPPLY_SCALE
+from _harness import reporter
+
+from repro.datagen import supply_chain
+from repro.optimizer import (
+    CSPlusLinear,
+    CSPlusNonlinear,
+    QuerySpec,
+    linearity_test,
+)
+from repro.plans import Executor
+from repro.semiring import SUM_PRODUCT
+from repro.storage import IOStats
+
+DENSITIES = (0.2, 0.6, 1.0)
+QUERIES = {"Q1": "cid", "Q2": "tid"}
+PLANNERS = {"linear": CSPlusLinear, "nonlinear": CSPlusNonlinear}
+
+_REPORT = reporter(
+    "fig07_linearity",
+    "Figure 7 — evaluation cost vs ctdeals density "
+    f"(supply chain scale {SUPPLY_SCALE})",
+    ["query", "variable", "density", "plan", "est_cost", "sim_elapsed",
+     "eq1_linear_admissible"],
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    import math
+
+    # sqrt domain scaling keeps the ctdeals grid proportionate to the
+    # list tables, as at Table 1 scale (see datagen.supply_chain).
+    return {
+        density: supply_chain(
+            scale=SUPPLY_SCALE,
+            ctdeals_density=density,
+            seed=7,
+            domain_scale=math.sqrt(SUPPLY_SCALE),
+        )
+        for density in DENSITIES
+    }
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("query", list(QUERIES))
+@pytest.mark.parametrize("planner", list(PLANNERS))
+def test_fig07(benchmark, instances, query, density, planner):
+    sc = instances[density]
+    variable = QUERIES[query]
+    spec = QuerySpec(tables=sc.tables, query_vars=(variable,))
+    result = PLANNERS[planner]().optimize(spec, sc.catalog)
+    executor = Executor(sc.catalog, SUM_PRODUCT)
+
+    def run():
+        stats = IOStats()
+        executor.pool.clear()
+        out, _ = executor.run(result.plan, stats)
+        return out, stats
+
+    out, stats = benchmark(run)
+    verdict = linearity_test(sc.catalog, variable).linear_admissible
+    benchmark.extra_info.update(
+        est_cost=result.cost,
+        sim_elapsed=stats.elapsed(),
+        eq1_linear_admissible=verdict,
+    )
+    _REPORT.add(
+        query, variable, density, planner, result.cost, stats.elapsed(),
+        verdict,
+    )

@@ -1,0 +1,78 @@
+"""Figure 8 — Extended Variable Elimination Space.
+
+Paper setup: sweep the total database scale and compare, for
+    Q1: select cid, ...   Q2: select sid, ...   Q3: select wid, ...
+the plan quality (evaluation cost) of nonlinear CS+ against VE with
+the degree heuristic, with and without the space extension.
+
+Expected shape (paper):
+* Q1 — degree already finds the CS+ optimum;
+* Q2 — degree alone is suboptimal; the extension recovers the optimum;
+* Q3 — degree misses the optimum even extended (no heuristic is
+  universally right), but extended is never worse than plain.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import SUPPLY_SCALE
+from _harness import reporter
+
+from repro.datagen import supply_chain
+from repro.optimizer import CSPlusNonlinear, QuerySpec, VariableElimination
+from repro.plans import Executor
+from repro.semiring import SUM_PRODUCT
+from repro.storage import IOStats
+
+SCALES = tuple(SUPPLY_SCALE * f for f in (0.5, 1.0, 2.0))
+QUERIES = {"Q1": "cid", "Q2": "sid", "Q3": "wid"}
+ALGORITHMS = {
+    "cs+nonlinear": lambda: CSPlusNonlinear(),
+    "ve(degree)": lambda: VariableElimination("degree"),
+    "ve(degree)+ext": lambda: VariableElimination("degree", extended=True),
+}
+
+_REPORT = reporter(
+    "fig08_extended_space",
+    "Figure 8 — plan quality vs DB scale: CS+ vs VE(degree) ± extension",
+    ["query", "variable", "scale", "algorithm", "est_cost", "sim_elapsed"],
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {
+        scale: supply_chain(
+            scale=scale, seed=7, domain_scale=math.sqrt(scale)
+        )
+        for scale in SCALES
+    }
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("query", list(QUERIES))
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig08(benchmark, instances, query, scale, algorithm):
+    sc = instances[scale]
+    variable = QUERIES[query]
+    spec = QuerySpec(tables=sc.tables, query_vars=(variable,))
+    result = ALGORITHMS[algorithm]().optimize(spec, sc.catalog)
+    executor = Executor(sc.catalog, SUM_PRODUCT)
+
+    def run():
+        stats = IOStats()
+        executor.pool.clear()
+        executor.run(result.plan, stats)
+        return stats
+
+    stats = benchmark(run)
+    benchmark.extra_info.update(
+        est_cost=result.cost, sim_elapsed=stats.elapsed()
+    )
+    _REPORT.add(
+        query, variable, round(scale, 4), algorithm, result.cost,
+        stats.elapsed(),
+    )

@@ -1,0 +1,93 @@
+"""Figure 10 — Optimization Time Tradeoff Experiment (incl. §7.4 CS).
+
+Paper setup: the three synthetic views with N = 7 tables; query every
+variable in the linear part; plot, per algorithm, the average
+estimated evaluation cost of the chosen plan against the average time
+required to derive it.  Points closer to the origin are best.
+
+Expected shape (paper):
+* CS is dramatically worse in plan quality than everything else
+  (the Section 7.4 comparison);
+* nonlinear plans beat linear plans by about an order of magnitude;
+* VE optimizes much faster than nonlinear CS+, and with the extension
+  still reaches comparable plan quality.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _harness import reporter
+
+from repro.datagen import linear_view, multistar_view, star_view
+from repro.optimizer import (
+    CSOptimizer,
+    CSPlusLinear,
+    CSPlusNonlinear,
+    QuerySpec,
+    VariableElimination,
+)
+
+N_TABLES = 7
+DOMAIN = 10
+
+VIEWS = {
+    "star": star_view,
+    "multistar": multistar_view,
+    "linear": linear_view,
+}
+ALGORITHMS = {
+    "cs": lambda: CSOptimizer(),
+    "cs+linear": lambda: CSPlusLinear(),
+    "cs+nonlinear": lambda: CSPlusNonlinear(),
+    "ve(degree)": lambda: VariableElimination("degree"),
+    "ve(degree)+ext": lambda: VariableElimination("degree", extended=True),
+    "ve(width)": lambda: VariableElimination("width"),
+    "ve(width)+ext": lambda: VariableElimination("width", extended=True),
+    "ve(elim_cost)": lambda: VariableElimination("elim_cost"),
+}
+
+_REPORT = reporter(
+    "fig10_opt_cost",
+    f"Figure 10 — avg plan cost vs avg optimization time (N={N_TABLES}, "
+    "all linear-part query variables)",
+    ["view", "algorithm", "avg_plan_cost", "avg_opt_ms",
+     "avg_plans_considered"],
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {
+        kind: maker(n_tables=N_TABLES, domain_size=DOMAIN)
+        for kind, maker in VIEWS.items()
+    }
+
+
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+@pytest.mark.parametrize("kind", list(VIEWS))
+def test_fig10(benchmark, instances, kind, algorithm):
+    view = instances[kind]
+    specs = [
+        QuerySpec(tables=view.tables, query_vars=(v,))
+        for v in view.chain_variables
+    ]
+
+    def optimize_all():
+        return [
+            ALGORITHMS[algorithm]().optimize(spec, view.catalog)
+            for spec in specs
+        ]
+
+    results = benchmark.pedantic(optimize_all, rounds=2, iterations=1)
+    avg_cost = sum(r.cost for r in results) / len(results)
+    avg_ms = 1e3 * sum(r.planning_seconds for r in results) / len(results)
+    avg_considered = sum(r.plans_considered for r in results) / len(results)
+    benchmark.extra_info.update(
+        avg_plan_cost=avg_cost,
+        avg_opt_ms=avg_ms,
+        avg_plans_considered=avg_considered,
+    )
+    _REPORT.add(kind, algorithm, avg_cost, avg_ms, avg_considered)

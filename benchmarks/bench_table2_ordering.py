@@ -1,0 +1,95 @@
+"""Table 2 — Ordering Heuristics Experiment Result.
+
+Paper setup: three views (star exactly like Figure 6, linear with the
+common variable removed, multistar with hubs each touching three
+tables); N = 5 tables, every variable of domain size 10, all
+functional relations complete.  A query on the first variable of the
+linear section.  Reported: the estimated cost of the plan selected by
+nonlinear CS+ (the optimum of its space) and by VE under each
+heuristic / heuristic combination, plain and extended.
+
+Expected shape (paper Table 2): plain degree is catastrophic on star
+(and bad on multistar); width is close to optimal; elim-cost sits
+between; every extended variant reaches the nonlinear-CS+ optimum.
+
+The benchmark times the *optimizer* (plan selection); the reproduced
+table of plan costs lands in ``benchmarks/out/table2_ordering.*``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import reporter
+
+from repro.datagen import linear_view, multistar_view, star_view
+from repro.optimizer import CSPlusNonlinear, QuerySpec, VariableElimination
+
+N_TABLES = 5
+DOMAIN = 10
+
+VIEWS = {
+    "star": star_view,
+    "multistar": multistar_view,
+    "linear": linear_view,
+}
+ORDERINGS = [
+    ("nonlinear_cs+", None, False),
+    ("ve(deg)", "degree", False),
+    ("ve(deg)_ext", "degree", True),
+    ("ve(width)", "width", False),
+    ("ve(width)_ext", "width", True),
+    ("ve(elim_cost)", "elim_cost", False),
+    ("ve(elim_cost)_ext", "elim_cost", True),
+    ("ve(deg&width)", "degree+width", False),
+    ("ve(deg&width)_ext", "degree+width", True),
+    ("ve(deg&elim_cost)", "degree+elim_cost", False),
+    ("ve(deg&elim_cost)_ext", "degree+elim_cost", True),
+]
+
+_REPORT = reporter(
+    "table2_ordering",
+    f"Table 2 — plan cost per ordering (N={N_TABLES}, domain {DOMAIN}, "
+    "query on first linear variable)",
+    ["ordering", "star", "multistar", "linear"],
+)
+_COSTS: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {
+        kind: maker(n_tables=N_TABLES, domain_size=DOMAIN)
+        for kind, maker in VIEWS.items()
+    }
+
+
+def _optimizer(heuristic, extended):
+    if heuristic is None:
+        return CSPlusNonlinear()
+    return VariableElimination(heuristic, extended=extended)
+
+
+@pytest.mark.parametrize(
+    "ordering,heuristic,extended",
+    ORDERINGS,
+    ids=[o[0] for o in ORDERINGS],
+)
+@pytest.mark.parametrize("kind", list(VIEWS))
+def test_table2(benchmark, instances, kind, ordering, heuristic, extended):
+    view = instances[kind]
+    spec = QuerySpec(
+        tables=view.tables, query_vars=(view.chain_variables[0],)
+    )
+
+    def plan():
+        return _optimizer(heuristic, extended).optimize(spec, view.catalog)
+
+    result = benchmark(plan)
+    benchmark.extra_info.update(plan_cost=result.cost)
+    _COSTS.setdefault(ordering, {})[kind] = result.cost
+    row = _COSTS[ordering]
+    if len(row) == len(VIEWS):
+        _REPORT.add(
+            ordering, row["star"], row["multistar"], row["linear"]
+        )

@@ -1,0 +1,82 @@
+"""Table 3 — Random Heuristic Experiment Result.
+
+Paper setup: the same three views and query as Table 2, but the
+elimination order is chosen uniformly at random; ten runs, reporting
+mean plan cost ± a 95% confidence interval, with and without the
+space extension.
+
+Expected shape (paper): the extension improves the random-order mean
+dramatically, yet the optimum stays outside the confidence interval in
+both cases — elimination ordering still matters in the extended space.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _harness import reporter
+
+from repro.datagen import linear_view, multistar_view, star_view
+from repro.optimizer import CSPlusNonlinear, QuerySpec, VariableElimination
+
+N_TABLES = 5
+DOMAIN = 10
+N_RUNS = 10
+
+VIEWS = {
+    "star": star_view,
+    "multistar": multistar_view,
+    "linear": linear_view,
+}
+
+_REPORT = reporter(
+    "table3_random",
+    f"Table 3 — random orderings, {N_RUNS} runs, mean ± 95% CI",
+    ["ordering", "view", "mean_cost", "ci95_half_width", "optimum",
+     "optimum_inside_ci"],
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {
+        kind: maker(n_tables=N_TABLES, domain_size=DOMAIN)
+        for kind, maker in VIEWS.items()
+    }
+
+
+def _stats(costs):
+    n = len(costs)
+    mean = sum(costs) / n
+    variance = sum((c - mean) ** 2 for c in costs) / (n - 1)
+    half_width = 1.96 * math.sqrt(variance / n)
+    return mean, half_width
+
+
+@pytest.mark.parametrize("extended", [False, True], ids=["plain", "ext"])
+@pytest.mark.parametrize("kind", list(VIEWS))
+def test_table3(benchmark, instances, kind, extended):
+    view = instances[kind]
+    spec = QuerySpec(
+        tables=view.tables, query_vars=(view.chain_variables[0],)
+    )
+
+    def ten_runs():
+        return [
+            VariableElimination("random", extended=extended, seed=s)
+            .optimize(spec, view.catalog)
+            .cost
+            for s in range(N_RUNS)
+        ]
+
+    costs = benchmark.pedantic(ten_runs, rounds=3, iterations=1)
+    mean, half_width = _stats(costs)
+    optimum = CSPlusNonlinear().optimize(spec, view.catalog).cost
+    inside = abs(mean - optimum) <= half_width
+    benchmark.extra_info.update(
+        mean_cost=mean, ci95=half_width, optimum=optimum
+    )
+    label = "VE(random)_ext" if extended else "VE(random)"
+    _REPORT.add(label, kind, mean, half_width, optimum, inside)

@@ -1,0 +1,76 @@
+"""Extension — the MPF Workload Problem objective (Section 6).
+
+The paper defines the objective ``C(S) + E[cost(Q(q, S))]`` but reports
+no workload experiment; this bench charts it: for workloads of
+repeated single-variable queries, compare the VE-cache (materialize
+once, answer from calibrated tables) against re-optimizing every query
+from base tables, as the expected number of posed queries grows.
+
+Expected shape: the baseline scales linearly with the number of posed
+queries while the cache pays a one-time materialization cost plus a
+tiny per-query aggregate — the crossover arrives within a handful of
+queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SUPPLY_SCALE
+from _harness import reporter
+
+from repro.datagen import supply_chain
+from repro.optimizer import CSPlusNonlinear, QuerySpec
+from repro.semiring import SUM_PRODUCT
+from repro.workload import MPFWorkload, build_ve_cache
+
+N_QUERIES = (1, 5, 25, 125)
+
+_REPORT = reporter(
+    "workload_cache",
+    "Section 6 extension — workload objective: VE-cache vs re-optimize",
+    ["queries_posed", "cache_objective", "baseline_objective",
+     "cache_advantage"],
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    sc = supply_chain(scale=SUPPLY_SCALE, seed=42)
+    relations = [sc.catalog.relation(t) for t in sc.tables]
+    cache = build_ve_cache(relations, SUM_PRODUCT)
+    variables = ("pid", "sid", "wid", "cid", "tid")
+    per_query_baseline = {
+        v: CSPlusNonlinear()
+        .optimize(
+            QuerySpec(tables=sc.tables, query_vars=(v,)), sc.catalog
+        )
+        .cost
+        for v in variables
+    }
+    return sc, cache, variables, per_query_baseline
+
+
+@pytest.mark.parametrize("n_queries", N_QUERIES)
+def test_workload_objective(benchmark, setting, n_queries):
+    sc, cache, variables, per_query_baseline = setting
+    workload = MPFWorkload.uniform(variables)
+
+    def evaluate():
+        expected_cache = n_queries * workload.expected_cost(
+            lambda q: cache.query_cost(q.variable)
+        )
+        cache_total = cache.total_tuples() + expected_cache
+        baseline_total = n_queries * workload.expected_cost(
+            lambda q: per_query_baseline[q.variable]
+        )
+        return cache_total, baseline_total
+
+    cache_total, baseline_total = benchmark(evaluate)
+    benchmark.extra_info.update(
+        cache=cache_total, baseline=baseline_total
+    )
+    _REPORT.add(
+        n_queries, cache_total, baseline_total,
+        baseline_total / cache_total,
+    )

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Scale knobs: the environment variable ``MPF_BENCH_SCALE`` multiplies
+the supply-chain scale used by the figure benches (default keeps the
+whole suite in the minutes range; 1.0 reproduces the paper's Table 1
+sizes and will take correspondingly long).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+# Make the sibling _harness module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))
+
+SUPPLY_SCALE = float(os.environ.get("MPF_BENCH_SCALE", "0.02"))

@@ -1,0 +1,81 @@
+"""repro — a reproduction of *Optimizing MPF Queries: Decision Support
+and Probabilistic Inference* (Corrada Bravo & Ramakrishnan, SIGMOD
+2007).
+
+The public API re-exports the pieces a downstream user reaches for
+first; each subpackage carries the full machinery:
+
+* :mod:`repro.data` — functional relations, variables, domains;
+* :mod:`repro.semiring` — the measure algebras;
+* :mod:`repro.algebra` — product join, marginalization, semijoins;
+* :mod:`repro.optimizer` — CS / CS+ / VE / VE+ and the heuristics;
+* :mod:`repro.workload` — BP, junction trees, VE-cache;
+* :mod:`repro.bayes` — Bayesian networks and MPF-backed inference;
+* :mod:`repro.query` + :mod:`repro.engine` — views, SQL parsing, and
+  the ``Database`` facade;
+* :mod:`repro.datagen` — the paper's experimental schemas.
+"""
+
+from repro.bayes import BayesianNetwork, BruteForceInference, MPFInference
+from repro.catalog import Catalog, TableStats
+from repro.data import (
+    Domain,
+    FunctionalRelation,
+    Variable,
+    complete_relation,
+    random_relation,
+    var,
+)
+from repro.engine import Database, QueryReport
+from repro.optimizer import (
+    CSOptimizer,
+    CSPlusLinear,
+    CSPlusNonlinear,
+    QuerySpec,
+    VariableElimination,
+    linearity_test,
+)
+from repro.query import MPFQuery, MPFView
+from repro.semiring import (
+    BOOLEAN,
+    MAX_PRODUCT,
+    MIN_SUM,
+    SUM_PRODUCT,
+    Semiring,
+)
+from repro.workload import MPFWorkload, VECache, build_ve_cache
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "Database",
+    "QueryReport",
+    "FunctionalRelation",
+    "Variable",
+    "Domain",
+    "var",
+    "complete_relation",
+    "random_relation",
+    "Catalog",
+    "TableStats",
+    "Semiring",
+    "SUM_PRODUCT",
+    "MIN_SUM",
+    "MAX_PRODUCT",
+    "BOOLEAN",
+    "QuerySpec",
+    "CSOptimizer",
+    "CSPlusLinear",
+    "CSPlusNonlinear",
+    "VariableElimination",
+    "linearity_test",
+    "MPFView",
+    "MPFQuery",
+    "MPFWorkload",
+    "VECache",
+    "build_ve_cache",
+    "BayesianNetwork",
+    "MPFInference",
+    "BruteForceInference",
+]

@@ -1,0 +1,107 @@
+"""Marginalization: the GroupBy / additive-aggregate operator.
+
+The MPF problem (Definition 3) computes
+
+    π_{X, AGG(r[f])} GroupBy_X (r)
+
+where ``AGG`` is the semiring's additive operation.  Marginalizing is
+"summing out" the variables not in ``X``.  Grouping on all variables is
+the identity; grouping on none reduces the relation to a single total.
+
+Proposition 1 of the paper shows that when a variable is not needed to
+determine the measure (it is outside every base relation's determining
+FD), marginalizing it out equals plain duplicate-eliminating projection
+— :func:`project_fd` implements that cheaper path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.relation import FunctionalRelation
+from repro.errors import SchemaError
+from repro.semiring.base import Semiring
+
+__all__ = ["marginalize", "total", "project_fd"]
+
+
+def marginalize(
+    relation: FunctionalRelation,
+    group_names: Sequence[str],
+    semiring: Semiring,
+    name: str | None = None,
+) -> FunctionalRelation:
+    """GroupBy ``group_names`` aggregating the measure with ``plus``.
+
+    The result contains one row per distinct combination of the group
+    variables present in the input (lexicographically ordered), so it
+    is a functional relation by construction.
+    """
+    group_names = tuple(group_names)
+    unknown = set(group_names) - set(relation.var_names)
+    if unknown:
+        raise SchemaError(
+            f"cannot group by unknown variables {sorted(unknown)}; "
+            f"relation has {relation.var_names}"
+        )
+    out_vars = relation.variables.subset(group_names)
+
+    if not group_names:
+        return FunctionalRelation(
+            out_vars,
+            {},
+            np.asarray([semiring.reduce(relation.measure)], dtype=semiring.dtype),
+            name=name,
+            check_fd=False,
+        )
+    # Note: grouping on *all* variables is usually the identity (the FD
+    # makes every row its own group), but callers may deliberately feed
+    # a key-colliding relation to plus-merge duplicates (alter_domain's
+    # transfer semantics), so the general path runs unconditionally.
+    keys = relation.key_codes(out_vars.names)
+    unique_keys, first_idx, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    measure = semiring.aggregate(
+        relation.measure, inverse.astype(np.int64, copy=False), len(unique_keys)
+    )
+    columns = {
+        n: relation.columns[n][first_idx] for n in out_vars.names
+    }
+    return FunctionalRelation(
+        out_vars, columns, measure, name=name, check_fd=False
+    )
+
+
+def total(relation: FunctionalRelation, semiring: Semiring):
+    """The measure of the whole function: marginalize everything out."""
+    return semiring.reduce(relation.measure)
+
+
+def project_fd(
+    relation: FunctionalRelation,
+    group_names: Sequence[str],
+    name: str | None = None,
+) -> FunctionalRelation:
+    """Duplicate-eliminating projection (Proposition 1 fast path).
+
+    Valid only when the FD ``group_names -> f`` holds on the input, i.e.
+    every group has a single measure value; we verify this cheaply and
+    raise if the precondition fails, because silently projecting would
+    corrupt measures.
+    """
+    group_names = tuple(group_names)
+    out_vars = relation.variables.subset(group_names)
+    keys = relation.key_codes(out_vars.names)
+    unique_keys, first_idx = np.unique(keys, return_index=True)
+    columns = {n: relation.columns[n][first_idx] for n in out_vars.names}
+    projected = FunctionalRelation(
+        out_vars,
+        columns,
+        relation.measure[first_idx],
+        name=name,
+        check_fd=False,
+    )
+    return projected

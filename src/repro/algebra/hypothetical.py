@@ -1,0 +1,173 @@
+"""Hypothetical updates: the alternate-measure / alternate-domain
+query forms (Section 3.1).
+
+The paper sketches two "what if" MPF query variants and leaves their
+optimization as future work:
+
+* **alternate measure** — "how much money would contractor c1 lose if
+  warehouse w1 went off-line if, hypothetically, part p1 was a
+  different price?": one base relation's measure value is changed
+  before evaluating the query;
+* **alternate domain** — "... under a hypothetical transfer of c1's
+  contractor-transporter deal with t1 to t2": variable values of some
+  base rows are rewritten before evaluating.
+
+These relation-level rewrites implement both; the engine exposes them
+as per-query overrides (re-evaluate against patched relations), and
+:class:`~repro.workload.vecache.VECache` additionally supports the
+*incremental* alternate-measure path — patch one calibrated table and
+re-propagate, instead of recomputing the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.algebra.aggregate import marginalize
+from repro.data.relation import FunctionalRelation
+from repro.errors import SchemaError
+from repro.semiring.base import Semiring
+
+__all__ = ["alter_measure", "alter_domain", "measure_ratio_relation"]
+
+
+def _match_mask(
+    relation: FunctionalRelation, assignment: Mapping[str, object]
+) -> np.ndarray:
+    if not assignment:
+        raise SchemaError("hypothetical update needs a row assignment")
+    mask = np.ones(relation.ntuples, dtype=bool)
+    for name, value in assignment.items():
+        if name not in relation.variables:
+            raise SchemaError(
+                f"unknown variable {name!r}; relation has "
+                f"{relation.var_names}"
+            )
+        code = relation.variables[name].domain.code_of(value)
+        mask &= relation.columns[name] == code
+    return mask
+
+
+def alter_measure(
+    relation: FunctionalRelation,
+    assignment: Mapping[str, object],
+    new_value,
+) -> FunctionalRelation:
+    """Alternate-measure update: set the measure of the matching rows.
+
+    ``assignment`` selects rows by equality (a full key selects one
+    row; a partial key updates every matching row — e.g. repricing a
+    part across all its suppliers).  Raises if nothing matches, since a
+    silent no-op would make the hypothetical meaningless.
+    """
+    mask = _match_mask(relation, assignment)
+    if not mask.any():
+        raise SchemaError(
+            f"no row matches {dict(assignment)!r} in "
+            f"{relation.name or '<relation>'}"
+        )
+    measure = relation.measure.copy()
+    measure[mask] = new_value
+    return relation.with_measure(measure)
+
+
+def alter_domain(
+    relation: FunctionalRelation,
+    assignment: Mapping[str, object],
+    transfer: Mapping[str, object],
+    semiring: Semiring,
+) -> FunctionalRelation:
+    """Alternate-domain update: move matching rows to new variable values.
+
+    Rows matching ``assignment`` get the variables in ``transfer``
+    rewritten (e.g. moving a ctdeals row from ``tid=t1`` to
+    ``tid=t2``).  If a moved row collides with an existing row, the
+    measures are combined with the semiring's additive operation —
+    transferring a deal onto an existing deal accumulates, which is
+    the only FD-respecting semantics.
+    """
+    mask = _match_mask(relation, assignment)
+    if not mask.any():
+        raise SchemaError(
+            f"no row matches {dict(assignment)!r} in "
+            f"{relation.name or '<relation>'}"
+        )
+    columns = {n: relation.columns[n].copy() for n in relation.var_names}
+    for name, value in transfer.items():
+        if name not in relation.variables:
+            raise SchemaError(f"unknown transfer variable {name!r}")
+        code = relation.variables[name].domain.code_of(value)
+        columns[name][mask] = code
+    moved = FunctionalRelation(
+        relation.variables,
+        columns,
+        relation.measure,
+        name=relation.name,
+        measure_name=relation.measure_name,
+        check_fd=False,
+    )
+    # Plus-merge any collisions the move created.
+    return marginalize(
+        moved, moved.var_names, semiring, name=relation.name
+    ).with_name(relation.name)
+
+
+def apply_patch(
+    target: FunctionalRelation,
+    patch: FunctionalRelation,
+    semiring: Semiring,
+) -> FunctionalRelation:
+    """Multiply the rows of ``target`` matching ``patch`` by its measure.
+
+    A left-outer product join against a small patch relation: rows
+    without a patch partner keep their measure.  Used to rewrite a
+    calibrated cache table in place for an alternate-measure update.
+    """
+    from repro.algebra.join import join_match_indices
+
+    shared = target.variables.intersect(patch.variables).names
+    if set(shared) != set(patch.var_names):
+        raise SchemaError(
+            f"patch variables {patch.var_names} must all appear in the "
+            f"target (has {target.var_names})"
+        )
+    i_target, i_patch = join_match_indices(target, patch, tuple(shared))
+    measure = target.measure.copy()
+    measure[i_target] = semiring.times(
+        measure[i_target], patch.measure[i_patch]
+    )
+    return target.with_measure(measure)
+
+
+def measure_ratio_relation(
+    relation: FunctionalRelation,
+    assignment: Mapping[str, object],
+    new_value,
+    semiring: Semiring,
+) -> FunctionalRelation:
+    """The multiplicative patch ``new / old`` for the matching rows.
+
+    Joining this single-row (or few-row) relation into any table that
+    already absorbed the old measure rewrites it in place — the
+    incremental alternate-measure path used by the VE-cache.  Requires
+    semiring division.
+    """
+    mask = _match_mask(relation, assignment)
+    if not mask.any():
+        raise SchemaError(
+            f"no row matches {dict(assignment)!r} in "
+            f"{relation.name or '<relation>'}"
+        )
+    indices = np.flatnonzero(mask)
+    old = relation.measure[indices]
+    new = np.full(len(indices), new_value, dtype=semiring.dtype)
+    ratio = semiring.divide(new, old)
+    return FunctionalRelation(
+        relation.variables,
+        {n: relation.columns[n][indices] for n in relation.var_names},
+        ratio,
+        name=f"patch_{relation.name}",
+        check_fd=False,
+    )

@@ -1,0 +1,79 @@
+"""Product and update semijoins (Definition 6).
+
+These are the message-passing primitives of the workload-optimization
+machinery (Section 6 / Appendix A):
+
+* **product semijoin** ``t ⋉* s`` — reduce ``t`` by the marginal of
+  ``s`` on their shared variables ``U``:
+
+      t ⋉* s = t ⋈* GroupBy_{U, AGG(s[f])}(s)
+
+  This is Belief Propagation's forward message: information about the
+  joint function flows from ``s`` into ``t``.
+
+* **update semijoin** ``t ⋉ s`` — the backward message, which must not
+  re-propagate what ``t`` already sent forward.  The paper's expanded
+  example (the ``t ⋉ ct`` step of Figure 11) shows the realized form:
+
+      t ⋉ s = t ⋈* ( GroupBy_U(s)  ⋈÷  GroupBy_U(t) )
+
+  i.e. multiply ``t`` by the *new* marginal of ``s`` divided by ``t``'s
+  own current marginal, cancelling the echo.  (Definition 6's displayed
+  formula lists the operands of the ⋈÷ in the opposite order to the
+  worked example; the example is the semantically correct one — it is
+  what makes Theorem 6 hold — so we follow it.)
+
+The update semijoin needs semiring division and is therefore available
+only on semirings with ``supports_division``.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.aggregate import marginalize
+from repro.algebra.join import product_join, quotient_join
+from repro.data.relation import FunctionalRelation
+from repro.errors import SemiringError
+from repro.semiring.base import Semiring
+
+__all__ = ["product_semijoin", "update_semijoin", "shared_variable_names"]
+
+
+def shared_variable_names(
+    t: FunctionalRelation, s: FunctionalRelation
+) -> tuple[str, ...]:
+    """``U = Var(t) ∩ Var(s)``."""
+    return t.variables.intersect(s.variables).names
+
+
+def product_semijoin(
+    t: FunctionalRelation,
+    s: FunctionalRelation,
+    semiring: Semiring,
+    name: str | None = None,
+) -> FunctionalRelation:
+    """``t ⋉* s``: absorb the marginal of ``s`` into ``t``."""
+    shared = shared_variable_names(t, s)
+    message = marginalize(s, shared, semiring)
+    return product_join(t, message, semiring, name=name or t.name)
+
+
+def update_semijoin(
+    t: FunctionalRelation,
+    s: FunctionalRelation,
+    semiring: Semiring,
+    name: str | None = None,
+) -> FunctionalRelation:
+    """``t ⋉ s``: absorb ``s``'s marginal while dividing out ``t``'s own.
+
+    Requires semiring division (Definition 6's ⋈÷ operator).
+    """
+    if not semiring.supports_division:
+        raise SemiringError(
+            f"update semijoin requires division, which semiring "
+            f"{semiring.name!r} does not provide"
+        )
+    shared = shared_variable_names(t, s)
+    incoming = marginalize(s, shared, semiring)
+    outgoing = marginalize(t, shared, semiring)
+    correction = quotient_join(incoming, outgoing, semiring)
+    return product_join(t, correction, semiring, name=name or t.name)

@@ -1,0 +1,47 @@
+"""Bayesian networks and MPF-backed probabilistic inference (Section 4)."""
+
+from repro.bayes.cpd import CPD
+from repro.bayes.estimation import (
+    counts,
+    estimate_cpd,
+    estimate_network,
+    samples_to_relation,
+)
+from repro.bayes.examples import (
+    asia_network,
+    chain_network,
+    figure2_network,
+    naive_bayes_network,
+    sprinkler_network,
+)
+from repro.bayes.inference import BruteForceInference, MPFInference, normalize
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.structure import (
+    StructureResult,
+    bic_score,
+    family_bic,
+    greedy_hill_climb,
+)
+from repro.bayes.random_nets import random_network
+
+__all__ = [
+    "CPD",
+    "BayesianNetwork",
+    "MPFInference",
+    "BruteForceInference",
+    "normalize",
+    "figure2_network",
+    "sprinkler_network",
+    "chain_network",
+    "naive_bayes_network",
+    "asia_network",
+    "random_network",
+    "samples_to_relation",
+    "counts",
+    "estimate_cpd",
+    "estimate_network",
+    "bic_score",
+    "family_bic",
+    "greedy_hill_climb",
+    "StructureResult",
+]

@@ -1,0 +1,106 @@
+"""Conditional probability distributions as functional relations.
+
+Section 4 of the paper: a Bayesian network factors a joint distribution
+into local conditional distributions, each of which is naturally a
+functional relation — the variables (parents + child) determine the
+probability measure.  A :class:`CPD` wraps the dense conditional table
+``P(X | parents)`` and exports it as a
+:class:`~repro.data.relation.FunctionalRelation` so the MPF machinery
+can join and marginalize it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.builders import relation_from_tensor
+from repro.data.domain import Variable
+from repro.data.relation import FunctionalRelation
+from repro.errors import SchemaError
+
+__all__ = ["CPD"]
+
+
+@dataclass(frozen=True)
+class CPD:
+    """``P(variable | parents)`` as a dense table.
+
+    ``table`` has shape ``(*parent_sizes, variable_size)`` with axis
+    order following ``parents`` then ``variable``; every slice over a
+    full parent assignment must sum to 1.
+    """
+
+    variable: Variable
+    parents: tuple[Variable, ...]
+    table: np.ndarray
+
+    def __post_init__(self):
+        table = np.asarray(self.table, dtype=np.float64)
+        expected = tuple(p.size for p in self.parents) + (self.variable.size,)
+        if table.shape != expected:
+            raise SchemaError(
+                f"CPD for {self.variable.name!r}: table shape {table.shape} "
+                f"!= expected {expected}"
+            )
+        if np.any(table < -1e-12):
+            raise SchemaError(
+                f"CPD for {self.variable.name!r} contains negative "
+                "probabilities"
+            )
+        sums = table.sum(axis=-1)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise SchemaError(
+                f"CPD for {self.variable.name!r}: conditional rows sum to "
+                f"{sums.ravel()[:5]}... , expected 1"
+            )
+        object.__setattr__(self, "table", table)
+
+    @classmethod
+    def from_counts(
+        cls,
+        variable: Variable,
+        parents: tuple[Variable, ...],
+        counts: np.ndarray,
+        prior: float = 1.0,
+    ) -> "CPD":
+        """Estimate from joint counts with a Dirichlet pseudo-count.
+
+        Section 4 notes that local function values are estimated from
+        data, with counts computable through the MPF setting itself.
+        """
+        counts = np.asarray(counts, dtype=np.float64) + prior
+        table = counts / counts.sum(axis=-1, keepdims=True)
+        return cls(variable, tuple(parents), table)
+
+    @classmethod
+    def random(
+        cls,
+        variable: Variable,
+        parents: tuple[Variable, ...],
+        rng: np.random.Generator,
+        concentration: float = 1.0,
+    ) -> "CPD":
+        """A random CPD with Dirichlet-distributed conditional rows."""
+        shape = tuple(p.size for p in parents) + (variable.size,)
+        raw = rng.gamma(concentration, size=shape)
+        table = raw / raw.sum(axis=-1, keepdims=True)
+        return cls(variable, tuple(parents), table)
+
+    @property
+    def scope(self) -> tuple[Variable, ...]:
+        return self.parents + (self.variable,)
+
+    def to_relation(self, name: str | None = None) -> FunctionalRelation:
+        """The CPT as a (complete) functional relation."""
+        return relation_from_tensor(
+            list(self.scope),
+            self.table,
+            name=name or f"cpd_{self.variable.name}",
+            measure_name="p",
+        )
+
+    def __repr__(self) -> str:
+        parent_names = [p.name for p in self.parents]
+        return f"CPD(P({self.variable.name} | {', '.join(parent_names) or '∅'}))"

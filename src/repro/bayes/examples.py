@@ -1,0 +1,153 @@
+"""Classic small Bayesian networks used by examples and tests.
+
+* :func:`figure2_network` — the paper's Figure 2: binary A, B, C, D
+  with ``Pr(A, B, C, D) = Pr(A) Pr(B|A) Pr(C|A) Pr(D|B, C)``.
+* :func:`sprinkler_network` — the textbook Cloudy / Sprinkler / Rain /
+  WetGrass network.
+* :func:`chain_network` — a Markov chain of configurable length and
+  domain size (worst case for naive evaluation, best case for VE).
+* :func:`naive_bayes_network` — one class variable with N feature
+  children (a star view in MPF terms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayes.cpd import CPD
+from repro.bayes.network import BayesianNetwork
+from repro.data.domain import Variable, var
+
+__all__ = [
+    "figure2_network",
+    "sprinkler_network",
+    "chain_network",
+    "naive_bayes_network",
+    "asia_network",
+]
+
+
+def figure2_network() -> BayesianNetwork:
+    """The paper's Figure 2 network over binary A, B, C, D."""
+    a, b, c, d = (var(n, 2) for n in "ABCD")
+    return BayesianNetwork(
+        [
+            CPD(a, (), np.array([0.6, 0.4])),
+            CPD(b, (a,), np.array([[0.7, 0.3], [0.2, 0.8]])),
+            CPD(c, (a,), np.array([[0.9, 0.1], [0.4, 0.6]])),
+            CPD(
+                d,
+                (b, c),
+                np.array(
+                    [
+                        [[0.95, 0.05], [0.5, 0.5]],
+                        [[0.6, 0.4], [0.1, 0.9]],
+                    ]
+                ),
+            ),
+        ]
+    )
+
+
+def sprinkler_network() -> BayesianNetwork:
+    """Cloudy → {Sprinkler, Rain} → WetGrass (Pearl's example)."""
+    cloudy = var("cloudy", 2, labels=("no", "yes"))
+    sprinkler = var("sprinkler", 2, labels=("off", "on"))
+    rain = var("rain", 2, labels=("no", "yes"))
+    wet = var("wet_grass", 2, labels=("dry", "wet"))
+    return BayesianNetwork(
+        [
+            CPD(cloudy, (), np.array([0.5, 0.5])),
+            CPD(sprinkler, (cloudy,), np.array([[0.5, 0.5], [0.9, 0.1]])),
+            CPD(rain, (cloudy,), np.array([[0.8, 0.2], [0.2, 0.8]])),
+            CPD(
+                wet,
+                (sprinkler, rain),
+                np.array(
+                    [
+                        [[1.0, 0.0], [0.1, 0.9]],
+                        [[0.1, 0.9], [0.01, 0.99]],
+                    ]
+                ),
+            ),
+        ]
+    )
+
+
+def chain_network(
+    length: int = 6, domain_size: int = 3, seed: int = 0
+) -> BayesianNetwork:
+    """A Markov chain ``X0 → X1 → ... → X{length-1}``."""
+    rng = np.random.default_rng(seed)
+    variables = [var(f"X{i}", domain_size) for i in range(length)]
+    cpds = [CPD.random(variables[0], (), rng)]
+    for prev, cur in zip(variables, variables[1:]):
+        cpds.append(CPD.random(cur, (prev,), rng))
+    return BayesianNetwork(cpds)
+
+
+def naive_bayes_network(
+    n_features: int = 5,
+    class_size: int = 3,
+    feature_size: int = 4,
+    seed: int = 0,
+) -> BayesianNetwork:
+    """Class variable ``Y`` with independent feature children ``F_i``."""
+    rng = np.random.default_rng(seed)
+    y = var("Y", class_size)
+    cpds = [CPD.random(y, (), rng)]
+    for i in range(n_features):
+        f = var(f"F{i}", feature_size)
+        cpds.append(CPD.random(f, (y,), rng))
+    return BayesianNetwork(cpds)
+
+
+def asia_network() -> BayesianNetwork:
+    """Lauritzen & Spiegelhalter's "Asia" chest-clinic network.
+
+    Eight binary variables: visit to Asia, smoking, tuberculosis, lung
+    cancer, bronchitis, tub-or-cancer, positive x-ray, dyspnoea.  The
+    classic junction-tree benchmark; its moral graph is loopy, so it
+    exercises triangulation and the VE-cache on a real(ish) model.
+    Probabilities follow the original 1988 paper.
+    """
+    asia = var("asia", 2, labels=("no", "yes"))
+    smoke = var("smoke", 2, labels=("no", "yes"))
+    tub = var("tub", 2, labels=("no", "yes"))
+    lung = var("lung", 2, labels=("no", "yes"))
+    bronc = var("bronc", 2, labels=("no", "yes"))
+    either = var("either", 2, labels=("no", "yes"))
+    xray = var("xray", 2, labels=("negative", "positive"))
+    dysp = var("dysp", 2, labels=("no", "yes"))
+
+    return BayesianNetwork(
+        [
+            CPD(asia, (), np.array([0.99, 0.01])),
+            CPD(smoke, (), np.array([0.5, 0.5])),
+            CPD(tub, (asia,), np.array([[0.99, 0.01], [0.95, 0.05]])),
+            CPD(lung, (smoke,), np.array([[0.99, 0.01], [0.9, 0.1]])),
+            CPD(bronc, (smoke,), np.array([[0.7, 0.3], [0.4, 0.6]])),
+            # "either" is the deterministic OR of tub and lung.
+            CPD(
+                either,
+                (tub, lung),
+                np.array(
+                    [
+                        [[1.0, 0.0], [0.0, 1.0]],
+                        [[0.0, 1.0], [0.0, 1.0]],
+                    ]
+                ),
+            ),
+            CPD(xray, (either,), np.array([[0.95, 0.05], [0.02, 0.98]])),
+            CPD(
+                dysp,
+                (bronc, either),
+                np.array(
+                    [
+                        [[0.9, 0.1], [0.3, 0.7]],
+                        [[0.2, 0.8], [0.1, 0.9]],
+                    ]
+                ),
+            ),
+        ]
+    )

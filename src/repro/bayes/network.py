@@ -1,0 +1,151 @@
+"""Bayesian networks over functional relations (Section 4).
+
+A :class:`BayesianNetwork` is a DAG of variables with one
+:class:`~repro.bayes.cpd.CPD` per node.  The joint distribution is the
+MPF view over the CPT relations:
+
+    create mpfview joint as
+      (select A, B, C, D, measure = (* a.p, b.p, c.p, d.p)
+       from a, b, c, d where ...)
+
+(the Figure 2 example), and inference tasks are MPF queries against
+it — ``select C, SUM(p) from joint where A = 0 group by C`` computes
+``Pr(C | A = 0)`` up to normalization.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.algebra.join import product_join
+from repro.bayes.cpd import CPD
+from repro.data.domain import Variable
+from repro.data.relation import FunctionalRelation
+from repro.errors import SchemaError
+from repro.semiring.builtins import SUM_PRODUCT
+
+__all__ = ["BayesianNetwork"]
+
+
+class BayesianNetwork:
+    """A discrete Bayesian network with dense CPTs."""
+
+    def __init__(self, cpds: Iterable[CPD]):
+        cpds = list(cpds)
+        self._cpds: dict[str, CPD] = {}
+        self._variables: dict[str, Variable] = {}
+        self.graph = nx.DiGraph()
+        for cpd in cpds:
+            name = cpd.variable.name
+            if name in self._cpds:
+                raise SchemaError(f"duplicate CPD for variable {name!r}")
+            self._cpds[name] = cpd
+            for v in cpd.scope:
+                known = self._variables.get(v.name)
+                if known is not None and known.size != v.size:
+                    raise SchemaError(
+                        f"variable {v.name!r} has conflicting domain sizes "
+                        f"{known.size} vs {v.size}"
+                    )
+                self._variables.setdefault(v.name, v)
+            self.graph.add_node(name)
+            for parent in cpd.parents:
+                self.graph.add_edge(parent.name, name)
+
+        missing = set(self.graph.nodes) - set(self._cpds)
+        if missing:
+            raise SchemaError(
+                f"variables {sorted(missing)} appear as parents but have "
+                "no CPD"
+            )
+        if not nx.is_directed_acyclic_graph(self.graph):
+            cycle = nx.find_cycle(self.graph)
+            raise SchemaError(f"network contains a cycle: {cycle}")
+
+    # ------------------------------------------------------------------
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return tuple(nx.topological_sort(self.graph))
+
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise SchemaError(f"unknown variable {name!r}") from None
+
+    def cpd(self, name: str) -> CPD:
+        try:
+            return self._cpds[name]
+        except KeyError:
+            raise SchemaError(f"no CPD for variable {name!r}") from None
+
+    def parents(self, name: str) -> tuple[str, ...]:
+        return tuple(sorted(self.graph.predecessors(name)))
+
+    def __len__(self) -> int:
+        return len(self._cpds)
+
+    # ------------------------------------------------------------------
+    # MPF view material
+    # ------------------------------------------------------------------
+    def to_relations(self) -> list[FunctionalRelation]:
+        """One functional relation per CPT, in topological order."""
+        return [
+            self._cpds[name].to_relation() for name in self.variable_names
+        ]
+
+    def joint(self) -> FunctionalRelation:
+        """Materialize the full joint (exponential; test-sized only)."""
+        return reduce(
+            lambda a, b: product_join(a, b, SUM_PRODUCT),
+            self.to_relations(),
+        ).with_name("joint")
+
+    def moral_graph(self) -> nx.Graph:
+        """The variable graph of the CPT schema ("moralized" DAG)."""
+        moral = nx.Graph()
+        moral.add_nodes_from(self.graph.nodes)
+        for name, cpd in self._cpds.items():
+            scope = [v.name for v in cpd.scope]
+            for i, a in enumerate(scope):
+                for b in scope[i + 1:]:
+                    moral.add_edge(a, b)
+        return moral
+
+    # ------------------------------------------------------------------
+    # Sampling (for parameter-estimation round trips)
+    # ------------------------------------------------------------------
+    def sample(
+        self, n: int, rng, as_codes: bool = True
+    ) -> dict[str, "np.ndarray"]:
+        """Ancestral sampling of ``n`` joint assignments."""
+        import numpy as np
+
+        samples: dict[str, np.ndarray] = {}
+        for name in self.variable_names:
+            cpd = self._cpds[name]
+            size = self._variables[name].size
+            if not cpd.parents:
+                probs = cpd.table
+                samples[name] = rng.choice(size, size=n, p=probs)
+                continue
+            parent_cols = [samples[p.name] for p in cpd.parents]
+            flat_parent = np.zeros(n, dtype=np.int64)
+            for col, parent in zip(parent_cols, cpd.parents):
+                flat_parent = flat_parent * parent.size + col
+            flat_table = cpd.table.reshape(-1, size)
+            uniform = rng.random(n)
+            cumulative = np.cumsum(flat_table[flat_parent], axis=1)
+            samples[name] = (
+                (uniform[:, None] > cumulative).sum(axis=1).astype(np.int64)
+            )
+        return samples
+
+    def __repr__(self) -> str:
+        return (
+            f"BayesianNetwork(variables={list(self.variable_names)}, "
+            f"edges={self.graph.number_of_edges()})"
+        )

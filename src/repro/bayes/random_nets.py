@@ -1,0 +1,41 @@
+"""Random Bayesian network generation for property tests.
+
+Networks are drawn over a random DAG (topological order fixed up
+front, edges sampled backward with a parent cap) with Dirichlet CPTs.
+Deterministic under a seed so failures reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayes.cpd import CPD
+from repro.bayes.network import BayesianNetwork
+from repro.data.domain import var
+
+__all__ = ["random_network"]
+
+
+def random_network(
+    n_variables: int = 5,
+    max_parents: int = 2,
+    max_domain: int = 3,
+    seed: int = 0,
+    edge_probability: float = 0.5,
+) -> BayesianNetwork:
+    """A random BN with at most ``max_parents`` parents per node."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(2, max_domain + 1, size=n_variables)
+    variables = [var(f"V{i}", int(sizes[i])) for i in range(n_variables)]
+    cpds = []
+    for i, v in enumerate(variables):
+        candidates = list(range(i))
+        rng.shuffle(candidates)
+        parents = []
+        for j in candidates:
+            if len(parents) >= max_parents:
+                break
+            if rng.random() < edge_probability:
+                parents.append(variables[j])
+        cpds.append(CPD.random(v, tuple(parents), rng))
+    return BayesianNetwork(cpds)

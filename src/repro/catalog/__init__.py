@@ -1,0 +1,6 @@
+"""Catalog: table registry and optimizer-visible statistics."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import TableStats
+
+__all__ = ["Catalog", "TableStats"]

@@ -1,0 +1,155 @@
+"""The system catalog: named base relations, their stats, and heap files.
+
+Optimizers consult only the catalog (never the data) — exactly the
+setting of the paper, where plan choice is driven by catalog
+cardinalities and domain sizes.  Executors additionally fetch the
+relations themselves and their heap files for IO accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.catalog.statistics import TableStats
+from repro.data.domain import Variable
+from repro.data.relation import FunctionalRelation
+from repro.errors import CatalogError, SchemaError
+from repro.storage.heapfile import HeapFile
+from repro.storage.index import HashIndex
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Registry of base functional relations.
+
+    Registration validates that variables shared across relations refer
+    to the same domain, mirroring the schema-level consistency an RDBMS
+    enforces through foreign keys.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        self._relations: dict[str, FunctionalRelation] = {}
+        self._stats: dict[str, TableStats] = {}
+        self._heapfiles: dict[str, HeapFile] = {}
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self._variables: dict[str, Variable] = {}
+        self._page_size = page_size
+        self._next_file_id = 1
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, relation: FunctionalRelation, name: str | None = None) -> str:
+        """Add a base relation; returns its catalog name."""
+        name = name or relation.name
+        if not name:
+            raise CatalogError("relation must have a name to be registered")
+        if name in self._relations:
+            raise CatalogError(f"table {name!r} already registered")
+        for v in relation.variables:
+            known = self._variables.get(v.name)
+            if known is not None and (
+                known.domain.name != v.domain.name
+                or known.domain.size != v.domain.size
+            ):
+                raise SchemaError(
+                    f"variable {v.name!r} in table {name!r} conflicts with "
+                    f"existing domain {known.domain!r}"
+                )
+        relation = relation.with_name(name)
+        self._relations[name] = relation
+        self._stats[name] = TableStats.from_relation(relation)
+        self._heapfiles[name] = HeapFile.for_relation(
+            self._next_file_id, relation, self._page_size
+        )
+        self._next_file_id += 1
+        for v in relation.variables:
+            self._variables.setdefault(v.name, v)
+        return name
+
+    def register_all(self, relations: Iterable[FunctionalRelation]) -> list[str]:
+        return [self.register(r) for r in relations]
+
+    def create_index(self, table: str, variable: str) -> HashIndex:
+        """Build a hash index on ``table(variable)``.
+
+        The equality access path of Section 5.4's discussion: with an
+        index, a constrained-domain selection can probe instead of
+        scanning.
+        """
+        relation = self.relation(table)
+        key = (table, variable)
+        if key in self._indexes:
+            raise CatalogError(f"index on {table}({variable}) exists")
+        index = HashIndex(self._next_file_id, relation, variable)
+        self._next_file_id += 1
+        self._indexes[key] = index
+        return index
+
+    def index_on(self, table: str, variable: str) -> HashIndex | None:
+        """The hash index on ``table(variable)``, if one was created."""
+        return self._indexes.get((table, variable))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation(self, name: str) -> FunctionalRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def stats(self, name: str) -> TableStats:
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def heapfile(self, name: str) -> HeapFile:
+        try:
+            return self._heapfiles[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise CatalogError(f"unknown variable {name!r}") from None
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return tuple(self._variables)
+
+    def tables_with_variable(self, var_name: str) -> tuple[str, ...]:
+        """``rels(v)`` in Algorithm 2: tables containing the variable."""
+        return tuple(
+            name
+            for name, rel in self._relations.items()
+            if var_name in rel.variables
+        )
+
+    def smallest_table_with_variable(self, var_name: str) -> TableStats:
+        """``σ̂_X``: stats of the smallest base relation containing X."""
+        candidates = [
+            self._stats[name] for name in self.tables_with_variable(var_name)
+        ]
+        if not candidates:
+            raise CatalogError(f"no table contains variable {var_name!r}")
+        return min(candidates, key=lambda s: s.cardinality)
+
+    def environment(self) -> Mapping[str, FunctionalRelation]:
+        """Name → relation mapping for the plan executor."""
+        return dict(self._relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Catalog(tables={list(self._relations)})"

@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — generate the supply-chain schema, define the ``invest``
+  MPF view, and run the paper's Section 3 example queries under every
+  evaluation strategy;
+* ``sql`` — execute MPF statements (from ``-c`` or a file) against a
+  generated supply-chain database, printing results and plans;
+* ``table2`` / ``table3`` — regenerate the paper's ordering-heuristics
+  tables on the Section 7.3 synthetic views;
+* ``inference`` — the Section 4 Bayesian-network walkthrough.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.engine import Database
+from repro.errors import MPFError
+
+CREATE_INVEST = """
+create mpfview invest as
+  (select pid, sid, wid, cid, tid,
+          measure = (* contracts.price, warehouses.w_factor,
+                       transporters.t_overhead, location.quantity,
+                       ctdeals.ct_discount)
+   from contracts, warehouses, transporters, location, ctdeals
+   where contracts.pid = location.pid and
+         location.wid = warehouses.wid and
+         warehouses.cid = ctdeals.cid and
+         ctdeals.tid = transporters.tid)
+"""
+
+
+def _build_database(scale: float, seed: int) -> Database:
+    from repro.datagen import supply_chain
+
+    sc = supply_chain(scale=scale, seed=seed)
+    db = Database()
+    for t in sc.tables:
+        db.register(sc.catalog.relation(t))
+    db.execute(CREATE_INVEST)
+    return db
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_demo(args: argparse.Namespace) -> int:
+    db = _build_database(args.scale, args.seed)
+    print(f"supply chain @ scale {args.scale}; view `invest` defined\n")
+    queries = [
+        ("minimum investment per part",
+         "select pid, min(inv) from invest group by pid"),
+        ("total investment per warehouse",
+         "select wid, sum(inv) from invest group by wid"),
+        ("contractor exposure to transporter 1",
+         "select cid, sum(inv) from invest where tid = 1 group by cid"),
+    ]
+    for title, sql in queries:
+        print(f"-- {title}")
+        print(f"   {sql}")
+        report = db.execute(sql, strategy=args.strategy)
+        rows = list(report.result.iter_rows())
+        for row in rows[:5]:
+            print(f"   {row[0]:>6} -> {row[1]:,.2f}")
+        if len(rows) > 5:
+            print(f"   ... {len(rows) - 5} more rows")
+        opt = report.optimization
+        print(
+            f"   [{opt.algorithm}: est {opt.cost:.4g}, "
+            f"{opt.plans_considered} plans, sim elapsed "
+            f"{report.exec_stats.elapsed():.4g}]\n"
+        )
+    print("-- strategy comparison: select cid, sum(inv) ... group by cid")
+    for strategy in ("cs", "cs+", "cs+nonlinear", "ve", "ve+"):
+        report = db.execute(
+            "select cid, sum(inv) from invest group by cid",
+            strategy=strategy,
+        )
+        opt = report.optimization
+        print(
+            f"   {opt.algorithm:16s} est={opt.cost:12.4g} "
+            f"sim={report.exec_stats.elapsed():12.4g}"
+        )
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    db = _build_database(args.scale, args.seed)
+    statements: list[str] = []
+    if args.command:
+        statements.extend(args.command)
+    if args.file:
+        with open(args.file) as fh:
+            text = fh.read()
+        statements.extend(
+            s.strip() for s in text.split(";") if s.strip()
+        )
+    if not statements:
+        print(
+            "no statements; pass -c 'select ...' (repeatable) or -f file.sql",
+            file=sys.stderr,
+        )
+        return 2
+    for sql in statements:
+        print(f"mpf> {sql}")
+        try:
+            outcome = db.execute(sql, strategy=args.strategy)
+        except MPFError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if isinstance(outcome, str):
+            print(f"view {outcome!r} created\n")
+            continue
+        print(outcome.result.head(args.limit))
+        if args.explain:
+            print(outcome.plan_text)
+        print(f"[{outcome.optimization.algorithm}; "
+              f"{outcome.result.ntuples} rows]\n")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from repro.datagen import linear_view, multistar_view, star_view
+    from repro.optimizer import (
+        CSPlusNonlinear,
+        QuerySpec,
+        VariableElimination,
+    )
+
+    views = {
+        "star": star_view(args.n_tables, args.domain),
+        "multistar": multistar_view(args.n_tables, args.domain),
+        "linear": linear_view(args.n_tables, args.domain),
+    }
+    orderings = [
+        ("nonlinear CS+", None, False),
+        ("VE(deg)", "degree", False),
+        ("VE(deg) ext.", "degree", True),
+        ("VE(width)", "width", False),
+        ("VE(width) ext.", "width", True),
+        ("VE(elim_cost)", "elim_cost", False),
+        ("VE(elim_cost) ext.", "elim_cost", True),
+        ("VE(deg & width)", "degree+width", False),
+        ("VE(deg & width) ext.", "degree+width", True),
+        ("VE(deg & elim_cost)", "degree+elim_cost", False),
+        ("VE(deg & elim_cost) ext.", "degree+elim_cost", True),
+    ]
+    print(f"{'Ordering':26s} {'star':>14s} {'multistar':>14s} "
+          f"{'linear':>12s}")
+    for label, heuristic, extended in orderings:
+        row = [label]
+        for kind in ("star", "multistar", "linear"):
+            view = views[kind]
+            spec = QuerySpec(
+                tables=view.tables,
+                query_vars=(view.chain_variables[0],),
+            )
+            if heuristic is None:
+                cost = CSPlusNonlinear().optimize(spec, view.catalog).cost
+            else:
+                cost = VariableElimination(
+                    heuristic, extended=extended
+                ).optimize(spec, view.catalog).cost
+            row.append(cost)
+        print(f"{row[0]:26s} {row[1]:14.2f} {row[2]:14.2f} {row[3]:12.2f}")
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from repro.datagen import linear_view, multistar_view, star_view
+    from repro.optimizer import QuerySpec, VariableElimination
+
+    views = {
+        "star": star_view(args.n_tables, args.domain),
+        "multistar": multistar_view(args.n_tables, args.domain),
+        "linear": linear_view(args.n_tables, args.domain),
+    }
+    print(f"{'Ordering':16s} {'view':>10s} {'mean':>14s} {'±95% CI':>12s}")
+    for extended in (False, True):
+        label = "VE(random) ext." if extended else "VE(random)"
+        for kind, view in views.items():
+            spec = QuerySpec(
+                tables=view.tables,
+                query_vars=(view.chain_variables[0],),
+            )
+            costs = [
+                VariableElimination("random", extended=extended, seed=s)
+                .optimize(spec, view.catalog)
+                .cost
+                for s in range(args.runs)
+            ]
+            n = len(costs)
+            mean = sum(costs) / n
+            var = sum((c - mean) ** 2 for c in costs) / (n - 1)
+            half = 1.96 * math.sqrt(var / n)
+            print(f"{label:16s} {kind:>10s} {mean:14.2f} {half:12.2f}")
+    return 0
+
+
+def cmd_inference(args: argparse.Namespace) -> int:
+    from repro.bayes import MPFInference, figure2_network
+
+    bn = figure2_network()
+    mpf = MPFInference(bn)
+    print("Figure 2 network; "
+          "query: select C, SUM(p) from joint where A=0 group by C")
+    for row in mpf.query("C", evidence={"A": 0}).iter_rows():
+        print(f"  Pr(C={row[0]} | A=0) = {row[1]:.4f}")
+    cache = mpf.build_cache()
+    print("marginals from a calibrated VE-cache:")
+    for v in bn.variable_names:
+        values = ", ".join(
+            f"{m:.4f}" for m in mpf.query_cached(cache, v).measure
+        )
+        print(f"  Pr({v}) = [{values}]")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MPF query engine (SIGMOD 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    demo = sub.add_parser("demo", help="supply-chain walkthrough")
+    demo.add_argument("--scale", type=float, default=0.01)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--strategy", default="auto")
+    demo.set_defaults(fn=cmd_demo)
+
+    sql = sub.add_parser("sql", help="run MPF statements")
+    sql.add_argument("-c", "--command", action="append",
+                     help="statement to run (repeatable)")
+    sql.add_argument("-f", "--file", help="file of ;-separated statements")
+    sql.add_argument("--scale", type=float, default=0.01)
+    sql.add_argument("--seed", type=int, default=42)
+    sql.add_argument("--strategy", default="auto")
+    sql.add_argument("--limit", type=int, default=10,
+                     help="rows to print per result")
+    sql.add_argument("--explain", action="store_true",
+                     help="print the chosen plan")
+    sql.set_defaults(fn=cmd_sql)
+
+    t2 = sub.add_parser("table2", help="regenerate paper Table 2")
+    t2.add_argument("--n-tables", type=int, default=5)
+    t2.add_argument("--domain", type=int, default=10)
+    t2.set_defaults(fn=cmd_table2)
+
+    t3 = sub.add_parser("table3", help="regenerate paper Table 3")
+    t3.add_argument("--n-tables", type=int, default=5)
+    t3.add_argument("--domain", type=int, default=10)
+    t3.add_argument("--runs", type=int, default=10)
+    t3.set_defaults(fn=cmd_table3)
+
+    inf = sub.add_parser("inference", help="Bayesian-network walkthrough")
+    inf.set_defaults(fn=cmd_inference)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Functional relations, variables, and domains (Section 2)."""
+
+from repro.data.builders import (
+    complete_relation,
+    identity_relation,
+    random_relation,
+    relation_from_tensor,
+)
+from repro.data.domain import Domain, Variable, VariableSet, domain_product
+from repro.data.domain import var
+from repro.data.relation import FunctionalRelation
+
+__all__ = [
+    "Domain",
+    "Variable",
+    "VariableSet",
+    "var",
+    "domain_product",
+    "FunctionalRelation",
+    "complete_relation",
+    "random_relation",
+    "relation_from_tensor",
+    "identity_relation",
+]

@@ -1,0 +1,80 @@
+"""Row-key encoding shared by join and marginalization.
+
+Both the product join and GroupBy need to treat a subset of columns as
+a single composite key.  When the mixed-radix product of domain sizes
+fits in an ``int64`` we encode directly (fast path); otherwise we fall
+back to a lexicographic rank computed via ``np.unique`` over stacked
+columns, which is slower but exact for arbitrarily large key spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["encode_rows", "encode_rows_pair", "MIXED_RADIX_LIMIT"]
+
+# Stay well below 2**63 so intermediate multiply-adds cannot overflow.
+MIXED_RADIX_LIMIT = 2**62
+
+
+def _fits_mixed_radix(sizes: tuple[int, ...]) -> bool:
+    total = 1
+    for s in sizes:
+        total *= int(s)
+        if total >= MIXED_RADIX_LIMIT:
+            return False
+    return True
+
+
+def _mixed_radix(columns: list[np.ndarray], sizes: tuple[int, ...]) -> np.ndarray:
+    n = len(columns[0]) if columns else 0
+    keys = np.zeros(n, dtype=np.int64)
+    for col, size in zip(columns, sizes):
+        keys *= int(size)
+        keys += col
+    return keys
+
+
+def encode_rows(columns: list[np.ndarray], sizes: tuple[int, ...]) -> np.ndarray:
+    """Encode rows of the given columns into 1-D int64 keys.
+
+    Keys preserve the lexicographic order of the columns.  With no
+    columns, every row gets key 0 (a single group / full cross join).
+    """
+    if not columns:
+        # Zero-column key: the caller supplies the row count separately,
+        # so an empty list means "no key columns"; callers pass at least
+        # the measure length via the first column otherwise.
+        raise ValueError("encode_rows requires at least one column; "
+                         "handle the empty-key case at the call site")
+    if _fits_mixed_radix(sizes):
+        return _mixed_radix(columns, sizes)
+    stacked = np.column_stack(columns)
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    return inverse.astype(np.int64, copy=False)
+
+
+def encode_rows_pair(
+    left_columns: list[np.ndarray],
+    right_columns: list[np.ndarray],
+    sizes: tuple[int, ...],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode two relations' key columns into one comparable key space.
+
+    Used by the join: the i-th left column and i-th right column hold
+    the same variable.  Returns ``(left_keys, right_keys)`` such that
+    rows match iff their keys are equal.
+    """
+    if not left_columns:
+        n_left = 0
+        n_right = 0
+        raise ValueError("encode_rows_pair requires at least one column")
+    if _fits_mixed_radix(sizes):
+        return _mixed_radix(left_columns, sizes), _mixed_radix(right_columns, sizes)
+    n_left = len(left_columns[0])
+    stacked = np.column_stack(
+        [np.concatenate([lc, rc]) for lc, rc in zip(left_columns, right_columns)]
+    )
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.astype(np.int64, copy=False)
+    return inverse[:n_left], inverse[n_left:]

@@ -1,0 +1,25 @@
+"""Workload generators: the supply-chain schema and Section 7.3 views."""
+
+from repro.datagen.supply_chain import (
+    TABLE1_CARDINALITIES,
+    TABLE1_DOMAINS,
+    SupplyChain,
+    supply_chain,
+)
+from repro.datagen.synthetic import (
+    SyntheticView,
+    linear_view,
+    multistar_view,
+    star_view,
+)
+
+__all__ = [
+    "SupplyChain",
+    "supply_chain",
+    "TABLE1_CARDINALITIES",
+    "TABLE1_DOMAINS",
+    "SyntheticView",
+    "linear_view",
+    "star_view",
+    "multistar_view",
+]

@@ -1,0 +1,214 @@
+"""The supply-chain decision-support schema (Figure 1, Table 1).
+
+Five functional relations drawn from diverse sources:
+
+* ``contracts(pid, sid; price)`` — terms for a part's purchase from a
+  supplier;
+* ``warehouses(wid, cid; w_factor)`` — each warehouse is operated by a
+  contractor and has a storage-overhead factor (key: ``wid``);
+* ``transporters(tid; t_overhead)`` — per-part transport overhead
+  (key: ``tid``);
+* ``location(pid, wid; quantity)`` — quantity of each part sent to a
+  warehouse;
+* ``ctdeals(cid, tid; ct_discount)`` — contractor–transporter deals.
+
+The ``invest`` MPF view is their product join; its measure is the
+per-supply-chain investment.  Table 1's cardinalities and domain sizes
+are reproduced at ``scale=1.0``; smaller scales shrink both
+proportionally (with floors so the schema stays meaningful), which is
+how the Figure 8/9 scale sweeps are driven.  ``ctdeals_density``
+controls what fraction of the contractor×transporter grid has a deal —
+the Figure 7 sweep.
+
+``include_stdeals`` adds ``stdeals(sid, tid; st_discount)``, the
+supplier–transporter deals table that makes the schema *cyclic*
+(Figures 12–15): its variable graph gains an ``sid``–``tid`` edge
+creating a chordless 5-cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.data.domain import Variable, var
+from repro.data.relation import FunctionalRelation
+
+__all__ = ["SupplyChain", "supply_chain", "TABLE1_CARDINALITIES", "TABLE1_DOMAINS"]
+
+TABLE1_CARDINALITIES = {
+    "contracts": 100_000,
+    "warehouses": 5_000,
+    "transporters": 500,
+    "location": 1_000_000,
+    "ctdeals": 500_000,
+}
+"""Paper Table 1 (left): tuples per table at scale 1.0."""
+
+TABLE1_DOMAINS = {
+    "pid": 100_000,
+    "sid": 10_000,
+    "wid": 5_000,
+    "cid": 1_000,
+    "tid": 500,
+}
+"""Paper Table 1 (right): ids per variable at scale 1.0."""
+
+_DOMAIN_FLOORS = {"pid": 40, "sid": 20, "wid": 10, "cid": 6, "tid": 4}
+
+
+def _sample_distinct(total: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """``k`` distinct integers from ``range(total)`` without materializing it."""
+    k = min(k, total)
+    if total <= 4 * k or total <= 1_000_000:
+        return rng.choice(total, size=k, replace=False)
+    chosen = np.unique(rng.integers(0, total, size=int(k * 1.2) + 16))
+    while len(chosen) < k:
+        extra = rng.integers(0, total, size=k)
+        chosen = np.unique(np.concatenate([chosen, extra]))
+    return rng.permutation(chosen)[:k]
+
+
+def _pair_relation(
+    name: str,
+    v1: Variable,
+    v2: Variable,
+    n_rows: int,
+    measure_name: str,
+    low: float,
+    high: float,
+    rng: np.random.Generator,
+) -> FunctionalRelation:
+    """A sparse FR over two variables with ``n_rows`` distinct pairs."""
+    total = v1.size * v2.size
+    n_rows = max(1, min(n_rows, total))
+    flat = _sample_distinct(total, n_rows, rng)
+    columns = {
+        v1.name: (flat // v2.size).astype(np.int64),
+        v2.name: (flat % v2.size).astype(np.int64),
+    }
+    measure = rng.uniform(low, high, size=n_rows)
+    return FunctionalRelation(
+        [v1, v2], columns, measure, name=name, measure_name=measure_name,
+        check_fd=False,
+    )
+
+
+@dataclass
+class SupplyChain:
+    """A generated instance: catalog plus metadata the benches need."""
+
+    catalog: Catalog
+    tables: tuple[str, ...]
+    variables: dict[str, Variable]
+    scale: float
+    ctdeals_density: float
+    seed: int
+    table_keys: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def view_tables(self) -> tuple[str, ...]:
+        return self.tables
+
+
+def supply_chain(
+    scale: float = 0.01,
+    ctdeals_density: float = 1.0,
+    seed: int = 0,
+    include_stdeals: bool = False,
+    stdeals_density: float = 0.5,
+    domain_scale: float | None = None,
+) -> SupplyChain:
+    """Generate the Figure 1 schema at the given scale.
+
+    ``scale=1.0`` reproduces Table 1 exactly; the default 0.01 keeps the
+    test suite fast while preserving every relative size relationship
+    (contracts ≈ domain(pid), location = 10×contracts, etc.).
+
+    ``domain_scale`` scales the id domains separately from the table
+    cardinalities (default: same as ``scale``).  Pass
+    ``sqrt(scale)`` to keep *pair-grid* tables (ctdeals at density 1 is
+    the full cid×tid grid) in the same proportion to the other tables
+    as at full scale — the Figure 7 density sweep needs that, since
+    grids shrink quadratically in the domain scale while list tables
+    shrink linearly.
+    """
+    rng = np.random.default_rng(seed)
+    if domain_scale is None:
+        domain_scale = scale
+    domains = {
+        name: max(_DOMAIN_FLOORS[name], int(round(size * domain_scale)))
+        for name, size in TABLE1_DOMAINS.items()
+    }
+    pid = var("pid", domains["pid"])
+    sid = var("sid", domains["sid"])
+    wid = var("wid", domains["wid"])
+    cid = var("cid", domains["cid"])
+    tid = var("tid", domains["tid"])
+
+    def card(table: str) -> int:
+        return max(10, int(round(TABLE1_CARDINALITIES[table] * scale)))
+
+    contracts = _pair_relation(
+        "contracts", pid, sid, card("contracts"), "price", 1.0, 100.0, rng
+    )
+    location = _pair_relation(
+        "location", pid, wid, card("location"), "quantity", 1.0, 50.0, rng
+    )
+
+    # Warehouses: every warehouse exists, operated by one contractor.
+    w_columns = {
+        "wid": np.arange(wid.size, dtype=np.int64),
+        "cid": rng.integers(0, cid.size, size=wid.size, dtype=np.int64),
+    }
+    warehouses = FunctionalRelation(
+        [wid, cid],
+        w_columns,
+        rng.uniform(1.0, 1.5, size=wid.size),
+        name="warehouses",
+        measure_name="w_factor",
+        check_fd=False,
+    )
+
+    # Transporters: one overhead per transporter id.
+    transporters = FunctionalRelation(
+        [tid],
+        {"tid": np.arange(tid.size, dtype=np.int64)},
+        rng.uniform(1.0, 2.0, size=tid.size),
+        name="transporters",
+        measure_name="t_overhead",
+        check_fd=False,
+    )
+
+    n_deals = max(1, int(round(ctdeals_density * cid.size * tid.size)))
+    ctdeals = _pair_relation(
+        "ctdeals", cid, tid, n_deals, "ct_discount", 0.5, 1.0, rng
+    )
+
+    relations = [contracts, warehouses, transporters, location, ctdeals]
+    table_keys = {
+        "warehouses": ("wid",),
+        "transporters": ("tid",),
+    }
+    variables = {v.name: v for v in (pid, sid, wid, cid, tid)}
+
+    if include_stdeals:
+        n_st = max(1, int(round(stdeals_density * sid.size * tid.size)))
+        stdeals = _pair_relation(
+            "stdeals", sid, tid, n_st, "st_discount", 0.5, 1.0, rng
+        )
+        relations.append(stdeals)
+
+    catalog = Catalog()
+    catalog.register_all(relations)
+    return SupplyChain(
+        catalog=catalog,
+        tables=tuple(r.name for r in relations),
+        variables=variables,
+        scale=scale,
+        ctdeals_density=ctdeals_density,
+        seed=seed,
+        table_keys=table_keys,
+    )

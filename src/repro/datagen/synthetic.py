@@ -1,0 +1,115 @@
+"""The synthetic star / linear / multistar views of Section 7.3.
+
+All three share a *linear section*: a chain of tables
+``t1(v0, v1), t2(v1, v2), ..., tN(v{N-1}, vN)``.
+
+* **linear** — just the chain ("the variable connecting all tables is
+  removed");
+* **star** (Figure 6) — every chain table additionally contains one
+  common hub variable ``h0``, giving it connectivity N;
+* **multistar** — "instead of a single common variable there are
+  several common variables each connecting to three different tables":
+  hub ``h_k`` appears in tables ``t_{2k+1}, t_{2k+2}, t_{2k+3}``
+  (overlapping windows of three), capping maximum variable
+  connectivity at 3.
+
+As in the paper: N tables, every variable of domain size
+``domain_size`` (10), and every functional relation *complete* —
+which makes the cardinality estimates of the cost model exact, so the
+Table 2 / Table 3 plan costs are deterministic properties of the plan
+shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.data.builders import complete_relation
+from repro.data.domain import Variable, var
+
+__all__ = ["SyntheticView", "linear_view", "star_view", "multistar_view"]
+
+
+@dataclass
+class SyntheticView:
+    """A generated synthetic view and the metadata benches need."""
+
+    kind: str
+    catalog: Catalog
+    tables: tuple[str, ...]
+    chain_variables: tuple[str, ...]
+    """``v0..vN`` — "the linear part"; queries target these."""
+    hub_variables: tuple[str, ...]
+
+    @property
+    def view_tables(self) -> tuple[str, ...]:
+        return self.tables
+
+
+def _build(
+    kind: str,
+    n_tables: int,
+    domain_size: int,
+    hubs_for_table,
+    n_hubs: int,
+    seed: int,
+) -> SyntheticView:
+    rng = np.random.default_rng(seed)
+    chain = [var(f"v{i}", domain_size) for i in range(n_tables + 1)]
+    hubs = [var(f"h{k}", domain_size) for k in range(n_hubs)]
+
+    catalog = Catalog()
+    names = []
+    for i in range(n_tables):
+        scope: list[Variable] = [chain[i], chain[i + 1]]
+        scope.extend(hubs[k] for k in hubs_for_table(i))
+        relation = complete_relation(
+            scope, rng=rng, name=f"t{i + 1}", low=0.1, high=1.0
+        )
+        catalog.register(relation)
+        names.append(relation.name)
+    return SyntheticView(
+        kind=kind,
+        catalog=catalog,
+        tables=tuple(names),
+        chain_variables=tuple(v.name for v in chain),
+        hub_variables=tuple(h.name for h in hubs),
+    )
+
+
+def linear_view(
+    n_tables: int = 5, domain_size: int = 10, seed: int = 0
+) -> SyntheticView:
+    """Chain ``t_i(v_{i-1}, v_i)`` — maximum variable connectivity 2."""
+    return _build("linear", n_tables, domain_size, lambda i: (), 0, seed)
+
+
+def star_view(
+    n_tables: int = 5, domain_size: int = 10, seed: int = 0
+) -> SyntheticView:
+    """Chain plus one hub ``h0`` in every table (Figure 6) —
+    maximum variable connectivity N."""
+    return _build("star", n_tables, domain_size, lambda i: (0,), 1, seed)
+
+
+def multistar_view(
+    n_tables: int = 5, domain_size: int = 10, seed: int = 0
+) -> SyntheticView:
+    """Chain plus hubs each shared by three consecutive tables —
+    maximum variable connectivity 3."""
+    if n_tables < 3:
+        return linear_view(n_tables, domain_size, seed)
+    n_hubs = (n_tables - 1) // 2
+
+    def hubs_for_table(i: int):
+        out = []
+        for k in range(n_hubs):
+            first = 2 * k
+            if first <= i <= first + 2:
+                out.append(k)
+        return tuple(out)
+
+    return _build("multistar", n_tables, domain_size, hubs_for_table, n_hubs, seed)

@@ -1,0 +1,460 @@
+"""The ``Database`` facade: the paper's modified server, end to end.
+
+Ties the layers together the way the modified PostgreSQL of Section 7
+does: register base functional relations, define MPF views with the
+``create mpfview`` extension, and run MPF queries under a chosen
+evaluation strategy —
+
+* ``"cs"`` — unmodified aggregate optimizer (single root GroupBy);
+* ``"cs+"`` — linear CS+ (Algorithm 1);
+* ``"cs+nonlinear"`` — bushy CS+ with the four-candidate rule;
+* ``"ve"`` / ``"ve+"`` — Variable Elimination, optionally in the
+  extended space, with any Section 5.5 heuristic;
+* ``"auto"`` — VE+ with the degree heuristic, falling back to linear
+  plans when the Eq. 1 admissibility test says they suffice.
+
+Every query returns a :class:`QueryReport` carrying the result, the
+chosen plan, its estimated cost, and the simulated execution stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel, SimpleCostModel
+from repro.data.relation import FunctionalRelation
+from repro.errors import QueryError
+from repro.optimizer.base import OptimizationResult, Optimizer
+from repro.optimizer.cs import CSOptimizer
+from repro.optimizer.csplus import CSPlusLinear, CSPlusNonlinear
+from repro.optimizer.linearity import LinearityTest, linearity_test
+from repro.optimizer.ve import VariableElimination
+from repro.plans.executor import Executor
+from repro.plans.printer import explain
+from repro.query.parser import (
+    CreateIndexStatement,
+    CreateViewStatement,
+    SelectStatement,
+    parse_statement,
+)
+from repro.query.query import HavingClause, MPFQuery
+from repro.query.view import MPFView
+from repro.semiring.base import Semiring
+from repro.semiring.builtins import (
+    BOOLEAN,
+    COUNTING,
+    MAX_PRODUCT,
+    MAX_SUM,
+    MIN_PRODUCT,
+    MIN_SUM,
+    SUM_PRODUCT,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+from repro.workload.vecache import VECache, build_ve_cache
+
+__all__ = ["Database", "QueryReport"]
+
+# (multiplicative op of the view, additive aggregate of the query)
+_SEMIRINGS: dict[tuple[str, str], Semiring] = {
+    ("*", "sum"): SUM_PRODUCT,
+    ("*", "min"): MIN_PRODUCT,
+    ("*", "max"): MAX_PRODUCT,
+    ("*", "count"): COUNTING,
+    ("+", "min"): MIN_SUM,
+    ("+", "max"): MAX_SUM,
+    ("and", "or"): BOOLEAN,
+}
+
+
+@dataclass
+class QueryReport:
+    """Everything a query execution produced."""
+
+    result: FunctionalRelation
+    query: MPFQuery
+    optimization: OptimizationResult
+    exec_stats: IOStats
+    semiring: Semiring
+    linearity: LinearityTest | None = None
+
+    @property
+    def plan_text(self) -> str:
+        return explain(self.optimization.plan)
+
+    def summary(self) -> str:
+        lines = [
+            f"query: {self.query!r}",
+            f"algorithm: {self.optimization.algorithm} "
+            f"(est cost {self.optimization.cost:.4g}, "
+            f"{self.optimization.plans_considered} plans, "
+            f"{self.optimization.planning_seconds * 1e3:.2f} ms planning)",
+            f"execution: {self.exec_stats.summary()}",
+            f"rows: {self.result.ntuples}",
+        ]
+        if self.linearity is not None:
+            lines.append(f"linearity: {self.linearity}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _ViewEntry:
+    view_tables: tuple[str, ...]
+    multiplicative_op: str
+
+
+class Database:
+    """An in-process MPF query engine over simulated storage."""
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        pool: BufferPool | None = None,
+    ):
+        self.catalog = Catalog()
+        self.cost_model = cost_model or SimpleCostModel()
+        # Not `pool or BufferPool()`: an empty pool is falsy (__len__).
+        self.pool = pool if pool is not None else BufferPool()
+        self._views: dict[str, _ViewEntry] = {}
+        self._caches: dict[str, VECache] = {}
+        self._plan_cache: dict[tuple, dict] = {}
+        self.plan_cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def register(self, relation: FunctionalRelation, name: str | None = None) -> str:
+        """Register a base functional relation."""
+        return self.catalog.register(relation, name)
+
+    def create_view(
+        self,
+        name: str,
+        tables: tuple[str, ...] | list[str],
+        multiplicative_op: str = "*",
+    ) -> None:
+        """Define an MPF view over registered tables."""
+        if name in self._views or name in self.catalog:
+            raise QueryError(f"name {name!r} already in use")
+        for t in tables:
+            if t not in self.catalog:
+                raise QueryError(f"view {name!r} references unknown table {t!r}")
+        if not any(multiplicative_op == op for op, _ in _SEMIRINGS):
+            raise QueryError(
+                f"unsupported multiplicative op {multiplicative_op!r}"
+            )
+        self._views[name] = _ViewEntry(tuple(tables), multiplicative_op)
+
+    # ------------------------------------------------------------------
+    # SQL entry point
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, strategy: str = "auto", **options):
+        """Parse and run one statement.
+
+        ``create mpfview`` returns the view name; ``select`` returns a
+        :class:`QueryReport`.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, CreateViewStatement):
+            self._check_view_statement(statement)
+            self.create_view(
+                statement.name,
+                statement.tables,
+                statement.multiplicative_op,
+            )
+            return statement.name
+        if isinstance(statement, CreateIndexStatement):
+            self.catalog.create_index(statement.table, statement.variable)
+            return f"{statement.table}({statement.variable})"
+        return self._run_select(statement, strategy, **options)
+
+    def _check_view_statement(self, statement: CreateViewStatement) -> None:
+        for ref in statement.measure_refs:
+            table = ref.split(".")[0]
+            if table not in statement.tables:
+                raise QueryError(
+                    f"measure reference {ref!r} names table {table!r} not "
+                    "in the from list"
+                )
+        for left, right in statement.join_predicates:
+            lcol = left.split(".")[-1]
+            rcol = right.split(".")[-1]
+            if lcol != rcol:
+                raise QueryError(
+                    f"join predicate {left} = {right} equates different "
+                    "variable names; MPF joins are natural joins on "
+                    "shared variables"
+                )
+
+    def _run_select(
+        self, statement: SelectStatement, strategy: str, **options
+    ) -> QueryReport:
+        entry = self._views.get(statement.view)
+        if entry is None:
+            raise QueryError(f"unknown view {statement.view!r}")
+        key = (entry.multiplicative_op, statement.aggregate)
+        semiring = _SEMIRINGS.get(key)
+        if semiring is None:
+            raise QueryError(
+                f"aggregate {statement.aggregate!r} does not form a "
+                f"semiring with the view's {entry.multiplicative_op!r}"
+            )
+        view = MPFView(statement.view, entry.view_tables, semiring)
+        having = None
+        if statement.having is not None:
+            having = HavingClause(*statement.having)
+        query = MPFQuery(
+            view=view,
+            group_by=statement.group_by,
+            selections=dict(statement.selections),
+            having=having,
+        )
+        return self.run_query(query, strategy=strategy, **options)
+
+    # ------------------------------------------------------------------
+    # Programmatic query execution
+    # ------------------------------------------------------------------
+    def make_optimizer(
+        self,
+        strategy: str,
+        heuristic: str = "degree",
+        seed: int | None = None,
+        query: MPFQuery | None = None,
+    ) -> Optimizer:
+        strategy = strategy.lower()
+        if strategy == "cs":
+            return CSOptimizer()
+        if strategy in ("cs+", "cs+linear", "csplus"):
+            return CSPlusLinear()
+        if strategy in ("cs+nonlinear", "nonlinear"):
+            return CSPlusNonlinear()
+        if strategy == "ve":
+            return VariableElimination(heuristic, seed=seed)
+        if strategy in ("ve+", "ve-ext"):
+            return VariableElimination(heuristic, extended=True, seed=seed)
+        if strategy == "auto":
+            return VariableElimination(heuristic, extended=True, seed=seed)
+        raise QueryError(f"unknown evaluation strategy {strategy!r}")
+
+    def run_query(
+        self,
+        query: MPFQuery,
+        strategy: str = "auto",
+        heuristic: str = "degree",
+        seed: int | None = None,
+        use_plan_cache: bool = False,
+    ) -> QueryReport:
+        """Optimize and execute one MPF query.
+
+        ``use_plan_cache`` turns on prepared-statement behavior: the
+        chosen plan is memoized by the query's shape (tables, group-by
+        list, selection *variables* — not the constants — and
+        strategy), so repeats of the same template skip optimization.
+        Selection constants may differ because plans embed them only in
+        pushed-down Select/IndexScan predicates, which are rebuilt.
+        """
+        spec = query.to_spec(self.catalog)
+        optimizer = self.make_optimizer(strategy, heuristic, seed, query)
+
+        cache_key = None
+        if use_plan_cache:
+            # Constants matter to the plan (leaf Select nodes carry
+            # them), so the key includes the full selection mapping.
+            cache_key = (
+                spec.tables,
+                spec.query_vars,
+                tuple(sorted(spec.selections.items())),
+                strategy,
+                heuristic,
+            )
+        cached = self._plan_cache.get(cache_key) if cache_key else None
+        if cached is not None:
+            from repro.plans.serialize import plan_from_dict
+
+            self.plan_cache_hits += 1
+            plan = plan_from_dict(cached["plan"])
+            optimization = OptimizationResult(
+                plan=plan,
+                cost=cached["cost"],
+                algorithm=cached["algorithm"] + "+cached",
+                planning_seconds=0.0,
+                plans_considered=0,
+            )
+        else:
+            optimization = optimizer.optimize(
+                spec, self.catalog, self.cost_model
+            )
+            if cache_key is not None:
+                from repro.plans.serialize import plan_to_dict
+
+                self._plan_cache[cache_key] = {
+                    "plan": plan_to_dict(optimization.plan),
+                    "cost": optimization.cost,
+                    "algorithm": optimization.algorithm,
+                }
+
+        executor = Executor(self.catalog, query.view.semiring, pool=self.pool)
+        result, stats = executor.run(optimization.plan)
+        result = query.finish(result).with_name(query.view.name)
+
+        linearity = None
+        if len(query.group_by) == 1:
+            linearity = linearity_test(self.catalog, query.group_by[0])
+        return QueryReport(
+            result=result,
+            query=query,
+            optimization=optimization,
+            exec_stats=stats,
+            semiring=query.view.semiring,
+            linearity=linearity,
+        )
+
+    def profile(
+        self, sql: str, strategy: str = "auto", **options
+    ):
+        """EXPLAIN ANALYZE: plan, execute, and break down per operator.
+
+        Returns an :class:`~repro.plans.profile.ExecutionProfile`; its
+        ``formatted()`` is the human-readable table.
+        """
+        from repro.plans.profile import profile_execution
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, SelectStatement):
+            raise QueryError("profile expects a select statement")
+        entry = self._views.get(statement.view)
+        if entry is None:
+            raise QueryError(f"unknown view {statement.view!r}")
+        semiring = _SEMIRINGS[(entry.multiplicative_op, statement.aggregate)]
+        view = MPFView(statement.view, entry.view_tables, semiring)
+        query = MPFQuery(
+            view, statement.group_by, dict(statement.selections)
+        )
+        spec = query.to_spec(self.catalog)
+        optimizer = self.make_optimizer(strategy, **options)
+        optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
+        return profile_execution(
+            optimization.plan, self.catalog, semiring, pool=self.pool
+        )
+
+    def explain_query(
+        self, sql_or_query, strategy: str = "auto", **options
+    ) -> str:
+        """Plan a query without executing it; returns the plan text."""
+        if isinstance(sql_or_query, str):
+            statement = parse_statement(sql_or_query)
+            if not isinstance(statement, SelectStatement):
+                raise QueryError("explain expects a select statement")
+            entry = self._views[statement.view]
+            semiring = _SEMIRINGS[
+                (entry.multiplicative_op, statement.aggregate)
+            ]
+            view = MPFView(statement.view, entry.view_tables, semiring)
+            query = MPFQuery(
+                view, statement.group_by, dict(statement.selections)
+            )
+        else:
+            query = sql_or_query
+        spec = query.to_spec(self.catalog)
+        optimizer = self.make_optimizer(strategy, **options)
+        optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
+        return explain(optimization.plan)
+
+    # ------------------------------------------------------------------
+    # Hypothetical queries (Section 3.1's alternate measure / domain)
+    # ------------------------------------------------------------------
+    def run_hypothetical(
+        self,
+        query: MPFQuery,
+        measure_updates: Mapping[str, tuple[Mapping[str, object], object]] | None = None,
+        domain_updates: Mapping[str, tuple[Mapping[str, object], Mapping[str, object]]] | None = None,
+        strategy: str = "auto",
+        **options,
+    ) -> QueryReport:
+        """Evaluate a query against hypothetically patched base tables.
+
+        ``measure_updates`` maps a base table to ``(row assignment, new
+        measure)`` — the *alternate measure* form ("what if part p1 was
+        a different price?").  ``domain_updates`` maps a base table to
+        ``(row assignment, {variable: new value})`` — the *alternate
+        domain* form ("what if c1's deal with t1 transferred to t2?").
+        The real catalog is untouched; the query runs against a
+        shadow catalog holding the patched relations.
+        """
+        from repro.algebra.hypothetical import alter_domain, alter_measure
+
+        measure_updates = dict(measure_updates or {})
+        domain_updates = dict(domain_updates or {})
+        for table in (*measure_updates, *domain_updates):
+            if table not in query.view.tables:
+                raise QueryError(
+                    f"hypothetical update on {table!r}, which is not a "
+                    f"base table of view {query.view.name!r}"
+                )
+
+        shadow = Catalog()
+        for table in query.view.tables:
+            relation = self.catalog.relation(table)
+            if table in measure_updates:
+                assignment, new_value = measure_updates[table]
+                relation = alter_measure(relation, assignment, new_value)
+            if table in domain_updates:
+                assignment, transfer = domain_updates[table]
+                relation = alter_domain(
+                    relation, assignment, transfer, query.view.semiring
+                )
+            shadow.register(relation, table)
+
+        spec = query.to_spec(shadow)
+        optimizer = self.make_optimizer(strategy, **options)
+        optimization = optimizer.optimize(spec, shadow, self.cost_model)
+        executor = Executor(shadow, query.view.semiring)
+        result, stats = executor.run(optimization.plan)
+        result = query.finish(result).with_name(query.view.name)
+        return QueryReport(
+            result=result,
+            query=query,
+            optimization=optimization,
+            exec_stats=stats,
+            semiring=query.view.semiring,
+        )
+
+    # ------------------------------------------------------------------
+    # Workload cache (Section 6)
+    # ------------------------------------------------------------------
+    def build_cache(
+        self, view_name: str, heuristic: str = "degree"
+    ) -> VECache:
+        """Build and remember a VE-cache for the named view."""
+        entry = self._views.get(view_name)
+        if entry is None:
+            raise QueryError(f"unknown view {view_name!r}")
+        semiring = _SEMIRINGS.get((entry.multiplicative_op, "sum"))
+        if semiring is None:
+            semiring = SUM_PRODUCT
+        relations = [self.catalog.relation(t) for t in entry.view_tables]
+        cache = build_ve_cache(relations, semiring, heuristic=heuristic)
+        self._caches[view_name] = cache
+        return cache
+
+    def cache_for(self, view_name: str) -> VECache:
+        try:
+            return self._caches[view_name]
+        except KeyError:
+            raise QueryError(
+                f"no cache built for view {view_name!r}; call build_cache()"
+            ) from None
+
+    def query_cached(
+        self,
+        view_name: str,
+        variable: str,
+        evidence: Mapping[str, object] | None = None,
+    ) -> FunctionalRelation:
+        """Answer a single-variable query from the view's VE-cache."""
+        cache = self.cache_for(view_name)
+        if evidence:
+            cache = cache.absorb_evidence(evidence)
+        return cache.answer(variable)

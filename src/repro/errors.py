@@ -1,0 +1,72 @@
+"""Exception hierarchy for the MPF query engine.
+
+All library errors derive from :class:`MPFError` so callers can catch a
+single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class MPFError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(MPFError):
+    """A relation, variable, or domain was used inconsistently.
+
+    Examples: joining relations whose shared variable names refer to
+    different domains, or building a relation with mismatched column
+    lengths.
+    """
+
+
+class FunctionalDependencyError(SchemaError):
+    """The defining FD ``A1...Am -> f`` of a functional relation is violated.
+
+    Raised when a relation contains two rows with identical variable
+    values but different measure values.
+    """
+
+
+class SemiringError(MPFError):
+    """A semiring operation is undefined or misused.
+
+    Most commonly: requesting division (needed by the update semijoin of
+    Definition 6) on a semiring that does not support it.
+    """
+
+
+class PlanError(MPFError):
+    """An evaluation plan is malformed or cannot be executed."""
+
+
+class OptimizationError(MPFError):
+    """The optimizer could not produce a plan for the given query."""
+
+
+class WorkloadError(MPFError):
+    """A workload-optimization precondition failed.
+
+    For example, running Belief Propagation directly on a cyclic schema,
+    which the paper shows double-counts measures (Figure 12).
+    """
+
+
+class AcyclicityError(WorkloadError):
+    """A schema required to be acyclic (junction-tree form) is not."""
+
+
+class QueryError(MPFError):
+    """An MPF query is malformed with respect to its view."""
+
+
+class ParseError(QueryError):
+    """The SQL-extension parser rejected the input text."""
+
+
+class CatalogError(MPFError):
+    """A catalog lookup failed (unknown table or variable)."""
+
+
+class StorageError(MPFError):
+    """The simulated storage layer was misused."""

@@ -1,0 +1,40 @@
+"""MPF single-query optimization algorithms (Section 5)."""
+
+from repro.optimizer.base import (
+    OptimizationResult,
+    Optimizer,
+    PlanContext,
+    QuerySpec,
+    SubPlan,
+)
+from repro.optimizer.cs import CSOptimizer
+from repro.optimizer.exhaustive import ExhaustiveGDL
+from repro.optimizer.csplus import CSPlusLinear, CSPlusNonlinear
+from repro.optimizer.heuristics import (
+    BASE_HEURISTICS,
+    choose_variable,
+    parse_heuristic,
+    score_candidates,
+)
+from repro.optimizer.linearity import LinearityTest, linearity_test
+from repro.optimizer.ve import VariableElimination, fd_prunable_variables
+
+__all__ = [
+    "QuerySpec",
+    "SubPlan",
+    "PlanContext",
+    "Optimizer",
+    "OptimizationResult",
+    "CSOptimizer",
+    "ExhaustiveGDL",
+    "CSPlusLinear",
+    "CSPlusNonlinear",
+    "VariableElimination",
+    "fd_prunable_variables",
+    "BASE_HEURISTICS",
+    "parse_heuristic",
+    "score_candidates",
+    "choose_variable",
+    "LinearityTest",
+    "linearity_test",
+]

@@ -1,0 +1,32 @@
+"""The CS baseline: Chaudhuri–Shim without the MPF extension.
+
+Section 5 of the paper: "As defined, the CS procedure cannot evaluate
+MPF queries efficiently.  It does not consider the distributivity of
+GroupBy and functional join nodes since it assumes that aggregates are
+computed on a single column; not on the result of a function of many
+columns.  The resulting evaluation plan would be the plan in Figure 3,
+which is the best plan without any GDL optimization."
+
+So the CS plan is: the best (Selinger left-deep) join order of the view
+relations with a single GroupBy at the root.  This is what an
+unmodified aggregate-aware optimizer produces for an MPF query, and the
+baseline every other algorithm is compared against (Section 7.4).
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.base import Optimizer, PlanContext, SubPlan
+from repro.optimizer.joinplan import linear_dp
+
+__all__ = ["CSOptimizer"]
+
+
+class CSOptimizer(Optimizer):
+    """Best join order + single root GroupBy (Figure 3 shape)."""
+
+    algorithm = "cs"
+
+    def _search(self, context: PlanContext) -> SubPlan:
+        leaves = [context.leaf(t) for t in context.spec.tables]
+        joined = linear_dp(leaves, context, use_groupbys=False)
+        return context.finalize(joined)

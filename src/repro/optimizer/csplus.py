@@ -1,0 +1,69 @@
+"""CS+ — the Chaudhuri–Shim extension for MPF queries (Algorithm 1).
+
+CS+ annotates joins as product joins, verifies the distributivity of
+the aggregate over them, and retains the semantic-correctness condition
+for interior GroupBys: group on query variables plus every variable in
+a join condition of a relation not yet joined.  The greedy-conservative
+rule compares, at each join step, the subplan with and without a
+GroupBy cap and keeps the cheaper — guaranteeing a plan no worse than
+the single-root-GroupBy plan.
+
+Two search spaces:
+
+* :class:`CSPlusLinear` — left-deep plans (Algorithm 1 as written);
+* :class:`CSPlusNonlinear` — the Section 5.1 extension: bushy dynamic
+  programming where each split compares four candidates (GroupBy on
+  neither / left / right / both operands).  Nonlinear plans can reduce
+  a join operand *before* it is joined, which linear plans cannot —
+  the advantage Figure 7 measures.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.base import Optimizer, PlanContext, SubPlan
+from repro.optimizer.joinplan import bushy_dp, linear_dp
+
+__all__ = ["CSPlusLinear", "CSPlusNonlinear"]
+
+
+class CSPlusLinear(Optimizer):
+    """Algorithm 1: linear CS+ with greedy-conservative GroupBy pushdown."""
+
+    algorithm = "cs+linear"
+
+    def _search(self, context: PlanContext) -> SubPlan:
+        leaves = [context.leaf(t) for t in context.spec.tables]
+        outside = frozenset(context.spec.query_vars)
+        joined = linear_dp(
+            leaves, context, outside_needed=outside, use_groupbys=True
+        )
+        return context.finalize(joined)
+
+
+class CSPlusNonlinear(Optimizer):
+    """Nonlinear CS+: bushy search with the four-candidate GroupBy rule.
+
+    Section 7.1 notes that "the nonlinear version of CS+ also considers
+    linear plans": because the greedy cap rule memoizes a single
+    subplan per relation subset, the bushy DP's local choices can, on
+    rare adversarial instances, lead it past the best *linear* plan —
+    so both searches run and the cheaper result is returned.  Table 2
+    uses this plan cost as the reference optimum of GDLPlan(CS+).
+    """
+
+    algorithm = "cs+nonlinear"
+
+    def _search(self, context: PlanContext) -> SubPlan:
+        leaves = [context.leaf(t) for t in context.spec.tables]
+        outside = frozenset(context.spec.query_vars)
+        bushy = context.finalize(
+            bushy_dp(
+                leaves, context, outside_needed=outside, use_groupbys=True
+            )
+        )
+        linear = context.finalize(
+            linear_dp(
+                leaves, context, outside_needed=outside, use_groupbys=True
+            )
+        )
+        return bushy if bushy.cost <= linear.cost else linear

@@ -1,0 +1,123 @@
+"""Exhaustive search of the GDL plan space (Definition 4).
+
+CS+ explores GDLPlan with a *greedy-conservative* local rule: at each
+join it costs at most four GroupBy-cap placements and keeps the
+cheapest, so (as the paper notes after Theorem 1) "there is no
+guarantee that the minimum cost plan for a query is contained in
+GDLPlan(CS+)".  This optimizer finds the true optimum of the full
+space by dynamic programming over *(relation subset, live variable
+set)* states:
+
+* a state ``(S, V)`` is the best plan joining exactly the relations in
+  ``S`` whose output schema is ``V``;
+* join transitions combine disjoint states;
+* GroupBy transitions move ``(S, V) → (S, W)`` for every ``W`` between
+  the semantically-required variables of ``S`` and ``V``.
+
+The state space is exponential in both the number of relations and the
+number of variables — this is a reference implementation for ablation
+studies on small views (N ≲ 6), quantifying how far the polynomially
+bounded heuristics land from the optimum.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import OptimizationError
+from repro.optimizer.base import Optimizer, PlanContext, SubPlan
+
+__all__ = ["ExhaustiveGDL"]
+
+_MAX_TABLES = 10
+_MAX_VARIABLES = 14
+
+
+class ExhaustiveGDL(Optimizer):
+    """True optimum of GDLPlan by (subset, live-variables) DP."""
+
+    algorithm = "exhaustive-gdl"
+
+    def _search(self, context: PlanContext) -> SubPlan:
+        spec = context.spec
+        tables = spec.tables
+        n = len(tables)
+        if n > _MAX_TABLES:
+            raise OptimizationError(
+                f"exhaustive search capped at {_MAX_TABLES} tables "
+                f"(got {n}); use CS+/VE for larger views"
+            )
+        leaves = [context.leaf(t) for t in tables]
+        leaf_vars = [leaf.variables for leaf in leaves]
+        all_vars = frozenset().union(*leaf_vars)
+        if len(all_vars) > _MAX_VARIABLES:
+            raise OptimizationError(
+                f"exhaustive search capped at {_MAX_VARIABLES} variables "
+                f"(got {len(all_vars)})"
+            )
+        query_vars = frozenset(spec.query_vars)
+        full = (1 << n) - 1
+
+        def needed(mask: int) -> frozenset[str]:
+            out = set(query_vars)
+            for i in range(n):
+                if not mask & (1 << i):
+                    out |= leaf_vars[i]
+            return frozenset(out)
+
+        # states[mask] : {live-variable frozenset: best SubPlan}
+        states: list[dict[frozenset[str], SubPlan]] = [
+            {} for _ in range(full + 1)
+        ]
+
+        def offer(mask: int, sub: SubPlan) -> bool:
+            key = sub.variables
+            best = states[mask].get(key)
+            if best is None or sub.cost < best.cost:
+                states[mask][key] = sub
+                return True
+            return False
+
+        def close_under_groupby(mask: int) -> None:
+            """Add every reachable GroupBy-reduced state of the mask."""
+            required = needed(mask)
+            frontier = list(states[mask].values())
+            while frontier:
+                sub = frontier.pop()
+                droppable = sorted(sub.variables - required)
+                keep_base = sub.variables & required
+                for r in range(len(droppable)):
+                    for kept_extra in combinations(droppable, r):
+                        target = frozenset(kept_extra) | keep_base
+                        if target == sub.variables:
+                            continue
+                        grouped = context.group(sub, sorted(target))
+                        if offer(mask, grouped):
+                            frontier.append(grouped)
+
+        for i, leaf in enumerate(leaves):
+            offer(1 << i, leaf)
+            close_under_groupby(1 << i)
+
+        masks_by_size: list[list[int]] = [[] for _ in range(n + 1)]
+        for mask in range(1, full + 1):
+            masks_by_size[mask.bit_count()].append(mask)
+
+        for size in range(2, n + 1):
+            for mask in masks_by_size[size]:
+                sub = (mask - 1) & mask
+                while sub:
+                    other = mask ^ sub
+                    if sub > other:
+                        for left in states[sub].values():
+                            for right in states[other].values():
+                                offer(mask, context.join(left, right))
+                    sub = (sub - 1) & mask
+                close_under_groupby(mask)
+
+        finals = [
+            context.finalize(sub) for sub in states[full].values()
+        ]
+        if not finals:
+            raise OptimizationError("no plan found (empty view?)")
+        return min(finals, key=lambda s: s.cost)

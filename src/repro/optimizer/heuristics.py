@@ -1,0 +1,182 @@
+"""Variable-ordering heuristics for VE (Section 5.5).
+
+Three base heuristics, their normalized-product combinations, and a
+random baseline.  All scores are *minimized*.
+
+* ``degree`` — estimates the size of the post-elimination relation
+  ``p`` of Algorithm 2's line 6: the cross product of the domains of
+  the variables of ``p`` that still matter — those shared with
+  relations outside ``rels(v)`` or in the query.  Greedily minimizes
+  the join operands higher in the tree, i.e. the cost of *future*
+  eliminations.  On the star view this famously backfires: the hub
+  variable's post-elimination relation shrinks to the query variable
+  alone (10 tuples), so degree eliminates the hub first — which joins
+  every base table with no GDL optimization at all (Table 2).
+
+* ``width`` — estimates the size of the *pre*-elimination relation
+  ``joinplan(rels(v, S))``: the cross product over the whole joined
+  scope including ``v``.  Estimates the cost of the *current*
+  elimination.
+
+* ``elim_cost`` — the paper's cost-based heuristic: ask the cost model
+  what eliminating ``v`` would cost.  Implemented, as in Section 7.3,
+  as an *overestimate*: a fixed linear join ordering over ``rels(v)``
+  (no join-order search) followed by the aggregate.
+
+* combinations (``degree+width``, ``degree+elim_cost``) — each
+  component normalized by the largest value among the current
+  candidates, then multiplied (footnote 1 of the paper).
+
+* ``random`` — uniform choice; the Table 3 baseline.
+
+Scoring operates on *live* variable scopes supplied by the caller: in
+the VE+ extended space, a variable already processed but whose physical
+elimination was delayed must not inflate its neighbors' scores, since
+pending GroupBy caps will drop it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cost.cardinality import group_stats, join_stats
+from repro.errors import OptimizationError
+from repro.optimizer.base import PlanContext, SubPlan
+
+__all__ = [
+    "BASE_HEURISTICS",
+    "Candidate",
+    "parse_heuristic",
+    "score_candidates",
+    "choose_variable",
+]
+
+BASE_HEURISTICS = ("degree", "width", "elim_cost", "random")
+
+
+@dataclass
+class Candidate:
+    """One elimination candidate with its precomputed scopes.
+
+    ``neighborhood`` is the union of *live* variables over ``rels``
+    (including the candidate itself); ``surviving`` is the subset of
+    the post-elimination scope that future operators still need (query
+    variables plus live variables of subplans outside ``rels``);
+    ``rels_live`` gives each rel's live variables, so cost estimates
+    can pre-shrink delayed subplans the way pending GroupBy caps will.
+    """
+
+    var: str
+    rels: list[SubPlan]
+    neighborhood: frozenset[str]
+    surviving: frozenset[str]
+    rels_live: list[frozenset[str]] | None = None
+
+
+def _domain_product(context: PlanContext, names) -> float:
+    size = 1.0
+    for v in names:
+        size *= context.catalog.variable(v).size
+    return size
+
+
+def _degree(candidate: Candidate, context: PlanContext) -> float:
+    scope = (candidate.neighborhood - {candidate.var}) & candidate.surviving
+    return _domain_product(context, scope)
+
+
+def _width(candidate: Candidate, context: PlanContext) -> float:
+    return _domain_product(context, candidate.neighborhood)
+
+
+def _elim_cost(candidate: Candidate, context: PlanContext) -> float:
+    """Fixed-order join chain + aggregate, costed by the active model.
+
+    Operand statistics are pre-shrunk to each rel's live scope: in the
+    extended space a delayed variable will be dropped by a pending
+    GroupBy cap before this join happens, so estimating with the raw
+    cardinality would systematically mis-rank candidates.
+    """
+    model = context.model
+    live = candidate.rels_live or [r.variables for r in candidate.rels]
+
+    def effective(subplan: SubPlan, live_vars: frozenset[str]):
+        if live_vars >= subplan.variables:
+            return subplan.stats
+        keep = [v for v in subplan.stats.var_sizes if v in live_vars]
+        return group_stats(subplan.stats, keep)
+
+    operands = [effective(r, lv) for r, lv in zip(candidate.rels, live)]
+    stats = operands[0]
+    cost = 0.0
+    for other in operands[1:]:
+        joined = join_stats(stats, other)
+        cost += model.join_cost(stats, other, joined)
+        stats = joined
+    keep = [
+        v
+        for v in stats.var_sizes
+        if v != candidate.var and v in candidate.surviving
+    ]
+    grouped = group_stats(stats, keep)
+    cost += model.group_cost(stats, grouped)
+    context.plans_considered += 1
+    return cost
+
+
+_SCORERS = {
+    "degree": _degree,
+    "width": _width,
+    "elim_cost": _elim_cost,
+}
+
+
+def parse_heuristic(spec: str) -> tuple[str, ...]:
+    """Split a spec like ``"degree+width"`` into validated components."""
+    parts = tuple(p.strip() for p in spec.split("+"))
+    for p in parts:
+        if p not in BASE_HEURISTICS:
+            raise OptimizationError(
+                f"unknown heuristic component {p!r}; known: {BASE_HEURISTICS}"
+            )
+    if "random" in parts and len(parts) > 1:
+        raise OptimizationError("'random' cannot be combined")
+    return parts
+
+
+def score_candidates(
+    candidates: Sequence[Candidate],
+    context: PlanContext,
+    parts: tuple[str, ...],
+) -> dict[str, float]:
+    """Combined (normalized-product) score per candidate variable."""
+    combined = {c.var: 1.0 for c in candidates}
+    for part in parts:
+        scorer = _SCORERS[part]
+        raw = {c.var: scorer(c, context) for c in candidates}
+        top = max(raw.values())
+        if top <= 0 or math.isinf(top):
+            top = 1.0
+        for v in combined:
+            combined[v] *= raw[v] / top
+    return combined
+
+
+def choose_variable(
+    candidates: Sequence[Candidate],
+    context: PlanContext,
+    parts: tuple[str, ...],
+    rng: np.random.Generator | None = None,
+) -> str:
+    """Pick the next variable to eliminate (ties broken by name)."""
+    if not candidates:
+        raise OptimizationError("no elimination candidates")
+    if parts == ("random",):
+        rng = rng or np.random.default_rng()
+        return str(rng.choice(sorted(c.var for c in candidates)))
+    scores = score_candidates(candidates, context, parts)
+    return min(sorted(scores), key=lambda v: scores[v])

@@ -1,0 +1,165 @@
+"""Join-order search: the ``joinplan()`` primitive of Algorithms 1 & 2.
+
+Two dynamic programs over bitmask-indexed relation subsets:
+
+* :func:`linear_dp` — Selinger-style left-deep search.  With
+  ``use_groupbys=False`` it is the plain best-join-order search the CS
+  baseline and plain VE use.  With ``use_groupbys=True`` it is the
+  CS+ transition of Algorithm 1: joining relation ``r_j`` to the best
+  plan for ``S_j`` compares the plan with and without a GroupBy capping
+  ``optPlan(S_j)``, grouping on the semantically-required variables,
+  and keeps the cheaper (the greedy-conservative heuristic).
+
+* :func:`bushy_dp` — the nonlinear CS+ search of Section 5.1: all
+  subset splits, and for each split the **four** candidates — no
+  GroupBy, GroupBy on the left operand, on the right operand, on both.
+
+``outside_needed`` carries the correctness condition across search
+scopes: when these DPs run over a subset of the view's relations (as
+VE/VE+ do per elimination), variables referenced by relations *outside*
+the subset, plus the query variables, must survive every interior
+GroupBy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import OptimizationError
+from repro.optimizer.base import PlanContext, SubPlan
+
+__all__ = ["linear_dp", "bushy_dp"]
+
+
+def _variables_of(items: Sequence[SubPlan], mask: int) -> frozenset[str]:
+    """Union of variables of the items selected by ``mask``."""
+    out: set[str] = set()
+    for i, item in enumerate(items):
+        if mask & (1 << i):
+            out |= item.variables
+    return frozenset(out)
+
+
+def linear_dp(
+    items: Sequence[SubPlan],
+    context: PlanContext,
+    outside_needed: frozenset[str] = frozenset(),
+    use_groupbys: bool = False,
+) -> SubPlan:
+    """Best left-deep plan joining all ``items``.
+
+    ``use_groupbys`` enables the CS+ interior-GroupBy comparison; the
+    returned plan is then guaranteed no more expensive than the best
+    pure join order (both candidates are always costed).
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        raise OptimizationError("joinplan over an empty relation set")
+    if n == 1:
+        return items[0]
+
+    full = (1 << n) - 1
+    # Cache of "variables outside mask" per mask complement.
+    dp: dict[int, SubPlan] = {1 << i: items[i] for i in range(n)}
+
+    # Iterate masks in increasing popcount so predecessors exist.
+    masks_by_size: list[list[int]] = [[] for _ in range(n + 1)]
+    for mask in range(1, full + 1):
+        masks_by_size[mask.bit_count()].append(mask)
+
+    for size in range(2, n + 1):
+        for mask in masks_by_size[size]:
+            best: SubPlan | None = None
+            for j in range(n):
+                bit = 1 << j
+                if not mask & bit:
+                    continue
+                prev_mask = mask ^ bit
+                prev = dp.get(prev_mask)
+                if prev is None:
+                    continue
+                q1 = context.join(prev, items[j])
+                candidate = q1
+                if use_groupbys:
+                    # Relations not yet joined into S_j: everything
+                    # outside prev_mask (r_j included), plus the query
+                    # variables / outside scope.
+                    needed = outside_needed | _variables_of(
+                        items, full ^ prev_mask
+                    )
+                    capped = context.group_if_useful(prev, needed)
+                    if capped is not None:
+                        q2 = context.join(capped, items[j])
+                        if q2.cost < candidate.cost:
+                            candidate = q2
+                if best is None or candidate.cost < best.cost:
+                    best = candidate
+            dp[mask] = best
+    return dp[full]
+
+
+def bushy_dp(
+    items: Sequence[SubPlan],
+    context: PlanContext,
+    outside_needed: frozenset[str] = frozenset(),
+    use_groupbys: bool = True,
+) -> SubPlan:
+    """Best bushy plan joining all ``items`` (nonlinear CS+).
+
+    For every unordered split {L, R} of every subset, costs up to four
+    candidates (GroupBy caps on neither / left / right / both operands)
+    and keeps the cheapest — the Section 5.1 extension of the CS+
+    greedy-conservative rule to nonlinear plans.
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        raise OptimizationError("joinplan over an empty relation set")
+    if n == 1:
+        return items[0]
+
+    full = (1 << n) - 1
+    dp: dict[int, SubPlan] = {1 << i: items[i] for i in range(n)}
+
+    masks_by_size: list[list[int]] = [[] for _ in range(n + 1)]
+    for mask in range(1, full + 1):
+        masks_by_size[mask.bit_count()].append(mask)
+
+    for size in range(2, n + 1):
+        for mask in masks_by_size[size]:
+            best: SubPlan | None = None
+            # Enumerate unordered splits: sub iterates proper nonempty
+            # submasks; keep sub > complement to visit each split once.
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub > other:
+                    left, right = dp[sub], dp[other]
+                    left_mask, right_mask = sub, other
+                    candidates = [context.join(left, right)]
+                    if use_groupbys:
+                        needed_left = outside_needed | _variables_of(
+                            items, full ^ left_mask
+                        )
+                        needed_right = outside_needed | _variables_of(
+                            items, full ^ right_mask
+                        )
+                        capped_left = context.group_if_useful(left, needed_left)
+                        capped_right = context.group_if_useful(
+                            right, needed_right
+                        )
+                        if capped_left is not None:
+                            candidates.append(context.join(capped_left, right))
+                        if capped_right is not None:
+                            candidates.append(context.join(left, capped_right))
+                        if capped_left is not None and capped_right is not None:
+                            candidates.append(
+                                context.join(capped_left, capped_right)
+                            )
+                    local = min(candidates, key=lambda s: s.cost)
+                    if best is None or local.cost < best.cost:
+                        best = local
+                sub = (sub - 1) & mask
+            dp[mask] = best
+    return dp[full]

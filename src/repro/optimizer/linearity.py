@@ -1,0 +1,72 @@
+"""The plan-linearity admissibility test (Section 5.1, Eq. 1).
+
+For an MPF query on variable ``X``, let ``σ_X`` be the domain size of
+``X`` and ``σ̂_X`` the cardinality of the smallest base relation
+containing ``X`` — both catalog statistics.  Under the simple cost
+model (join |R||S|, aggregate |R| log |R|), a **linear plan is
+admissible** when
+
+    σ_X² + σ̂_X · log₂(σ̂_X)  ≥  σ_X · σ̂_X            (Eq. 1)
+
+Intuition: a linear plan must join the smallest X-relation (size σ̂_X)
+against an intermediate already reduced to σ_X rows, costing
+σ_X · σ̂_X; a nonlinear plan can first reduce that relation itself to
+σ_X rows (aggregate cost σ̂_X log σ̂_X) and then join two σ_X-sized
+operands (cost σ_X²).  When the inequality fails, nonlinear plans are
+predicted to win — Figure 7's Q1 (σ_cid=1000 < σ̂_cid=5000, fails)
+versus Q2 (σ_tid = σ̂_tid = 500, holds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+
+__all__ = ["LinearityTest", "linearity_test"]
+
+
+@dataclass(frozen=True)
+class LinearityTest:
+    """Outcome of Eq. 1 for one query variable."""
+
+    variable: str
+    sigma: float
+    """Domain size σ_X of the query variable."""
+    sigma_hat: float
+    """Cardinality σ̂_X of the smallest base relation containing X."""
+    linear_admissible: bool
+    """True when Eq. 1 holds: a linear plan suffices."""
+
+    @property
+    def lhs(self) -> float:
+        return self.sigma**2 + self.sigma_hat * math.log2(max(self.sigma_hat, 2.0))
+
+    @property
+    def rhs(self) -> float:
+        return self.sigma * self.sigma_hat
+
+    def __str__(self) -> str:
+        verdict = "linear admissible" if self.linear_admissible else (
+            "nonlinear plans recommended"
+        )
+        return (
+            f"X={self.variable}: σ={self.sigma:.0f}, σ̂={self.sigma_hat:.0f} → "
+            f"{self.lhs:.3g} {'≥' if self.linear_admissible else '<'} "
+            f"{self.rhs:.3g} ({verdict})"
+        )
+
+
+def linearity_test(catalog: Catalog, var_name: str) -> LinearityTest:
+    """Apply Eq. 1 to a query variable using catalog statistics."""
+    sigma = float(catalog.variable(var_name).size)
+    sigma_hat = float(catalog.smallest_table_with_variable(var_name).cardinality)
+    lhs = sigma**2 + sigma_hat * math.log2(max(sigma_hat, 2.0))
+    rhs = sigma * sigma_hat
+    return LinearityTest(
+        variable=var_name,
+        sigma=sigma,
+        sigma_hat=sigma_hat,
+        linear_admissible=lhs >= rhs,
+    )

@@ -1,0 +1,230 @@
+"""Variable Elimination as a relational optimizer (Algorithm 2, §5.4).
+
+Plain VE eliminates one non-query variable at a time: product-join all
+relations containing it (``rels(v, S)``), then GroupBy the result down
+to the variables future operators still need — the query variables and
+those shared with the remaining relations (grouping on anything more
+would just carry dead columns; grouping on anything less would be
+incorrect by the Chaudhuri–Shim condition).  The elimination order
+comes from a heuristic (:mod:`repro.optimizer.heuristics`); VE plans
+are naturally nonlinear because each elimination produces a subtree
+that later joins other subtrees.
+
+The **extended space** (VE+, Section 5.4) adds two cost-based ideas
+borrowed from CS+:
+
+1. ``joinplan`` over ``rels(v)`` uses the greedy-conservative interior
+   GroupBy rule of Algorithm 1, with the needed-variable set computed
+   *globally* (query variables plus variables of every relation outside
+   ``rels(v)``) — interior GroupBys may therefore eliminate other
+   locally-finished variables early;
+2. elimination is *delayed*: no GroupBy is forced after the last join.
+   The variable disappears when some later GroupBy cap (considered
+   before every subsequent join, or the root GroupBy) finds dropping
+   it worthwhile.
+
+Heuristic scores in extended mode are computed over *live* scopes —
+processed-but-delayed variables are ignored, since pending caps will
+drop them — so delaying never degrades the elimination order.
+Together these give ``GDLPlan(VE) ⊂ GDLPlan(VE+) ⊂ GDLPlan(CS+)``
+(Theorem 3).
+
+Proposition 1 (FD-based pruning) is exposed via
+:func:`fd_prunable_variables`: when base relations declare keys, a
+variable outside every key can be dropped by mere projection; VE
+eliminates such variables first since their elimination carries no
+aggregation cost risk.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.optimizer.base import Optimizer, PlanContext, SubPlan
+from repro.optimizer.heuristics import Candidate, choose_variable, parse_heuristic
+from repro.optimizer.joinplan import linear_dp
+
+__all__ = ["VariableElimination", "fd_prunable_variables"]
+
+
+def fd_prunable_variables(
+    table_vars: Mapping[str, Sequence[str]],
+    table_keys: Mapping[str, Sequence[str]],
+) -> frozenset[str]:
+    """Variables whose elimination is a projection (Proposition 1).
+
+    A variable ``Y`` qualifies when, for every base relation, the FD
+    ``X_i -> f`` holds with ``Y ∉ X_i`` — i.e. ``Y`` appears in no
+    relation's declared key.  Relations without a declared key default
+    to the maximal FD (all variables are determining), which disables
+    pruning for their variables.
+    """
+    determining: set[str] = set()
+    for table, variables in table_vars.items():
+        key = table_keys.get(table)
+        determining |= set(key if key is not None else variables)
+    all_vars = set().union(*map(set, table_vars.values())) if table_vars else set()
+    return frozenset(all_vars - determining)
+
+
+class VariableElimination(Optimizer):
+    """Algorithm 2 with pluggable ordering heuristics and the VE+ space.
+
+    Parameters
+    ----------
+    heuristic:
+        ``"degree"``, ``"width"``, ``"elim_cost"``, ``"random"``, or a
+        ``+``-combination such as ``"degree+width"`` (Section 5.5).
+    extended:
+        Enable the VE+ extended plan space (Section 5.4).
+    seed:
+        Seed for the ``random`` heuristic.
+    table_keys:
+        Optional ``{table: key variables}`` declarations enabling the
+        Proposition 1 projection-based pruning.
+    """
+
+    def __init__(
+        self,
+        heuristic: str = "degree",
+        extended: bool = False,
+        seed: int | None = None,
+        table_keys: Mapping[str, Sequence[str]] | None = None,
+    ):
+        self.heuristic = heuristic
+        self.parts = parse_heuristic(heuristic)
+        self.extended = extended
+        self.seed = seed
+        self.table_keys = dict(table_keys or {})
+        self._elimination_order: list[str] = []
+
+    @property
+    def algorithm(self) -> str:
+        suffix = "+ext" if self.extended else ""
+        return f"ve({self.heuristic}){suffix}"
+
+    def _extras(self) -> dict:
+        return {"elimination_order": tuple(self._elimination_order)}
+
+    # ------------------------------------------------------------------
+    def _candidates(
+        self,
+        names: Sequence[str],
+        subplans: list[SubPlan],
+        processed: frozenset[str],
+        query_vars: frozenset[str],
+    ) -> list[Candidate]:
+        """Build scoring scopes; live scopes exclude delayed variables."""
+        live_of = [s.variables - processed for s in subplans]
+        out: list[Candidate] = []
+        for v in names:
+            rels = []
+            rels_live = []
+            neighborhood: set[str] = set()
+            outside: set[str] = set(query_vars)
+            for s, live in zip(subplans, live_of):
+                if v in live:
+                    rels.append(s)
+                    rels_live.append(frozenset(live))
+                    neighborhood |= live
+                else:
+                    outside |= live
+            if not rels:
+                continue
+            out.append(
+                Candidate(
+                    var=v,
+                    rels=rels,
+                    neighborhood=frozenset(neighborhood),
+                    surviving=frozenset(outside),
+                    rels_live=rels_live,
+                )
+            )
+        return out
+
+    def _search(self, context: PlanContext) -> SubPlan:
+        if not self.extended:
+            return self._search_mode(context, extended=False)
+        # Theorem 3's practical guarantee — VE+ returns a plan no worse
+        # than plain VE with the same heuristic — is enforced directly:
+        # both searches are cheap, so cost the delayed-elimination plan
+        # *and* the plain plan and keep the cheaper.
+        delayed = self._search_mode(context, extended=True)
+        delayed_order = self._elimination_order
+        plain = self._search_mode(context, extended=False)
+        if delayed.cost <= plain.cost:
+            self._elimination_order = delayed_order
+            return delayed
+        return plain
+
+    def _search_mode(self, context: PlanContext, extended: bool) -> SubPlan:
+        spec = context.spec
+        rng = np.random.default_rng(self.seed)
+        self._elimination_order = []
+
+        subplans: list[SubPlan] = [context.leaf(t) for t in spec.tables]
+        query_vars = frozenset(spec.query_vars)
+        present = set().union(*(s.variables for s in subplans))
+        remaining = sorted(present - query_vars)
+        processed: frozenset[str] = frozenset()
+
+        prunable = fd_prunable_variables(
+            {t: tuple(context.table_variables(t)) for t in spec.tables},
+            self.table_keys,
+        )
+
+        while remaining:
+            candidates = self._candidates(
+                remaining, subplans, processed, query_vars
+            )
+            if not candidates:
+                break
+            # Proposition 1: projection-prunable variables are free —
+            # eliminate them first regardless of the heuristic.
+            free = [c for c in candidates if c.var in prunable]
+            pool = free or candidates
+            v = choose_variable(pool, context, self.parts, rng)
+            self._elimination_order.append(v)
+            chosen = next(c for c in pool if c.var == v)
+            rels = chosen.rels
+            rel_ids = {id(s) for s in rels}
+            others = [s for s in subplans if id(s) not in rel_ids]
+
+            if extended:
+                outside = query_vars.union(*(s.variables for s in others)) \
+                    if others else query_vars
+                p = linear_dp(
+                    rels, context, outside_needed=outside, use_groupbys=True
+                )
+            else:
+                joined = linear_dp(rels, context, use_groupbys=False)
+                needed = set(query_vars)
+                for s in others:
+                    needed |= s.variables
+                keep = [
+                    x for x in joined.stats.var_sizes
+                    if x != v and x in needed
+                ]
+                p = context.group(joined, keep)
+
+            subplans = others + [p]
+            processed = processed | {v}
+            # The GroupBy may have dropped additional locally-finished
+            # variables; anything no longer live anywhere is done.
+            still_live = set().union(
+                *((s.variables - processed) for s in subplans)
+            )
+            remaining = [x for x in remaining if x != v and x in still_live]
+
+        if len(subplans) > 1:
+            final = linear_dp(
+                subplans,
+                context,
+                outside_needed=query_vars,
+                use_groupbys=extended,
+            )
+        else:
+            final = subplans[0]
+        return context.finalize(final)

@@ -1,0 +1,34 @@
+"""Evaluation plans: nodes, costing annotations, printing, execution."""
+
+from repro.plans.annotate import annotate, plan_cost
+from repro.plans.executor import Executor, execute
+from repro.plans.nodes import GroupBy, IndexScan, PlanNode, ProductJoin, Scan, Select
+from repro.plans.printer import explain
+from repro.plans.profile import ExecutionProfile, OperatorProfile, profile_execution
+from repro.plans.serialize import (
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+)
+
+__all__ = [
+    "PlanNode",
+    "Scan",
+    "IndexScan",
+    "Select",
+    "ProductJoin",
+    "GroupBy",
+    "annotate",
+    "plan_cost",
+    "explain",
+    "Executor",
+    "execute",
+    "profile_execution",
+    "ExecutionProfile",
+    "OperatorProfile",
+    "plan_to_dict",
+    "plan_from_dict",
+    "plan_to_json",
+    "plan_from_json",
+]

@@ -1,0 +1,198 @@
+"""Evaluation-plan trees.
+
+A plan is a tree of Scan / Select / ProductJoin / GroupBy nodes — the
+node vocabulary of the GDL plan space (Definition 4): inner nodes are
+product joins or GroupBys, and every plan is equivalent to the naive
+plan with only joins and a single GroupBy at the root.
+
+Nodes are structural; estimated statistics and costs are attached by
+:func:`repro.plans.annotate.annotate` so the same tree can be re-costed
+under different cost models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.catalog.statistics import TableStats
+from repro.errors import PlanError
+
+__all__ = ["PlanNode", "Scan", "IndexScan", "Select", "ProductJoin", "GroupBy"]
+
+
+class PlanNode:
+    """Base plan node with optimizer annotations."""
+
+    __slots__ = ("stats", "op_cost", "total_cost")
+
+    def __init__(self):
+        self.stats: TableStats | None = None
+        self.op_cost: float | None = None
+        self.total_cost: float | None = None
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Tree utilities
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def base_tables(self) -> tuple[str, ...]:
+        """Names of all scanned base tables, left to right."""
+        return tuple(
+            node.table
+            for node in self.walk()
+            if isinstance(node, (Scan, IndexScan))
+        )
+
+    def count_nodes(self, node_type=None) -> int:
+        return sum(
+            1
+            for node in self.walk()
+            if node_type is None or isinstance(node, node_type)
+        )
+
+    def is_linear(self) -> bool:
+        """Left-deep check: every join's right input contains one scan.
+
+        The paper's linear plans join one base relation at a time
+        (possibly through Select/GroupBy wrappers); nonlinear (bushy)
+        plans may join two composite subplans (Section 5.1).
+        """
+        for node in self.walk():
+            if isinstance(node, ProductJoin):
+                if len(node.right.base_tables()) != 1:
+                    return False
+        return True
+
+    def output_variables(self) -> tuple[str, ...]:
+        """Variables of the node's result (requires annotation or scans)."""
+        if self.stats is not None:
+            return self.stats.variables
+        raise PlanError("plan not annotated; call annotate() first")
+
+    def __repr__(self) -> str:
+        from repro.plans.printer import explain
+
+        return explain(self)
+
+
+class Scan(PlanNode):
+    """Sequential scan of a named base relation."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table: str):
+        super().__init__()
+        self.table = table
+
+    def label(self) -> str:
+        return f"Scan({self.table})"
+
+
+class IndexScan(PlanNode):
+    """Equality access via a hash index: probe instead of scan.
+
+    ``predicate`` must be a single-variable equality on an indexed
+    variable of the base relation; the optimizer only emits this node
+    when the catalog holds a matching index and the cost model favors
+    the probe over Select(Scan).
+    """
+
+    __slots__ = ("table", "predicate")
+
+    def __init__(self, table: str, predicate: Mapping[str, object]):
+        super().__init__()
+        if len(predicate) != 1:
+            raise PlanError(
+                "IndexScan takes exactly one equality predicate"
+            )
+        self.table = table
+        self.predicate = dict(predicate)
+
+    @property
+    def variable(self) -> str:
+        return next(iter(self.predicate))
+
+    def label(self) -> str:
+        (var_name, value), = self.predicate.items()
+        return f"IndexScan({self.table}, {var_name}={value})"
+
+
+class Select(PlanNode):
+    """Equality selection ``{variable: value}`` on a child plan."""
+
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: PlanNode, predicate: Mapping[str, object]):
+        super().__init__()
+        if not predicate:
+            raise PlanError("Select requires a non-empty predicate")
+        self.child = child
+        self.predicate = dict(predicate)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        preds = ", ".join(f"{k}={v}" for k, v in self.predicate.items())
+        return f"Select({preds})"
+
+
+class ProductJoin(PlanNode):
+    """Product join ``left ⋈* right`` (Definition 2).
+
+    ``method`` names the physical algorithm ("hash" or "sort_merge");
+    the default matches the executor's hash join, and
+    :func:`repro.plans.annotate.annotate` can re-choose it per the
+    cost model (``choose_methods=True``).
+    """
+
+    __slots__ = ("left", "right", "method")
+
+    JOIN_METHODS = ("hash", "sort_merge")
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 method: str = "hash"):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.method = method
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        suffix = "" if self.method == "hash" else f" [{self.method}]"
+        return f"ProductJoin{suffix}"
+
+
+class GroupBy(PlanNode):
+    """GroupBy on the named variables, aggregating with the semiring.
+
+    ``method`` is "sort" (n log n) or "hash" (linear, memory-bound).
+    """
+
+    __slots__ = ("child", "group_names", "method")
+
+    GROUP_METHODS = ("sort", "hash")
+
+    def __init__(self, child: PlanNode, group_names, method: str = "sort"):
+        super().__init__()
+        self.child = child
+        self.group_names = tuple(group_names)
+        self.method = method
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"GroupBy({', '.join(self.group_names) or '∅'})"

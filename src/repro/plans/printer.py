@@ -1,0 +1,43 @@
+"""EXPLAIN-style rendering of plan trees.
+
+Produces ASCII trees in the spirit of the paper's Figures 3-5, with
+estimated cardinalities and costs when the plan has been annotated:
+
+    GroupBy(wid)  [card=5000, cost=2.1e+09]
+      ProductJoin  [card=...]
+        Scan(location)
+        ...
+"""
+
+from __future__ import annotations
+
+from repro.plans.nodes import PlanNode
+
+__all__ = ["explain"]
+
+
+def _format_number(x: float) -> str:
+    if x >= 1e6 or (0 < x < 1e-2):
+        return f"{x:.3g}"
+    if x == int(x):
+        return str(int(x))
+    return f"{x:.2f}"
+
+
+def explain(plan: PlanNode, indent: str = "  ") -> str:
+    """Render the plan as an indented ASCII tree."""
+    lines: list[str] = []
+
+    def visit(node: PlanNode, depth: int) -> None:
+        annotation = ""
+        if node.stats is not None:
+            annotation = f"  [card={_format_number(node.stats.cardinality)}"
+            if node.total_cost is not None:
+                annotation += f", cost={_format_number(node.total_cost)}"
+            annotation += "]"
+        lines.append(f"{indent * depth}{node.label()}{annotation}")
+        for child in node.children():
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""MPF views, queries, and the SQL-extension parser."""
+
+from repro.query.parser import (
+    CreateIndexStatement,
+    CreateViewStatement,
+    SelectStatement,
+    parse_create_mpfview,
+    parse_select,
+    parse_statement,
+)
+from repro.query.query import HavingClause, MPFQuery
+from repro.query.view import MPFView
+
+__all__ = [
+    "MPFView",
+    "MPFQuery",
+    "HavingClause",
+    "CreateViewStatement",
+    "CreateIndexStatement",
+    "SelectStatement",
+    "parse_statement",
+    "parse_create_mpfview",
+    "parse_select",
+]

@@ -1,0 +1,354 @@
+"""Parser for the paper's SQL extension (Sections 2 & 3.1).
+
+Two statement forms:
+
+* the view definition::
+
+      create mpfview invest as
+        (select pid, sid, wid, cid, tid,
+                measure = (* contracts.price, warehouses.w_factor,
+                             transporters.t_overhead, location.quantity,
+                             ctdeals.ct_discount)
+         from contracts, warehouses, transporters, location, ctdeals
+         where contracts.pid = location.pid and
+               location.wid = warehouses.wid and
+               warehouses.cid = ctdeals.cid and
+               ctdeals.tid = transporters.tid)
+
+  The multiplicative operation (``*``, ``+``, or ``and``) heads the
+  measure list, per the paper's proposed syntax.  Join predicates are
+  natural joins on shared variable names; the ``where`` clause is
+  validated against that convention.
+
+* the MPF query::
+
+      select wid, sum(inv) from invest where tid = 1
+      group by wid having f < 100
+
+  The aggregate names the semiring's additive operation (``sum``,
+  ``min``, ``max``, ``or``); combined with the view's multiplicative
+  operation it selects the semiring.  ``where`` equality predicates
+  become restricted-answer / constrained-domain selections; ``having``
+  is the constrained-range form.
+
+The grammar is deliberately small — exactly what the paper's examples
+need — but errors carry positions so typos are findable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ParseError
+
+__all__ = [
+    "CreateViewStatement",
+    "CreateIndexStatement",
+    "SelectStatement",
+    "parse_statement",
+    "parse_create_mpfview",
+    "parse_create_index",
+    "parse_select",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)?)
+  | (?P<op><=|>=|!=|==|[(),=*+<>])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "create", "mpfview", "as", "select", "from", "where", "group",
+    "by", "having", "and", "measure", "index", "on",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "ident", "number", "op", "keyword"
+    text: str
+    pos: int
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {sql[pos]!r} at position {pos}"
+            )
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        kind = match.lastgroup
+        if kind == "ident" and text.lower() in _KEYWORDS:
+            kind, text = "keyword", text.lower()
+        tokens.append(_Token(kind, text, match.start()))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.index = 0
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input: {self.sql!r}")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r} at position {token.pos}, got "
+                f"{token.text!r}"
+            )
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self.peek()
+        if (
+            token is not None
+            and token.kind == kind
+            and (text is None or token.text == text)
+        ):
+            self.index += 1
+            return token
+        return None
+
+    def done(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+# ----------------------------------------------------------------------
+# Statement dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CreateViewStatement:
+    """Parsed ``create mpfview`` statement."""
+
+    name: str
+    variables: tuple[str, ...]
+    multiplicative_op: str  # "*", "+", or "and"
+    measure_refs: tuple[str, ...]  # e.g. ("contracts.price", ...)
+    tables: tuple[str, ...]
+    join_predicates: tuple[tuple[str, str], ...] = ()
+    """Pairs of dotted column references equated in the where clause."""
+
+
+@dataclass(frozen=True)
+class CreateIndexStatement:
+    """Parsed ``create index on table(variable)`` statement."""
+
+    table: str
+    variable: str
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """Parsed MPF ``select`` query."""
+
+    view: str
+    group_by: tuple[str, ...]
+    aggregate: str  # "sum", "min", "max", "or", "count"
+    measure_ref: str
+    selections: Mapping[str, float] = field(default_factory=dict)
+    having: tuple[str, float] | None = None
+
+
+# ----------------------------------------------------------------------
+# Grammar
+# ----------------------------------------------------------------------
+def _ident_list(cursor: _Cursor) -> list[str]:
+    names = [cursor.expect("ident").text]
+    while cursor.accept("op", ","):
+        names.append(cursor.expect("ident").text)
+    return names
+
+
+def parse_create_mpfview(sql: str) -> CreateViewStatement:
+    """Parse a ``create mpfview`` statement."""
+    cursor = _Cursor(sql)
+    cursor.expect("keyword", "create")
+    cursor.expect("keyword", "mpfview")
+    name = cursor.expect("ident").text
+    cursor.expect("keyword", "as")
+    cursor.expect("op", "(")
+    cursor.expect("keyword", "select")
+
+    variables: list[str] = []
+    while True:
+        if cursor.accept("keyword", "measure"):
+            break
+        variables.append(cursor.expect("ident").text)
+        cursor.expect("op", ",")
+    cursor.expect("op", "=")
+    cursor.expect("op", "(")
+    op_token = cursor.next()
+    if op_token.text not in ("*", "+") and not (
+        op_token.kind == "keyword" and op_token.text == "and"
+    ):
+        raise ParseError(
+            f"expected multiplicative op (*, + or and) at position "
+            f"{op_token.pos}, got {op_token.text!r}"
+        )
+    measure_refs = _ident_list(cursor)
+    cursor.expect("op", ")")
+    cursor.expect("keyword", "from")
+    tables = _ident_list(cursor)
+
+    predicates: list[tuple[str, str]] = []
+    if cursor.accept("keyword", "where"):
+        while True:
+            left = cursor.expect("ident").text
+            cursor.expect("op", "=")
+            right = cursor.expect("ident").text
+            predicates.append((left, right))
+            if not cursor.accept("keyword", "and"):
+                break
+    cursor.expect("op", ")")
+    if not cursor.done():
+        stray = cursor.peek()
+        raise ParseError(
+            f"trailing input at position {stray.pos}: {stray.text!r}"
+        )
+    return CreateViewStatement(
+        name=name,
+        variables=tuple(variables),
+        multiplicative_op=op_token.text,
+        measure_refs=tuple(measure_refs),
+        tables=tuple(tables),
+        join_predicates=tuple(predicates),
+    )
+
+
+_AGGREGATES = ("sum", "min", "max", "or", "count")
+_HAVING_OPS = ("<", "<=", ">", ">=", "=", "==", "!=")
+
+
+def parse_create_index(sql: str) -> CreateIndexStatement:
+    """Parse ``create index on <table> ( <variable> )``."""
+    cursor = _Cursor(sql)
+    cursor.expect("keyword", "create")
+    cursor.expect("keyword", "index")
+    cursor.expect("keyword", "on")
+    table = cursor.expect("ident").text
+    cursor.expect("op", "(")
+    variable = cursor.expect("ident").text
+    cursor.expect("op", ")")
+    if not cursor.done():
+        stray = cursor.peek()
+        raise ParseError(
+            f"trailing input at position {stray.pos}: {stray.text!r}"
+        )
+    return CreateIndexStatement(table=table, variable=variable)
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse an MPF ``select`` query."""
+    cursor = _Cursor(sql)
+    cursor.expect("keyword", "select")
+
+    group_by_head: list[str] = []
+    aggregate = None
+    measure_ref = None
+    while True:
+        token = cursor.expect("ident")
+        if cursor.accept("op", "("):
+            if token.text.lower() not in _AGGREGATES:
+                raise ParseError(
+                    f"unknown aggregate {token.text!r} at position "
+                    f"{token.pos}; expected one of {_AGGREGATES}"
+                )
+            aggregate = token.text.lower()
+            measure_ref = cursor.expect("ident").text
+            cursor.expect("op", ")")
+            break
+        group_by_head.append(token.text)
+        cursor.expect("op", ",")
+
+    cursor.expect("keyword", "from")
+    view = cursor.expect("ident").text
+
+    selections: dict[str, float] = {}
+    if cursor.accept("keyword", "where"):
+        while True:
+            var_name = cursor.expect("ident").text
+            cursor.expect("op", "=")
+            value = cursor.expect("number").text
+            selections[var_name] = float(value) if "." in value else int(value)
+            if not cursor.accept("keyword", "and"):
+                break
+
+    group_by: list[str] = []
+    if cursor.accept("keyword", "group"):
+        cursor.expect("keyword", "by")
+        group_by = _ident_list(cursor)
+
+    having = None
+    if cursor.accept("keyword", "having"):
+        cursor.expect("ident")  # the measure name, e.g. f or inv
+        op_token = cursor.next()
+        if op_token.text not in _HAVING_OPS:
+            raise ParseError(
+                f"expected comparison operator at position {op_token.pos}, "
+                f"got {op_token.text!r}"
+            )
+        value = cursor.expect("number").text
+        having = (op_token.text, float(value))
+
+    if not cursor.done():
+        stray = cursor.peek()
+        raise ParseError(
+            f"trailing input at position {stray.pos}: {stray.text!r}"
+        )
+    if group_by and group_by_head and group_by != group_by_head:
+        raise ParseError(
+            f"select list {group_by_head} disagrees with group by "
+            f"{group_by}"
+        )
+    return SelectStatement(
+        view=view,
+        group_by=tuple(group_by or group_by_head),
+        aggregate=aggregate,
+        measure_ref=measure_ref,
+        selections=selections,
+        having=having,
+    )
+
+
+def parse_statement(
+    sql: str,
+) -> CreateViewStatement | CreateIndexStatement | SelectStatement:
+    """Dispatch on the statement's leading keywords."""
+    stripped = sql.strip().lower()
+    if stripped.startswith("create"):
+        rest = stripped[len("create"):].lstrip()
+        if rest.startswith("index"):
+            return parse_create_index(sql)
+        return parse_create_mpfview(sql)
+    if stripped.startswith("select"):
+        return parse_select(sql)
+    raise ParseError(
+        "statement must start with 'create mpfview', 'create index', "
+        "or 'select'"
+    )

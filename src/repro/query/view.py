@@ -1,0 +1,69 @@
+"""MPF view definitions (the ``create mpfview`` extension, Section 2).
+
+An :class:`MPFView` names the product join of a set of base functional
+relations together with the semiring that interprets their measures:
+
+    create mpfview invest as
+      (select pid, sid, wid, cid, tid,
+              measure = (* c.price, w.w_factor, t.t_overhead,
+                           l.quantity, ct.ct_discount)
+       from contracts c, warehouses w, transporters t,
+            location l, ctdeals ct
+       where ...)
+
+The view is *virtual*: queries against it are rewritten over the base
+relations and optimized (the paper's second evaluation option);
+:meth:`MPFView.materialize` exists for oracle comparisons and for the
+materialized-cache path of Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+
+from repro.algebra.join import product_join
+from repro.catalog.catalog import Catalog
+from repro.data.relation import FunctionalRelation
+from repro.errors import QueryError
+from repro.semiring.base import Semiring
+from repro.semiring.builtins import by_name
+
+__all__ = ["MPFView"]
+
+
+@dataclass(frozen=True)
+class MPFView:
+    """A named product join of base functional relations."""
+
+    name: str
+    tables: tuple[str, ...]
+    semiring: Semiring = field(default_factory=lambda: by_name("sum_product"))
+
+    def __post_init__(self):
+        if not self.tables:
+            raise QueryError(f"view {self.name!r} has no base tables")
+        if len(set(self.tables)) != len(self.tables):
+            raise QueryError(f"view {self.name!r} repeats a base table")
+
+    def variables(self, catalog: Catalog) -> tuple[str, ...]:
+        """Union of base-relation variables, first-seen order."""
+        seen: list[str] = []
+        for t in self.tables:
+            for v in catalog.stats(t).variables:
+                if v not in seen:
+                    seen.append(v)
+        return tuple(seen)
+
+    def materialize(self, catalog: Catalog) -> FunctionalRelation:
+        """Compute the full view relation (oracle / small inputs)."""
+        relations = [catalog.relation(t) for t in self.tables]
+        return reduce(
+            lambda a, b: product_join(a, b, self.semiring), relations
+        ).with_name(self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"MPFView({self.name!r}, tables={list(self.tables)}, "
+            f"semiring={self.semiring.name})"
+        )

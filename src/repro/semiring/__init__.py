@@ -1,0 +1,29 @@
+"""Commutative semirings for MPF measures (Section 2 of the paper)."""
+
+from repro.semiring.base import Semiring
+from repro.semiring.builtins import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    COUNTING,
+    LOG_PROB,
+    MAX_PRODUCT,
+    MAX_SUM,
+    MIN_PRODUCT,
+    MIN_SUM,
+    SUM_PRODUCT,
+    by_name,
+)
+
+__all__ = [
+    "Semiring",
+    "SUM_PRODUCT",
+    "MIN_SUM",
+    "MAX_SUM",
+    "MIN_PRODUCT",
+    "MAX_PRODUCT",
+    "BOOLEAN",
+    "COUNTING",
+    "LOG_PROB",
+    "ALL_SEMIRINGS",
+    "by_name",
+]

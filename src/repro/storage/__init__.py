@@ -1,0 +1,17 @@
+"""Simulated paged storage: the disk-resident substrate of the paper."""
+
+from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.heapfile import HeapFile, TempFileAllocator
+from repro.storage.iostats import IOStats
+from repro.storage.page import DEFAULT_PAGE_SIZE, PageGeometry, PageId
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_POOL_PAGES",
+    "HeapFile",
+    "TempFileAllocator",
+    "IOStats",
+    "PageGeometry",
+    "PageId",
+    "DEFAULT_PAGE_SIZE",
+]

@@ -1,0 +1,65 @@
+"""An LRU buffer pool over simulated pages.
+
+Mirrors the role of the PostgreSQL shared buffer cache in the paper's
+testbed: repeated scans of a small relation hit the cache, scans of
+relations larger than memory pay IO every time.  Only accounting flows
+through here; page payloads are never materialized.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import StorageError
+from repro.storage.iostats import IOStats
+from repro.storage.page import PageId
+
+__all__ = ["BufferPool", "DEFAULT_POOL_PAGES"]
+
+# Default pool: 64 MB of 8 KB pages, a plausible 2006 shared_buffers.
+DEFAULT_POOL_PAGES = 8192
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of :class:`PageId` entries."""
+
+    def __init__(self, capacity_pages: int = DEFAULT_POOL_PAGES):
+        if capacity_pages <= 0:
+            raise StorageError("buffer pool capacity must be positive")
+        self.capacity_pages = capacity_pages
+        self._pages: OrderedDict[PageId, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page: PageId) -> bool:
+        return page in self._pages
+
+    def read(self, page: PageId, stats: IOStats) -> None:
+        """Access a page: buffer hit if resident, disk read otherwise."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            stats.charge_hit()
+            return
+        stats.charge_read()
+        self._admit(page)
+
+    def write(self, page: PageId, stats: IOStats) -> None:
+        """Write a freshly produced page (spill / materialization)."""
+        stats.charge_write()
+        self._admit(page)
+
+    def invalidate_file(self, file_id: int) -> None:
+        """Drop all pages of a file (e.g. a temp file being freed)."""
+        stale = [p for p in self._pages if p.file_id == file_id]
+        for p in stale:
+            del self._pages[p]
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def _admit(self, page: PageId) -> None:
+        self._pages[page] = None
+        self._pages.move_to_end(page)
+        while len(self._pages) > self.capacity_pages:
+            self._pages.popitem(last=False)

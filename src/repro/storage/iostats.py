@@ -1,0 +1,84 @@
+"""Execution accounting for the simulated storage substrate.
+
+The paper's experiments report evaluation times on a modified
+PostgreSQL 8.1 server with disk-resident operands.  Our substitute is a
+deterministic cost clock: every physical operator charges page IO
+(through the buffer pool) and CPU work (tuples touched), and
+``elapsed()`` combines them with fixed weights.  This keeps the
+*shape* of every experiment — which plan wins, where crossovers fall —
+machine-independent, while wall-clock numbers are still available from
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats", "DEFAULT_IO_WEIGHT", "DEFAULT_CPU_WEIGHT"]
+
+# A page IO is worth this many tuple-touches in the combined clock.
+# The ratio loosely mirrors a 2006-era disk (ms-scale seeks) against
+# in-memory tuple processing (µs-scale); only the ratio matters.
+DEFAULT_IO_WEIGHT = 1000.0
+DEFAULT_CPU_WEIGHT = 1.0
+
+
+@dataclass
+class IOStats:
+    """Mutable counters shared by one query execution."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+    tuples_processed: int = 0
+    operators_run: int = 0
+    io_weight: float = DEFAULT_IO_WEIGHT
+    cpu_weight: float = DEFAULT_CPU_WEIGHT
+    per_operator: list = field(default_factory=list)
+
+    def charge_read(self, pages: int = 1) -> None:
+        self.page_reads += pages
+
+    def charge_write(self, pages: int = 1) -> None:
+        self.page_writes += pages
+
+    def charge_hit(self, pages: int = 1) -> None:
+        self.buffer_hits += pages
+
+    def charge_cpu(self, tuples: int) -> None:
+        self.tuples_processed += int(tuples)
+
+    def record_operator(self, label: str, out_tuples: int) -> None:
+        self.operators_run += 1
+        self.per_operator.append((label, int(out_tuples)))
+
+    @property
+    def page_io(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def elapsed(self) -> float:
+        """Deterministic evaluation-time proxy (cost units)."""
+        return (
+            self.io_weight * self.page_io
+            + self.cpu_weight * self.tuples_processed
+        )
+
+    def merged_with(self, other: "IOStats") -> "IOStats":
+        """Combine counters from two executions (weights from self)."""
+        return IOStats(
+            page_reads=self.page_reads + other.page_reads,
+            page_writes=self.page_writes + other.page_writes,
+            buffer_hits=self.buffer_hits + other.buffer_hits,
+            tuples_processed=self.tuples_processed + other.tuples_processed,
+            operators_run=self.operators_run + other.operators_run,
+            io_weight=self.io_weight,
+            cpu_weight=self.cpu_weight,
+            per_operator=self.per_operator + other.per_operator,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"reads={self.page_reads} writes={self.page_writes} "
+            f"hits={self.buffer_hits} tuples={self.tuples_processed} "
+            f"ops={self.operators_run} elapsed={self.elapsed():.1f}"
+        )

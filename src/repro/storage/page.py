@@ -1,0 +1,58 @@
+"""Page geometry for the simulated storage layer.
+
+Relations are laid out as fixed-size slotted pages of packed tuples:
+one ``int64`` per variable plus one 8-byte measure.  We never copy row
+data into page objects — execution stays columnar and vectorized — but
+every physical operator accounts for the pages it would have touched,
+which is what the cost experiments measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+__all__ = ["PageGeometry", "DEFAULT_PAGE_SIZE", "PageId"]
+
+DEFAULT_PAGE_SIZE = 8192
+_FIELD_BYTES = 8
+_PAGE_HEADER_BYTES = 24
+
+
+@dataclass(frozen=True)
+class PageId:
+    """Identifies one page of one file in the buffer pool."""
+
+    file_id: int
+    page_no: int
+
+
+@dataclass(frozen=True)
+class PageGeometry:
+    """Tuple/page math for a relation of a given arity."""
+
+    arity: int
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def __post_init__(self):
+        if self.page_size <= _PAGE_HEADER_BYTES + _FIELD_BYTES:
+            raise StorageError(f"page size {self.page_size} too small")
+        if self.arity < 0:
+            raise StorageError("negative arity")
+
+    @property
+    def tuple_bytes(self) -> int:
+        """Packed width: variables + measure."""
+        return _FIELD_BYTES * (self.arity + 1)
+
+    @property
+    def tuples_per_page(self) -> int:
+        usable = self.page_size - _PAGE_HEADER_BYTES
+        return max(1, usable // self.tuple_bytes)
+
+    def pages_for(self, ntuples: int) -> int:
+        """Pages needed for ``ntuples`` rows (at least one)."""
+        if ntuples <= 0:
+            return 1
+        return -(-ntuples // self.tuples_per_page)

@@ -1,0 +1,94 @@
+"""Cache advisor: choose the VE-cache that minimizes the workload
+objective.
+
+The MPF Workload Problem (Section 6) asks for the set ``S`` of
+materialized views minimizing ``C(S) + E[cost(Q(q, S))]``.  The paper
+contributes VE-cache as the *construction* for a correct ``S`` given an
+elimination order; the *choice* among orders is left open.  This
+advisor closes that loop with a direct search: build a candidate cache
+per ordering heuristic (plus optional random restarts), score each
+against the workload, and return the cheapest — a small, honest
+extension labeled as such in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.relation import FunctionalRelation
+from repro.errors import WorkloadError
+from repro.semiring.base import Semiring
+from repro.workload.vecache import VECache, build_ve_cache
+from repro.workload.workload import MPFWorkload, cache_objective
+
+__all__ = ["CacheCandidate", "advise_cache"]
+
+_DEFAULT_HEURISTICS = ("degree", "width", "elim_cost")
+
+
+@dataclass
+class CacheCandidate:
+    """One evaluated candidate: the cache, its provenance, its score."""
+
+    cache: VECache
+    label: str
+    objective: float
+
+
+def advise_cache(
+    relations: Sequence[FunctionalRelation],
+    semiring: Semiring,
+    workload: MPFWorkload,
+    heuristics: Sequence[str] = _DEFAULT_HEURISTICS,
+    random_restarts: int = 0,
+    materialization_weight: float = 1.0,
+    seed: int = 0,
+) -> tuple[VECache, list[CacheCandidate]]:
+    """Pick the best VE-cache for a workload.
+
+    Returns ``(best cache, all scored candidates)`` so callers can
+    inspect the tradeoff.  ``random_restarts`` adds randomly ordered
+    candidates (seeded, reproducible) on top of the heuristic ones.
+    """
+    relations = list(relations)
+    if not relations:
+        raise WorkloadError("advisor needs a non-empty view")
+    candidates: list[CacheCandidate] = []
+
+    for heuristic in heuristics:
+        cache = build_ve_cache(relations, semiring, heuristic=heuristic)
+        candidates.append(
+            CacheCandidate(
+                cache=cache,
+                label=f"ve({heuristic})",
+                objective=cache_objective(
+                    cache, workload,
+                    materialization_weight=materialization_weight,
+                ),
+            )
+        )
+
+    if random_restarts:
+        import numpy as np
+
+        variables = sorted(
+            {v for rel in relations for v in rel.var_names}
+        )
+        rng = np.random.default_rng(seed)
+        for i in range(random_restarts):
+            order = list(rng.permutation(variables))
+            cache = build_ve_cache(relations, semiring, order=order)
+            candidates.append(
+                CacheCandidate(
+                    cache=cache,
+                    label=f"random#{i}",
+                    objective=cache_objective(
+                        cache, workload,
+                        materialization_weight=materialization_weight,
+                    ),
+                )
+            )
+
+    candidates.sort(key=lambda c: (c.objective, c.label))
+    return candidates[0].cache, candidates

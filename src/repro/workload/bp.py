@@ -1,0 +1,250 @@
+"""Belief Propagation as a semijoin program (Algorithm 4, Appendix A).
+
+BP reduces each functional relation with respect to the others using
+the product / update semijoins of Definition 6, so that afterwards
+every relation satisfies the workload-correctness invariant
+(Definition 5): an MPF query on any of its variables answered from the
+local table equals the answer computed from the full view
+(Theorem 6 / Pearl).
+
+Two entry points:
+
+* :func:`belief_propagation` — the *correct* program: messages flow
+  only along a junction tree of the schema (collect toward a root with
+  product semijoins, then distribute back with update semijoins).
+  Requires the schema to be acyclic — Theorem 7 guarantees the tree
+  exists exactly then — and raises :class:`AcyclicityError` otherwise,
+  because running the program on a cyclic schema multiplies some
+  measure in twice (the paper walks through this failure on the
+  ``stdeals`` schema, Figure 12).
+
+* :func:`bp_program_literal` — Algorithm 4 exactly as printed: one
+  chosen table order, reductions between *all* pairs of relations that
+  share variables.  On the chain-shaped supply-chain schema with the
+  Figure 11 order this coincides with the junction-tree program; on
+  cyclic schemas (or unsuitable orders) it double-counts — we keep it
+  so tests can demonstrate the Figure 12 failure mode.
+
+The backward pass needs semiring division; for division-free semirings
+with idempotent multiplication (boolean), re-absorption is harmless and
+the product semijoin is used instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce as _reduce
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.algebra.aggregate import marginalize
+from repro.algebra.join import product_join
+from repro.algebra.semijoin import product_semijoin, update_semijoin
+from repro.data.relation import FunctionalRelation
+from repro.errors import AcyclicityError, SemiringError, WorkloadError
+from repro.semiring.base import Semiring
+from repro.workload.graphs import junction_tree_of_schema
+
+__all__ = [
+    "BPStep",
+    "BPResult",
+    "belief_propagation",
+    "bp_program_literal",
+    "satisfies_workload_invariant",
+]
+
+
+@dataclass(frozen=True)
+class BPStep:
+    """One semijoin-program step, e.g. ``ct ⋉* t`` (Figure 11)."""
+
+    target: str
+    source: str
+    kind: str  # "product" (⋉*, forward) or "update" (⋉, backward)
+
+    def __str__(self) -> str:
+        symbol = "⋉*" if self.kind == "product" else "⋉"
+        return f"{self.target} {symbol} {self.source}"
+
+
+@dataclass
+class BPResult:
+    """Updated relations plus the program that produced them."""
+
+    tables: dict[str, FunctionalRelation]
+    program: list[BPStep] = field(default_factory=list)
+    tree: nx.Graph | None = None
+
+    def program_listing(self) -> str:
+        """Figure 11-style listing, one numbered step per line."""
+        return "\n".join(
+            f"{i + 1}. {step}" for i, step in enumerate(self.program)
+        )
+
+
+def _as_dict(
+    relations: Sequence[FunctionalRelation] | Mapping[str, FunctionalRelation],
+) -> dict[str, FunctionalRelation]:
+    if isinstance(relations, Mapping):
+        return dict(relations)
+    out = {}
+    for i, rel in enumerate(relations):
+        out[rel.name or f"s{i}"] = rel
+    if len(out) != len(relations):
+        raise WorkloadError("relations must have unique names")
+    return out
+
+
+def _backward_reduce(
+    target: FunctionalRelation,
+    source: FunctionalRelation,
+    semiring: Semiring,
+) -> FunctionalRelation:
+    """Update semijoin, with the idempotent-times fallback."""
+    if semiring.supports_division:
+        return update_semijoin(target, source, semiring)
+    if semiring.idempotent_times:
+        return product_semijoin(target, source, semiring)
+    raise SemiringError(
+        f"semiring {semiring.name!r} supports neither division nor "
+        "idempotent multiplication; BP's backward pass is undefined"
+    )
+
+
+def belief_propagation(
+    relations: Sequence[FunctionalRelation] | Mapping[str, FunctionalRelation],
+    semiring: Semiring,
+    tree: nx.Graph | None = None,
+    root: str | None = None,
+) -> BPResult:
+    """Collect/distribute BP over a junction tree of the schema.
+
+    ``tree`` may supply a precomputed junction tree (nodes are relation
+    names); otherwise one is derived, and :class:`AcyclicityError` is
+    raised when none exists (cyclic schema — run the Junction Tree
+    algorithm first).  ``root`` defaults to the last relation, which on
+    the supply-chain schema with its natural order reproduces the
+    Figure 11 program exactly.
+    """
+    tables = _as_dict(relations)
+    schema = {name: rel.var_names for name, rel in tables.items()}
+    if tree is None:
+        tree = junction_tree_of_schema(schema)
+        if tree is None:
+            raise AcyclicityError(
+                "schema is cyclic: no spanning tree has the running "
+                "intersection property (Theorem 7); build a junction "
+                "tree (Algorithm 5) first"
+            )
+    names = list(tables)
+    root = root or names[-1]
+    if root not in tables:
+        raise WorkloadError(f"unknown root table {root!r}")
+
+    program: list[BPStep] = []
+
+    for component in nx.connected_components(tree):
+        component_root = root if root in component else sorted(component)[0]
+        ordered = list(nx.dfs_postorder_nodes(tree, source=component_root))
+        parent_of = {
+            child: parent
+            for parent, child in nx.bfs_edges(tree, source=component_root)
+        }
+
+        # Collect: children before parents; parent absorbs child.
+        for node in ordered:
+            if node == component_root:
+                continue
+            parent = parent_of[node]
+            tables[parent] = product_semijoin(
+                tables[parent], tables[node], semiring
+            )
+            program.append(BPStep(target=parent, source=node, kind="product"))
+
+        # Distribute: parents before children; child absorbs parent.
+        for node in nx.dfs_preorder_nodes(tree, source=component_root):
+            if node == component_root:
+                continue
+            parent = parent_of[node]
+            tables[node] = _backward_reduce(
+                tables[node], tables[parent], semiring
+            )
+            program.append(BPStep(target=node, source=parent, kind="update"))
+
+    return BPResult(tables=tables, program=program, tree=tree)
+
+
+def bp_program_literal(
+    relations: Sequence[FunctionalRelation] | Mapping[str, FunctionalRelation],
+    semiring: Semiring,
+    order: Sequence[str],
+) -> BPResult:
+    """Algorithm 4 verbatim: all sharing pairs, given table order.
+
+    No acyclicity check — this is the version the paper uses to show
+    the double-counting failure on the cyclic ``stdeals`` schema
+    (Figure 12).  Correct only when reductions between sharing pairs
+    coincide with a junction-tree traversal (e.g. the chain schema of
+    Figure 11).
+    """
+    tables = _as_dict(relations)
+    order = list(order)
+    if set(order) != set(tables):
+        raise WorkloadError(
+            f"order {order} must be a permutation of {sorted(tables)}"
+        )
+    scopes = {name: frozenset(rel.var_names) for name, rel in tables.items()}
+    program: list[BPStep] = []
+
+    # Forward pass: each table absorbs every earlier sharing table.
+    for j, name_j in enumerate(order):
+        for name_i in order[:j]:
+            if scopes[name_i] & scopes[name_j]:
+                tables[name_j] = product_semijoin(
+                    tables[name_j], tables[name_i], semiring
+                )
+                program.append(
+                    BPStep(target=name_j, source=name_i, kind="product")
+                )
+
+    # Backward pass: reverse order, each earlier table absorbs later.
+    for j in range(len(order) - 1, -1, -1):
+        name_j = order[j]
+        for i in range(j - 1, -1, -1):
+            name_i = order[i]
+            if scopes[name_i] & scopes[name_j]:
+                tables[name_i] = _backward_reduce(
+                    tables[name_i], tables[name_j], semiring
+                )
+                program.append(
+                    BPStep(target=name_i, source=name_j, kind="update")
+                )
+
+    return BPResult(tables=tables, program=program, tree=None)
+
+
+def satisfies_workload_invariant(
+    updated: Mapping[str, FunctionalRelation],
+    base_relations: Sequence[FunctionalRelation],
+    semiring: Semiring,
+    rtol: float = 1e-9,
+) -> bool:
+    """Check Definition 5 by brute force (test-sized inputs only).
+
+    For every updated table and every variable it contains, the
+    single-variable MPF query answered locally must match the one
+    answered from the materialized view.
+    """
+    joint = _reduce(
+        lambda a, b: product_join(a, b, semiring), base_relations
+    )
+    for table in updated.values():
+        for v in table.var_names:
+            local = marginalize(table, [v], semiring)
+            expected = marginalize(joint, [v], semiring)
+            if not local.equals(
+                expected, semiring, ignore_zero_rows=True
+            ):
+                return False
+    return True

@@ -1,0 +1,177 @@
+"""Schema graphs and acyclicity (Theorems 7 & 8, Appendix A).
+
+Two graph views of a schema ``{table: variables}``:
+
+* the **relation graph** (Theorem 7 / Maier): nodes are relations, an
+  edge joins two relations sharing variables.  The schema is acyclic
+  iff some spanning tree has the *running intersection property* —
+  for any two relations, their shared variables appear in every
+  relation on the tree path between them.  Such a tree is a **junction
+  tree**; the maximum-weight spanning tree (weights = |shared
+  variables|) has the property whenever any tree does.
+
+* the **variable graph** (Theorem 8 / Jensen; the "primal" or "moral"
+  graph): nodes are variables, an edge joins co-occurring variables.
+  The schema is acyclic iff this graph is chordal *and* every relation
+  scope is covered (conformality) — the α-acyclicity
+  characterization, equivalently testable by GYO ear reduction.
+
+The supply-chain schema of Figure 1 is acyclic; adding ``stdeals``
+creates the chordless 5-cycle of Figure 13/14 and breaks it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+__all__ = [
+    "relation_graph",
+    "variable_graph",
+    "maximum_weight_spanning_tree",
+    "has_running_intersection",
+    "junction_tree_of_schema",
+    "is_acyclic_schema",
+    "gyo_reduction",
+]
+
+Schema = Mapping[str, Iterable[str]]
+
+
+def _scopes(schema: Schema) -> dict[str, frozenset[str]]:
+    return {name: frozenset(vars_) for name, vars_ in schema.items()}
+
+
+def relation_graph(schema: Schema) -> nx.Graph:
+    """Nodes = relations; edge iff two relations share variables.
+
+    Edge attribute ``shared`` holds the shared variable set and
+    ``weight`` its size (for the spanning-tree computation).
+    """
+    scopes = _scopes(schema)
+    graph = nx.Graph()
+    graph.add_nodes_from(scopes)
+    names = list(scopes)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            shared = scopes[a] & scopes[b]
+            if shared:
+                graph.add_edge(a, b, shared=shared, weight=len(shared))
+    return graph
+
+
+def variable_graph(schema: Schema) -> nx.Graph:
+    """Nodes = variables; edge iff two variables co-occur in a relation."""
+    graph = nx.Graph()
+    for vars_ in schema.values():
+        vars_ = list(vars_)
+        graph.add_nodes_from(vars_)
+        for i, a in enumerate(vars_):
+            for b in vars_[i + 1:]:
+                graph.add_edge(a, b)
+    return graph
+
+
+def maximum_weight_spanning_tree(graph: nx.Graph) -> nx.Graph:
+    """Max-weight spanning forest of the relation graph."""
+    return nx.maximum_spanning_tree(graph, weight="weight")
+
+
+def has_running_intersection(tree: nx.Graph, schema: Schema) -> bool:
+    """Check the running intersection property on a candidate tree.
+
+    For every pair of relations, their shared variables must be
+    contained in every relation on the (unique) tree path between them.
+    """
+    scopes = _scopes(schema)
+    names = list(scopes)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            shared = scopes[a] & scopes[b]
+            if not shared:
+                continue
+            if a not in tree or b not in tree:
+                return False
+            if not nx.has_path(tree, a, b):
+                return False
+            for node in nx.shortest_path(tree, a, b):
+                if not shared <= scopes[node]:
+                    return False
+    return True
+
+
+def junction_tree_of_schema(schema: Schema) -> nx.Graph | None:
+    """The junction tree of an acyclic schema, or None if cyclic.
+
+    Builds the maximum-weight spanning tree of the relation graph and
+    verifies running intersection; for disconnected schemas the
+    "tree" is a forest and components are checked independently.
+    """
+    graph = relation_graph(schema)
+    tree = maximum_weight_spanning_tree(graph)
+    tree.add_nodes_from(graph.nodes)
+    if _has_running_intersection_componentwise(tree, schema):
+        return tree
+    return None
+
+
+def _has_running_intersection_componentwise(
+    tree: nx.Graph, schema: Schema
+) -> bool:
+    scopes = _scopes(schema)
+    names = list(scopes)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            shared = scopes[a] & scopes[b]
+            if not shared:
+                continue
+            if not nx.has_path(tree, a, b):
+                # Sharing relations in different components: the MST
+                # dropped a needed edge, impossible for a real forest.
+                return False
+            for node in nx.shortest_path(tree, a, b):
+                if not shared <= scopes[node]:
+                    return False
+    return True
+
+
+def gyo_reduction(schema: Schema) -> list[frozenset[str]]:
+    """GYO ear reduction; returns the irreducible residue.
+
+    Repeatedly (a) drops variables occurring in a single relation and
+    (b) drops relations contained in another.  The schema is
+    α-acyclic iff the residue is empty.
+    """
+    scopes = [set(v) for v in _scopes(schema).values()]
+    changed = True
+    while changed and scopes:
+        changed = False
+        # (a) remove variables unique to one scope
+        counts: dict[str, int] = {}
+        for scope in scopes:
+            for v in scope:
+                counts[v] = counts.get(v, 0) + 1
+        for scope in scopes:
+            lonely = {v for v in scope if counts[v] == 1}
+            if lonely:
+                scope -= lonely
+                changed = True
+        # (b) remove scopes contained in another
+        scopes.sort(key=len)
+        kept: list[set[str]] = []
+        for i, scope in enumerate(scopes):
+            contained = any(
+                scope <= other for other in scopes[i + 1:]
+            ) or any(scope <= other for other in kept)
+            if contained or not scope:
+                changed = True
+            else:
+                kept.append(scope)
+        scopes = kept
+    return [frozenset(s) for s in scopes]
+
+
+def is_acyclic_schema(schema: Schema) -> bool:
+    """α-acyclicity via GYO reduction (agrees with Theorems 7 & 8)."""
+    return not gyo_reduction(schema)

@@ -1,0 +1,70 @@
+"""Graphviz-DOT rendering of schema structures.
+
+Text-only: produces DOT source for the paper's structural figures —
+the variable graph (Figure 13), a chordal completion with its fill
+edges dashed (Figure 14), and a junction tree with separator-labeled
+edges (Figure 15) — so any Graphviz toolchain (or an online viewer)
+can draw them.  No Graphviz dependency is required.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.workload.junction import JunctionTree
+from repro.workload.triangulate import TriangulationResult
+
+__all__ = ["variable_graph_dot", "triangulation_dot", "junction_tree_dot"]
+
+
+def _quote(name: str) -> str:
+    return '"' + str(name).replace('"', '\\"') + '"'
+
+
+def variable_graph_dot(graph: nx.Graph, title: str = "variables") -> str:
+    """DOT for a plain variable (or relation) graph."""
+    lines = [f"graph {_quote(title)} {{", "  node [shape=circle];"]
+    for node in sorted(graph.nodes):
+        lines.append(f"  {_quote(node)};")
+    for a, b in sorted(map(sorted, graph.edges)):
+        lines.append(f"  {_quote(a)} -- {_quote(b)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def triangulation_dot(
+    result: TriangulationResult, title: str = "chordal"
+) -> str:
+    """DOT for a chordal completion; fill-in edges are dashed.
+
+    The Figure 14 rendering: the original cycle solid, the edges added
+    by eliminating (e.g.) tid and sid dashed.
+    """
+    fills = {frozenset(e) for e in result.fill_edges}
+    graph = result.chordal_graph
+    lines = [f"graph {_quote(title)} {{", "  node [shape=circle];"]
+    for node in sorted(graph.nodes):
+        lines.append(f"  {_quote(node)};")
+    for a, b in sorted(map(sorted, graph.edges)):
+        style = ' [style=dashed]' if frozenset((a, b)) in fills else ""
+        lines.append(f"  {_quote(a)} -- {_quote(b)}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def junction_tree_dot(jt: JunctionTree, title: str = "junction_tree") -> str:
+    """DOT for a junction tree: box nodes show clique scopes, edge
+    labels show separators (the Figure 15 rendering)."""
+    lines = [f"graph {_quote(title)} {{", "  node [shape=box];"]
+    for name in sorted(jt.cliques):
+        scope = ", ".join(jt.cliques[name].var_names)
+        lines.append(f"  {_quote(name)} [label={_quote(scope)}];")
+    for a, b in sorted(map(sorted, jt.tree.edges)):
+        scope_a = set(jt.cliques[a].var_names)
+        scope_b = set(jt.cliques[b].var_names)
+        separator = ", ".join(sorted(scope_a & scope_b))
+        lines.append(
+            f"  {_quote(a)} -- {_quote(b)} [label={_quote(separator)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,431 @@
+"""VE-cache: materialized views for MPF workloads (Algorithm 3, §6).
+
+Given an MPF view, VE-cache builds a set ``S`` of materialized tables
+satisfying the workload-correctness invariant (Definition 5): any
+single-variable basic or restricted-answer MPF query can be answered
+from a cached table containing that variable, with the same result as
+evaluating against the full view.
+
+The construction follows Algorithm 3 literally:
+
+1. derive a *no-query-variable* Variable Elimination order (line 1);
+2. execute the VE plan at the data level, materializing every table
+   that precedes a GroupBy node — the pre-aggregation join of
+   ``rels(v, S)`` for each eliminated variable ``v`` (line 2).  These
+   tables are the elimination cliques of triangulating the variable
+   graph with the VE order (Theorem 10.1), and the message edges
+   ("GroupBy(t_i) was used to create t_j") form a junction forest
+   over them (Theorem 10.2);
+3. run the backward pass (lines 3–7): in reverse creation order, every
+   cached table absorbs, via the update semijoin, the table its
+   GroupBy message fed — a BP distribute pass (Theorem 10.3).  The
+   forward/collect pass already happened implicitly while executing
+   the VE plan.
+
+After calibration each cached table equals the view marginalized to
+its scope, which is the invariant (Theorem 4).  The cache also
+supports the *constrained-domain* protocol of Section 6 (Theorem 5):
+apply a selection to one cached table containing the constrained
+variable, then propagate reductions along the forest to every other
+table (:meth:`VECache.absorb_evidence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.algebra.aggregate import marginalize
+from repro.algebra.join import product_join
+from repro.algebra.select import restrict
+from repro.algebra.semijoin import product_semijoin, update_semijoin
+from repro.catalog.catalog import Catalog
+from repro.data.relation import FunctionalRelation
+from repro.errors import SemiringError, WorkloadError
+from repro.optimizer.base import QuerySpec
+from repro.optimizer.ve import VariableElimination
+from repro.semiring.base import Semiring
+from repro.storage.page import PageGeometry
+from repro.workload.graphs import variable_graph
+from repro.workload.triangulate import triangulate
+
+__all__ = ["VECache", "build_ve_cache"]
+
+
+def _backward_reduce(
+    target: FunctionalRelation,
+    source: FunctionalRelation,
+    semiring: Semiring,
+) -> FunctionalRelation:
+    if semiring.supports_division:
+        return update_semijoin(target, source, semiring)
+    if semiring.idempotent_times:
+        return product_semijoin(target, source, semiring)
+    raise SemiringError(
+        f"semiring {semiring.name!r} supports neither division nor "
+        "idempotent multiplication; VE-cache calibration is undefined"
+    )
+
+
+@dataclass
+class VECache:
+    """A calibrated cache of materialized functional relations.
+
+    ``tables`` hold every cached (pre-GroupBy) table after the backward
+    pass; ``forest`` connects each table to the one its GroupBy message
+    fed (the junction forest of Theorem 10).
+    """
+
+    tables: dict[str, FunctionalRelation]
+    forest: nx.Graph
+    semiring: Semiring
+    elimination_order: tuple[str, ...]
+    eliminated_by: dict[str, str] = field(default_factory=dict)
+    """Cached-table name → the variable whose elimination created it."""
+    base_step: dict[str, str] = field(default_factory=dict)
+    """Base-relation name → the cached table that absorbed it."""
+    base_relations: dict[str, FunctionalRelation] = field(default_factory=dict)
+    """Current (possibly hypothetically updated) base relations."""
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def table_for(self, var_name: str) -> str:
+        """Smallest cached table containing the variable."""
+        candidates = [
+            name
+            for name, rel in self.tables.items()
+            if var_name in rel.variables
+        ]
+        if not candidates:
+            raise WorkloadError(f"no cached table contains {var_name!r}")
+        return min(candidates, key=lambda n: (self.tables[n].ntuples, n))
+
+    def answer(
+        self,
+        var_name: str,
+        selection: Mapping[str, object] | None = None,
+    ) -> FunctionalRelation:
+        """Answer a single-variable basic / restricted-answer MPF query.
+
+        ``selection``, if given, must be on the query variable itself
+        (the restricted-answer form).  Constrained-domain queries go
+        through :meth:`absorb_evidence` first.
+        """
+        if selection:
+            stray = set(selection) - {var_name}
+            if stray:
+                raise WorkloadError(
+                    f"selection on non-query variables {sorted(stray)}: use "
+                    "absorb_evidence() (constrained-domain protocol) first"
+                )
+        table = self.tables[self.table_for(var_name)]
+        result = marginalize(table, [var_name], self.semiring)
+        if selection:
+            result = restrict(result, selection)
+        return result
+
+    def absorb_evidence(self, evidence: Mapping[str, object]) -> "VECache":
+        """Constrained-domain protocol (Theorem 5): returns a new cache.
+
+        The selection is applied to one cached table per evidence
+        variable; reductions then flow along the junction forest from
+        that table to every other, restoring the invariant under the
+        constrained domain.
+        """
+        tables = dict(self.tables)
+        for var_name, value in evidence.items():
+            start = min(
+                (
+                    name
+                    for name, rel in tables.items()
+                    if var_name in rel.variables
+                ),
+                key=lambda n: (tables[n].ntuples, n),
+                default=None,
+            )
+            if start is None:
+                raise WorkloadError(
+                    f"no cached table contains evidence variable {var_name!r}"
+                )
+            old_total = self.semiring.reduce(tables[start].measure)
+            tables[start] = restrict(tables[start], {var_name: value})
+            for parent, child in nx.bfs_edges(self.forest, source=start):
+                tables[child] = _backward_reduce(
+                    tables[child], tables[parent], self.semiring
+                )
+            # Tables in *other* connected components never see the
+            # message flow, yet Definition 5 against the restricted
+            # view requires their mass to scale by the evidence
+            # component's total-mass change.
+            component = nx.node_connected_component(self.forest, start)
+            outside = [n for n in tables if n not in component]
+            if outside:
+                new_total = self.semiring.reduce(tables[start].measure)
+                if self.semiring.supports_division:
+                    factor = self.semiring.divide(new_total, old_total)
+                else:
+                    # Idempotent times (boolean): re-absorbing the new
+                    # total directly is exact; old_total was the
+                    # multiplicative identity of a consistent cache.
+                    factor = new_total
+                for name in outside:
+                    rel = tables[name]
+                    tables[name] = rel.with_measure(
+                        self.semiring.times(rel.measure, factor)
+                    )
+        return VECache(
+            tables=tables,
+            forest=self.forest,
+            semiring=self.semiring,
+            elimination_order=self.elimination_order,
+            eliminated_by=self.eliminated_by,
+            base_step=self.base_step,
+            base_relations=self.base_relations,
+        )
+
+    # ------------------------------------------------------------------
+    # Hypothetical queries (Section 3.1's alternate-measure form)
+    # ------------------------------------------------------------------
+    def with_alternate_measure(
+        self,
+        base_table: str,
+        assignment: Mapping[str, object],
+        new_value,
+    ) -> "VECache":
+        """Incrementally recalibrate for a hypothetical measure change.
+
+        Instead of rebuilding the whole cache against the patched base
+        relation, the multiplicative patch ``new / old`` is applied to
+        the one cached table that absorbed the base relation, and the
+        change is propagated along the junction forest — the same
+        distribute pass the constrained-domain protocol uses.  Requires
+        semiring division.
+        """
+        from repro.algebra.hypothetical import (
+            alter_measure,
+            apply_patch,
+            measure_ratio_relation,
+        )
+
+        if base_table not in self.base_step:
+            raise WorkloadError(
+                f"unknown base table {base_table!r}; cache covers "
+                f"{sorted(self.base_step)}"
+            )
+        base = self.base_relations[base_table]
+        patch = measure_ratio_relation(
+            base, assignment, new_value, self.semiring
+        )
+        step = self.base_step[base_table]
+        tables = dict(self.tables)
+        tables[step] = apply_patch(tables[step], patch, self.semiring)
+        for parent, child in nx.bfs_edges(self.forest, source=step):
+            tables[child] = _backward_reduce(
+                tables[child], tables[parent], self.semiring
+            )
+        base_relations = dict(self.base_relations)
+        base_relations[base_table] = alter_measure(
+            base, assignment, new_value
+        )
+        return VECache(
+            tables=tables,
+            forest=self.forest,
+            semiring=self.semiring,
+            elimination_order=self.elimination_order,
+            eliminated_by=self.eliminated_by,
+            base_step=self.base_step,
+            base_relations=base_relations,
+        )
+
+    def refresh(
+        self, base_table: str, new_relation: FunctionalRelation
+    ) -> "VECache":
+        """View maintenance: replace one base relation and recalibrate.
+
+        Row insertions/deletions are not expressible as multiplicative
+        patches (a created row divides by the additive identity), so
+        maintenance rebuilds the cache — reusing the stored elimination
+        order, which keeps the cached-table scopes stable so downstream
+        consumers see the same schema.
+        """
+        if base_table not in self.base_relations:
+            raise WorkloadError(
+                f"unknown base table {base_table!r}; cache covers "
+                f"{sorted(self.base_relations)}"
+            )
+        relations = [
+            new_relation.with_name(name) if name == base_table else rel
+            for name, rel in self.base_relations.items()
+        ]
+        return build_ve_cache(
+            relations, self.semiring, order=list(self.elimination_order)
+        )
+
+    # ------------------------------------------------------------------
+    # Costing (the C(S) term of the MPF Workload Problem)
+    # ------------------------------------------------------------------
+    def total_tuples(self) -> int:
+        return sum(rel.ntuples for rel in self.tables.values())
+
+    def total_pages(self) -> int:
+        return sum(
+            PageGeometry(rel.arity).pages_for(rel.ntuples)
+            for rel in self.tables.values()
+        )
+
+    def query_cost(self, var_name: str) -> float:
+        """Scan + aggregate cost of answering a query from the cache."""
+        import math
+
+        table = self.tables[self.table_for(var_name)]
+        n = max(table.ntuples, 2)
+        return n * math.log2(n)
+
+    def maximal_tables(self) -> dict[str, FunctionalRelation]:
+        """Cached tables whose scope is not contained in another's.
+
+        The paper's running example reports only these (t1, t2, t3);
+        subsumed tables remain available for propagation.
+        """
+        scopes = {n: frozenset(r.var_names) for n, r in self.tables.items()}
+        out = {}
+        for name, scope in scopes.items():
+            if not any(
+                scope < other or (scope == other and name > other_name)
+                for other_name, other in scopes.items()
+                if other_name != name
+            ):
+                out[name] = self.tables[name]
+        return out
+
+
+@dataclass
+class _Step:
+    name: str
+    table: FunctionalRelation
+    children: list[str]
+    variable: str
+
+
+def build_ve_cache(
+    relations: Sequence[FunctionalRelation],
+    semiring: Semiring,
+    heuristic: str = "degree",
+    order: Sequence[str] | None = None,
+) -> VECache:
+    """Algorithm 3 end to end.
+
+    ``order`` overrides step 1 with an explicit (possibly partial)
+    elimination order — the triangulation min-fill heuristic completes
+    it; otherwise a no-query-variable VE pass with ``heuristic``
+    derives it.  Works on cyclic schemas too: executing VE *is* the
+    Junction Tree transformation (Theorem 10.1-2).
+    """
+    relations = list(relations)
+    if not relations:
+        raise WorkloadError("VE-cache over an empty view")
+
+    schema = {
+        (r.name or f"s{i}"): r.var_names for i, r in enumerate(relations)
+    }
+    if order is None:
+        catalog = Catalog()
+        names = catalog.register_all([r.copy() for r in relations])
+        spec = QuerySpec(tables=tuple(names), query_vars=())
+        ve = VariableElimination(heuristic)
+        result = ve.optimize(spec, catalog)
+        order = list(result.extras["elimination_order"])
+    # Complete a partial order over all variables via triangulation.
+    full_order = triangulate(variable_graph(schema), order=order).order
+
+    # ------------------------------------------------------------------
+    # Line 2: execute the no-query-variable VE plan, caching the table
+    # preceding each GroupBy, and recording message edges.
+    # ------------------------------------------------------------------
+    work: list[tuple[FunctionalRelation, str | None]] = [
+        (rel, None) for rel in relations
+    ]
+    steps: list[_Step] = []
+    base_names = {id(rel): (rel.name or f"s{i}")
+                  for i, rel in enumerate(relations)}
+    base_step: dict[str, str] = {}
+
+    for v in full_order:
+        chosen = [(rel, src) for rel, src in work if v in rel.variables]
+        if not chosen:
+            continue
+        rest = [(rel, src) for rel, src in work if v not in rel.variables]
+        joined = reduce(
+            lambda a, b: product_join(a, b, semiring),
+            [rel for rel, _ in chosen],
+        )
+        name = f"t{len(steps) + 1}"
+        children = [src for _, src in chosen if src is not None]
+        for rel, src in chosen:
+            if src is None:
+                base_step[base_names[id(rel)]] = name
+        steps.append(
+            _Step(name=name, table=joined.with_name(name),
+                  children=children, variable=v)
+        )
+        keep = [x for x in joined.var_names if x != v]
+        message = marginalize(joined, keep, semiring)
+        work = rest + [(message, name)]
+
+    if not steps:
+        raise WorkloadError("view has no variables to cache over")
+
+    # Leftover zero-variable messages hold the total mass of finished
+    # connected components; their info must reach the other components
+    # for the invariant to hold against the *full* view.
+    component_of = {s.name: s.name for s in steps}
+    forest = nx.Graph()
+    forest.add_nodes_from(component_of)
+    for step in steps:
+        for child in step.children:
+            forest.add_edge(step.name, child)
+    components = list(nx.connected_components(forest))
+    if len(components) > 1:
+        scalars: dict[frozenset, FunctionalRelation] = {}
+        for rel, src in work:
+            if rel.arity == 0 and src is not None:
+                component = frozenset(
+                    next(c for c in components if src in c)
+                )
+                scalars[component] = rel
+        for step in steps:
+            component = frozenset(
+                next(c for c in components if step.name in c)
+            )
+            for other, scalar in scalars.items():
+                if other != component:
+                    step.table = product_join(
+                        step.table, scalar, semiring
+                    ).with_name(step.name)
+
+    # ------------------------------------------------------------------
+    # Lines 3-7: backward update-semijoin pass, last created first.
+    # ------------------------------------------------------------------
+    table_of = {s.name: s.table for s in steps}
+    for step in reversed(steps):
+        for child in step.children:
+            table_of[child] = _backward_reduce(
+                table_of[child], table_of[step.name], semiring
+            ).with_name(child)
+
+    eliminated_by = {s.name: s.variable for s in steps}
+    return VECache(
+        tables=table_of,
+        forest=forest,
+        semiring=semiring,
+        elimination_order=tuple(full_order),
+        eliminated_by=eliminated_by,
+        base_step=base_step,
+        base_relations={
+            base_names[id(rel)]: rel for rel in relations
+        },
+    )

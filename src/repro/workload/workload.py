@@ -1,0 +1,131 @@
+"""The MPF Workload Problem (Section 6).
+
+A workload is a set of single-variable basic or restricted-answer MPF
+queries, each with a probability of being posed.  The goal is a set of
+materialized views ``S`` minimizing
+
+    C(S) + E[ cost(Q(q, S)) ]
+
+— the cost of materializing ``S`` plus the expected cost of answering
+a workload query against it, subject to the correctness invariant
+(Definition 5).  :func:`repro.workload.vecache.build_ve_cache`
+produces a candidate ``S``; this module models workloads, evaluates the
+objective, and compares candidate caches (e.g. caches built with
+different elimination orders, or the empty cache that re-optimizes
+every query from base tables).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel, SimpleCostModel
+from repro.errors import WorkloadError
+from repro.optimizer.base import Optimizer, QuerySpec
+from repro.workload.vecache import VECache
+
+__all__ = [
+    "WorkloadQuery",
+    "MPFWorkload",
+    "cache_objective",
+    "baseline_objective",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload member: a single-variable MPF query + probability."""
+
+    variable: str
+    probability: float
+    selection: Mapping[str, object] | None = None
+    """Optional equality predicate on the query variable (restricted
+    answer) or on other variables (constrained domain)."""
+
+    def __post_init__(self):
+        if not 0 <= self.probability <= 1:
+            raise WorkloadError(
+                f"probability {self.probability} outside [0, 1]"
+            )
+
+
+@dataclass
+class MPFWorkload:
+    """A distribution over single-variable MPF queries."""
+
+    queries: list[WorkloadQuery] = field(default_factory=list)
+
+    def __post_init__(self):
+        total = sum(q.probability for q in self.queries)
+        if total > 1 + 1e-9:
+            raise WorkloadError(
+                f"workload probabilities sum to {total} > 1"
+            )
+
+    @classmethod
+    def uniform(cls, variables: Sequence[str]) -> "MPFWorkload":
+        """Equal-probability workload over the given query variables."""
+        if not variables:
+            raise WorkloadError("empty workload")
+        p = 1.0 / len(variables)
+        return cls([WorkloadQuery(v, p) for v in variables])
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(q.variable for q in self.queries)
+
+    def expected_cost(self, cost_of) -> float:
+        """E[cost] under the workload distribution.
+
+        ``cost_of`` maps a :class:`WorkloadQuery` to its evaluation
+        cost.
+        """
+        return sum(q.probability * cost_of(q) for q in self.queries)
+
+
+def cache_objective(
+    cache: VECache,
+    workload: MPFWorkload,
+    materialization_weight: float = 1.0,
+) -> float:
+    """``C(S) + E[cost(Q(q, S))]`` for a VE-cache.
+
+    ``C(S)`` is modeled as the total tuples materialized (one pass to
+    build and write each cached table, up to constants);
+    ``cost(Q(q, S))`` as the aggregate cost over the smallest cached
+    table containing the query variable.
+    """
+    def cost_of(query: WorkloadQuery) -> float:
+        return cache.query_cost(query.variable)
+
+    return (
+        materialization_weight * cache.total_tuples()
+        + workload.expected_cost(cost_of)
+    )
+
+
+def baseline_objective(
+    catalog: Catalog,
+    view_tables: Sequence[str],
+    workload: MPFWorkload,
+    optimizer: Optimizer,
+    model: CostModel | None = None,
+) -> float:
+    """Expected cost of answering every query from base tables.
+
+    The no-cache alternative: each query is optimized and evaluated
+    against the view definition directly (``C(S) = 0``).
+    """
+    model = model or SimpleCostModel()
+
+    def cost_of(query: WorkloadQuery) -> float:
+        spec = QuerySpec(
+            tables=tuple(view_tables),
+            query_vars=(query.variable,),
+            selections=dict(query.selection or {}),
+        )
+        return optimizer.optimize(spec, catalog, model).cost
+
+    return workload.expected_cost(cost_of)

@@ -1,0 +1,111 @@
+"""Unit tests for marginalization (Definition 3) and Proposition 1."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import marginalize, project_fd, total
+from repro.data import FunctionalRelation, complete_relation, var
+from repro.errors import SchemaError
+from repro.semiring import BOOLEAN, MIN_SUM, SUM_PRODUCT
+
+
+@pytest.fixture
+def rel(rng):
+    return complete_relation([var("a", 3), var("b", 4), var("c", 2)], rng=rng)
+
+
+class TestMarginalize:
+    def test_sum_out_one_variable(self, rel):
+        out = marginalize(rel, ["a", "b"], SUM_PRODUCT)
+        for (av, bv), f in out.to_dict().items():
+            expected = sum(
+                rel.value_at({"a": av, "b": bv, "c": c}) for c in range(2)
+            )
+            assert f == pytest.approx(expected)
+
+    def test_group_on_all_is_identity(self, rel):
+        out = marginalize(rel, ["a", "b", "c"], SUM_PRODUCT)
+        assert out.equals(rel, SUM_PRODUCT)
+
+    def test_group_on_none_is_total(self, rel):
+        out = marginalize(rel, [], SUM_PRODUCT)
+        assert out.arity == 0
+        assert out.measure[0] == pytest.approx(rel.measure.sum())
+        assert total(rel, SUM_PRODUCT) == pytest.approx(rel.measure.sum())
+
+    def test_nested_grouping_composes(self, rel):
+        via_b = marginalize(
+            marginalize(rel, ["a", "b"], SUM_PRODUCT), ["a"], SUM_PRODUCT
+        )
+        direct = marginalize(rel, ["a"], SUM_PRODUCT)
+        assert via_b.equals(direct, SUM_PRODUCT)
+
+    def test_order_follows_input_schema(self, rel):
+        out = marginalize(rel, ["c", "a"], SUM_PRODUCT)
+        # Output variable order is the relation's order restricted to
+        # the group set (deterministic regardless of request order).
+        assert out.var_names == ("a", "c")
+
+    def test_min_aggregate(self, rel):
+        out = marginalize(rel, ["a"], MIN_SUM)
+        for (av,), f in out.to_dict().items():
+            members = [
+                rel.value_at({"a": av, "b": b, "c": c})
+                for b in range(4)
+                for c in range(2)
+            ]
+            assert f == pytest.approx(min(members))
+
+    def test_boolean_any(self):
+        a, b = var("a", 2), var("b", 2)
+        rel = FunctionalRelation.from_rows(
+            [a, b],
+            [(0, 0, False), (0, 1, True), (1, 0, False), (1, 1, False)],
+            dtype=np.bool_,
+        )
+        out = marginalize(rel, ["a"], BOOLEAN)
+        assert out.value_at({"a": 0})
+        assert not out.value_at({"a": 1})
+
+    def test_unknown_group_variable(self, rel):
+        with pytest.raises(SchemaError):
+            marginalize(rel, ["zzz"], SUM_PRODUCT)
+
+    def test_empty_relation(self):
+        a = var("a", 3)
+        rel = FunctionalRelation([a], {"a": np.array([], dtype=np.int64)},
+                                 np.array([]))
+        out = marginalize(rel, ["a"], SUM_PRODUCT)
+        assert out.ntuples == 0
+
+    def test_sparse_groups_only_present_values(self):
+        a, b = var("a", 5), var("b", 2)
+        rel = FunctionalRelation.from_rows(
+            [a, b], [(0, 0, 1.0), (0, 1, 2.0), (3, 0, 5.0)]
+        )
+        out = marginalize(rel, ["a"], SUM_PRODUCT)
+        assert out.to_dict() == {(0,): 3.0, (3,): 5.0}
+
+
+class TestProjectFD:
+    def test_matches_marginalize_when_fd_holds(self):
+        """Proposition 1: GroupBy == projection when the group
+        determines the measure."""
+        a, b = var("a", 3), var("b", 2)
+        # Measure depends only on `a`; FD a -> f holds.
+        rel = complete_relation(
+            [a, b], measure_fn=lambda cols: cols["a"].astype(float)
+        )
+        projected = project_fd(rel, ["a"])
+        # Compare against min/max aggregation, which are unaffected by
+        # duplicates of the same value (sum would multiply by |b|).
+        assert projected.equals(marginalize(rel, ["a"], MIN_SUM), MIN_SUM)
+
+    def test_projection_drops_duplicates(self):
+        a, b = var("a", 2), var("b", 3)
+        rel = complete_relation(
+            [a, b], measure_fn=lambda cols: cols["a"] * 10.0
+        )
+        projected = project_fd(rel, ["a"])
+        assert projected.ntuples == 2
+        assert projected.value_at({"a": 1}) == 10.0

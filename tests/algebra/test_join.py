@@ -1,0 +1,118 @@
+"""Unit tests for the product join (Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import product_join, quotient_join
+from repro.data import FunctionalRelation, complete_relation, var
+from repro.errors import SchemaError, SemiringError
+from repro.semiring import BOOLEAN, MIN_SUM, SUM_PRODUCT
+
+
+@pytest.fixture
+def abc():
+    return var("a", 3), var("b", 4), var("c", 2)
+
+
+class TestProductJoin:
+    def test_matches_nested_loop_oracle(self, abc, rng):
+        a, b, c = abc
+        s1 = complete_relation([a, b], rng=rng)
+        s2 = complete_relation([b, c], rng=rng)
+        joined = product_join(s1, s2, SUM_PRODUCT)
+        d1, d2 = s1.to_dict(), s2.to_dict()
+        expected = {}
+        for (av, bv), f1 in d1.items():
+            for (bv2, cv), f2 in d2.items():
+                if bv == bv2:
+                    expected[(av, bv, cv)] = f1 * f2
+        assert joined.to_dict() == pytest.approx(expected)
+
+    def test_result_is_functional_relation(self, abc, rng):
+        a, b, c = abc
+        s1 = complete_relation([a, b], rng=rng)
+        s2 = complete_relation([b, c], rng=rng)
+        joined = product_join(s1, s2, SUM_PRODUCT)
+        keys = joined.key_codes()
+        assert len(np.unique(keys)) == joined.ntuples
+
+    def test_sparse_inner_join_semantics(self, abc):
+        a, b, c = abc
+        s1 = FunctionalRelation.from_rows([a, b], [(0, 0, 2.0), (1, 3, 3.0)])
+        s2 = FunctionalRelation.from_rows([b, c], [(0, 1, 5.0)])
+        joined = product_join(s1, s2, SUM_PRODUCT)
+        assert joined.to_dict() == {(0, 0, 1): 10.0}
+
+    def test_empty_result(self, abc):
+        a, b, c = abc
+        s1 = FunctionalRelation.from_rows([a, b], [(0, 0, 2.0)])
+        s2 = FunctionalRelation.from_rows([b, c], [(1, 1, 5.0)])
+        joined = product_join(s1, s2, SUM_PRODUCT)
+        assert joined.ntuples == 0
+        assert joined.var_names == ("a", "b", "c")
+
+    def test_cross_product_when_disjoint(self, rng):
+        s1 = complete_relation([var("a", 3)], rng=rng)
+        s2 = complete_relation([var("z", 4)], rng=rng)
+        joined = product_join(s1, s2, SUM_PRODUCT)
+        assert joined.ntuples == 12
+
+    def test_min_sum_adds_measures(self, abc):
+        a, b, _ = abc
+        s1 = FunctionalRelation.from_rows([a], [(0, 2.0)])
+        s2 = FunctionalRelation.from_rows([a, b], [(0, 1, 5.0)])
+        joined = product_join(s1, s2, MIN_SUM)
+        assert joined.value_at({"a": 0, "b": 1}) == 7.0
+
+    def test_boolean_join(self, abc):
+        a, b, _ = abc
+        s1 = FunctionalRelation.from_rows([a], [(0, True), (1, False)])
+        s2 = FunctionalRelation.from_rows([a, b], [(0, 0, True), (1, 0, True)])
+        joined = product_join(s1, s2, BOOLEAN)
+        assert joined.value_at({"a": 0, "b": 0})
+        assert not joined.value_at({"a": 1, "b": 0})
+
+    def test_conflicting_domains_rejected(self):
+        s1 = complete_relation([var("a", 3)])
+        s2 = complete_relation([var("a", 5)])
+        with pytest.raises(SchemaError):
+            product_join(s1, s2, SUM_PRODUCT)
+
+    def test_join_with_scalar_relation(self, abc, rng):
+        a, _, _ = abc
+        s1 = complete_relation([a], rng=rng)
+        scalar = FunctionalRelation.constant(2.0)
+        joined = product_join(s1, scalar, SUM_PRODUCT)
+        assert np.allclose(joined.measure, s1.measure * 2.0)
+
+    def test_associativity_up_to_row_order(self, abc, rng):
+        a, b, c = abc
+        s1 = complete_relation([a, b], rng=rng)
+        s2 = complete_relation([b, c], rng=rng)
+        s3 = complete_relation([a, c], rng=rng)
+        left = product_join(product_join(s1, s2, SUM_PRODUCT), s3, SUM_PRODUCT)
+        right = product_join(s1, product_join(s2, s3, SUM_PRODUCT), SUM_PRODUCT)
+        assert left.equals(right, SUM_PRODUCT)
+
+    def test_commutativity(self, abc, rng):
+        a, b, c = abc
+        s1 = complete_relation([a, b], rng=rng)
+        s2 = complete_relation([b, c], rng=rng)
+        assert product_join(s1, s2, SUM_PRODUCT).equals(
+            product_join(s2, s1, SUM_PRODUCT), SUM_PRODUCT
+        )
+
+
+class TestQuotientJoin:
+    def test_divides(self, abc):
+        a, _, _ = abc
+        s1 = FunctionalRelation.from_rows([a], [(0, 6.0)])
+        s2 = FunctionalRelation.from_rows([a], [(0, 2.0)])
+        out = quotient_join(s1, s2, SUM_PRODUCT)
+        assert out.value_at({"a": 0}) == 3.0
+
+    def test_requires_division(self, abc):
+        a, _, _ = abc
+        s1 = FunctionalRelation.from_rows([a], [(0, True)])
+        with pytest.raises(SemiringError):
+            quotient_join(s1, s1, BOOLEAN)

@@ -1,0 +1,76 @@
+"""Unit tests for selections (restricted answer / constrained domain /
+constrained range)."""
+
+import pytest
+
+from repro.algebra import restrict, restrict_range
+from repro.data import FunctionalRelation, complete_relation, var
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def rel(rng):
+    return complete_relation([var("a", 3), var("b", 4)], rng=rng)
+
+
+class TestRestrict:
+    def test_single_equality(self, rel):
+        out = restrict(rel, {"a": 1})
+        assert out.ntuples == 4
+        assert set(out.columns["a"].tolist()) == {1}
+
+    def test_variable_stays_in_schema(self, rel):
+        out = restrict(rel, {"a": 1})
+        assert out.var_names == ("a", "b")
+
+    def test_conjunction(self, rel):
+        out = restrict(rel, {"a": 1, "b": 2})
+        assert out.ntuples == 1
+
+    def test_label_values(self):
+        c = var("c", 2, labels=("no", "yes"))
+        rel = FunctionalRelation.from_rows([c], [(0, 1.0), (1, 2.0)])
+        out = restrict(rel, {"c": "yes"})
+        assert out.ntuples == 1
+        assert out.measure[0] == 2.0
+
+    def test_unknown_variable(self, rel):
+        with pytest.raises(SchemaError):
+            restrict(rel, {"zzz": 0})
+
+    def test_empty_selection_matches_all(self, rel):
+        assert restrict(rel, {}).ntuples == rel.ntuples
+
+    def test_no_matches(self):
+        a = var("a", 3)
+        rel = FunctionalRelation.from_rows([a], [(0, 1.0)])
+        assert restrict(rel, {"a": 2}).ntuples == 0
+
+
+class TestRestrictRange:
+    def test_less_than(self):
+        a = var("a", 4)
+        rel = FunctionalRelation.from_rows(
+            [a], [(0, 1.0), (1, 5.0), (2, 3.0), (3, 9.0)]
+        )
+        out = restrict_range(rel, "<", 4.0)
+        assert sorted(out.measure.tolist()) == [1.0, 3.0]
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("<", 1), ("<=", 2), (">", 1), (">=", 2), ("=", 1), ("!=", 2),
+        ],
+    )
+    def test_all_operators(self, op, expected):
+        a = var("a", 3)
+        rel = FunctionalRelation.from_rows(
+            [a], [(0, 1.0), (1, 2.0), (2, 3.0)]
+        )
+        assert restrict_range(rel, op, 2.0).ntuples == expected
+
+    def test_unknown_operator(self):
+        a = var("a", 1)
+        rel = FunctionalRelation.from_rows([a], [(0, 1.0)])
+        with pytest.raises(SchemaError):
+            restrict_range(rel, "~", 1.0)

@@ -1,0 +1,100 @@
+"""Unit tests for product / update semijoins (Definition 6)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import (
+    marginalize,
+    product_join,
+    product_semijoin,
+    shared_variable_names,
+    update_semijoin,
+)
+from repro.data import FunctionalRelation, complete_relation, var
+from repro.errors import SemiringError
+from repro.semiring import BOOLEAN, MIN_SUM, SUM_PRODUCT
+
+
+@pytest.fixture
+def pair(rng):
+    a, b, c = var("a", 3), var("b", 4), var("c", 2)
+    t = complete_relation([a, b], rng=rng, name="t")
+    s = complete_relation([b, c], rng=rng, name="s")
+    return t, s
+
+
+class TestProductSemijoin:
+    def test_definition(self, pair):
+        """t ⋉* s = t ⋈* GroupBy_U(s) with U the shared variables."""
+        t, s = pair
+        result = product_semijoin(t, s, SUM_PRODUCT)
+        message = marginalize(s, ["b"], SUM_PRODUCT)
+        expected = product_join(t, message, SUM_PRODUCT)
+        assert result.equals(expected, SUM_PRODUCT)
+
+    def test_scope_unchanged(self, pair):
+        t, s = pair
+        result = product_semijoin(t, s, SUM_PRODUCT)
+        assert set(result.var_names) == {"a", "b"}
+
+    def test_shared_variable_names(self, pair):
+        t, s = pair
+        assert shared_variable_names(t, s) == ("b",)
+
+    def test_min_sum(self, pair):
+        t, s = pair
+        result = product_semijoin(t, s, MIN_SUM)
+        message = marginalize(s, ["b"], MIN_SUM)
+        expected = product_join(t, message, MIN_SUM)
+        assert result.equals(expected, MIN_SUM)
+
+
+class TestUpdateSemijoin:
+    def test_echo_cancellation(self, pair):
+        """Absorb forward then update backward: t's marginal on the
+        shared variables becomes s-side-consistent without double
+        counting t's own mass."""
+        t, s = pair
+        # Forward: s absorbs t.
+        s_updated = product_semijoin(s, t, SUM_PRODUCT)
+        # Backward: t absorbs updated s, dividing out what it sent.
+        t_updated = update_semijoin(t, s_updated, SUM_PRODUCT)
+        # Both now marginalize to the joint's b-marginal.
+        joint = product_join(t, s, SUM_PRODUCT)
+        expected = marginalize(joint, ["b"], SUM_PRODUCT)
+        got_t = marginalize(t_updated, ["b"], SUM_PRODUCT)
+        got_s = marginalize(s_updated, ["b"], SUM_PRODUCT)
+        assert got_t.equals(expected, SUM_PRODUCT)
+        assert got_s.equals(expected, SUM_PRODUCT)
+
+    def test_idempotent_after_convergence(self, pair):
+        t, s = pair
+        s1 = product_semijoin(s, t, SUM_PRODUCT)
+        t1 = update_semijoin(t, s1, SUM_PRODUCT)
+        t2 = update_semijoin(t1, s1, SUM_PRODUCT)
+        assert t1.equals(t2, SUM_PRODUCT)
+
+    def test_requires_division(self, pair):
+        a = var("a", 2)
+        t = FunctionalRelation.from_rows([a], [(0, True)], dtype=np.bool_)
+        with pytest.raises(SemiringError):
+            update_semijoin(t, t, BOOLEAN)
+
+    def test_min_sum_update(self, pair):
+        t, s = pair
+        s1 = product_semijoin(s, t, MIN_SUM)
+        t1 = update_semijoin(t, s1, MIN_SUM)
+        joint = product_join(t, s, MIN_SUM)
+        expected = marginalize(joint, ["b"], MIN_SUM)
+        got = marginalize(t1, ["b"], MIN_SUM)
+        assert got.equals(expected, MIN_SUM)
+
+    def test_zero_mass_rows_stay_zero(self):
+        a, b = var("a", 2), var("b", 2)
+        t = FunctionalRelation.from_rows([a, b], [(0, 0, 1.0), (1, 1, 2.0)])
+        s = FunctionalRelation.from_rows([b], [(0, 3.0)])  # b=1 missing
+        s1 = product_semijoin(s, t, SUM_PRODUCT)
+        t1 = update_semijoin(t, s1, SUM_PRODUCT)
+        # b=1 has no mass on the s side; t's b=1 row joins nothing.
+        assert t1.ntuples == 1
+        assert t1.value_at({"a": 0, "b": 0}) == pytest.approx(3.0)

@@ -1,0 +1,73 @@
+"""Unit tests for CPDs."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import CPD
+from repro.data import var
+from repro.errors import SchemaError
+
+
+class TestValidation:
+    def test_rows_must_sum_to_one(self):
+        a = var("a", 2)
+        with pytest.raises(SchemaError):
+            CPD(a, (), np.array([0.5, 0.6]))
+
+    def test_negative_rejected(self):
+        a = var("a", 2)
+        with pytest.raises(SchemaError):
+            CPD(a, (), np.array([-0.1, 1.1]))
+
+    def test_shape_must_match_scope(self):
+        a, b = var("a", 2), var("b", 3)
+        with pytest.raises(SchemaError):
+            CPD(a, (b,), np.full((2, 2), 0.5))
+
+    def test_valid_conditional(self):
+        a, b = var("a", 2), var("b", 3)
+        table = np.full((3, 2), 0.5)
+        cpd = CPD(a, (b,), table)
+        assert cpd.scope == (b, a)
+
+
+class TestConstruction:
+    def test_from_counts_with_prior(self):
+        a = var("a", 2)
+        cpd = CPD.from_counts(a, (), np.array([3.0, 1.0]), prior=1.0)
+        assert cpd.table.tolist() == [4 / 6, 2 / 6]
+
+    def test_from_counts_conditional(self):
+        a, b = var("a", 2), var("b", 2)
+        counts = np.array([[8.0, 2.0], [0.0, 10.0]])
+        cpd = CPD.from_counts(a, (b,), counts, prior=0.0)
+        assert cpd.table[0].tolist() == [0.8, 0.2]
+        assert cpd.table[1].tolist() == [0.0, 1.0]
+
+    def test_random_is_normalized(self, rng):
+        a, b = var("a", 3), var("b", 4)
+        cpd = CPD.random(a, (b,), rng)
+        assert np.allclose(cpd.table.sum(axis=-1), 1.0)
+
+    def test_random_deterministic(self):
+        a = var("a", 3)
+        c1 = CPD.random(a, (), np.random.default_rng(1))
+        c2 = CPD.random(a, (), np.random.default_rng(1))
+        assert np.array_equal(c1.table, c2.table)
+
+
+class TestToRelation:
+    def test_complete_relation(self):
+        a, b = var("a", 2), var("b", 3)
+        cpd = CPD.random(a, (b,), np.random.default_rng(0))
+        rel = cpd.to_relation()
+        assert rel.is_complete()
+        assert rel.var_names == ("b", "a")
+        assert rel.measure_name == "p"
+        assert rel.name == "cpd_a"
+
+    def test_values_match_table(self):
+        a, b = var("a", 2), var("b", 2)
+        table = np.array([[0.9, 0.1], [0.3, 0.7]])
+        rel = CPD(a, (b,), table).to_relation()
+        assert rel.value_at({"b": 1, "a": 0}) == pytest.approx(0.3)

@@ -1,0 +1,128 @@
+"""Tests for MPF-based parameter estimation (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import (
+    BruteForceInference,
+    MPFInference,
+    counts,
+    estimate_cpd,
+    estimate_network,
+    samples_to_relation,
+    sprinkler_network,
+)
+from repro.data import FunctionalRelation, var
+from repro.errors import SchemaError
+from repro.semiring import COUNTING, SUM_PRODUCT
+
+
+@pytest.fixture
+def sprinkler_samples():
+    bn = sprinkler_network()
+    samples = bn.sample(40_000, np.random.default_rng(11))
+    variables = [bn.variable(n) for n in bn.variable_names]
+    return bn, samples, variables
+
+
+class TestSamplesToRelation:
+    def test_multiplicities_sum_to_n(self, sprinkler_samples):
+        _, samples, variables = sprinkler_samples
+        rel = samples_to_relation(samples, variables)
+        assert rel.measure.sum() == 40_000
+        assert rel.measure.dtype == np.int64
+        # Duplicates merged: far fewer rows than samples.
+        assert rel.ntuples <= 16
+
+    def test_mismatched_lengths_rejected(self):
+        a, b = var("a", 2), var("b", 2)
+        with pytest.raises(SchemaError):
+            samples_to_relation(
+                {"a": np.zeros(3, dtype=np.int64),
+                 "b": np.zeros(4, dtype=np.int64)},
+                [a, b],
+            )
+
+
+class TestCounts:
+    def test_marginal_counts_match_numpy(self, sprinkler_samples):
+        _, samples, variables = sprinkler_samples
+        rel = samples_to_relation(samples, variables)
+        rain_counts = counts(rel, ["rain"])
+        for code in (0, 1):
+            expected = int((samples["rain"] == code).sum())
+            assert rain_counts.value_at({"rain": code}) == expected
+
+    def test_counts_over_join_dependency(self):
+        """Data split across two tables sharing a key: the counting
+        product join reconstructs joint multiplicities."""
+        key, x, y = var("k", 3), var("x", 2), var("y", 2)
+        left = FunctionalRelation.from_rows(
+            [key, x],
+            [(0, 0, 2), (1, 1, 3), (2, 0, 1)],
+            name="left",
+            dtype=np.int64,
+        )
+        right = FunctionalRelation.from_rows(
+            [key, y],
+            [(0, 1, 1), (1, 0, 2), (2, 1, 4)],
+            name="right",
+            dtype=np.int64,
+        )
+        joint_counts = counts([left, right], ["x", "y"])
+        # k=0: 2*1 ->(x0,y1)=2 ; k=1: 3*2 ->(x1,y0)=6 ; k=2: 1*4 ->(x0,y1)+=4
+        assert joint_counts.value_at({"x": 0, "y": 1}) == 6
+        assert joint_counts.value_at({"x": 1, "y": 0}) == 6
+
+
+class TestEstimation:
+    def test_cpd_recovery(self, sprinkler_samples):
+        bn, samples, variables = sprinkler_samples
+        rel = samples_to_relation(samples, variables)
+        truth = bn.cpd("rain")
+        estimated = estimate_cpd(
+            rel, truth.variable, truth.parents, prior=1.0
+        )
+        assert np.allclose(estimated.table, truth.table, atol=0.02)
+
+    def test_network_recovery_end_to_end(self, sprinkler_samples):
+        bn, samples, variables = sprinkler_samples
+        rel = samples_to_relation(samples, variables)
+        structure = [
+            (bn.variable(n), tuple(bn.variable(p) for p in bn.parents(n)))
+            for n in bn.variable_names
+        ]
+        estimated = estimate_network(rel, structure, prior=1.0)
+        true_answer = BruteForceInference(bn).query(
+            "rain", evidence={"wet_grass": 1}
+        )
+        est_answer = MPFInference(estimated).query(
+            "rain", evidence={"wet_grass": 1}
+        )
+        assert np.allclose(
+            np.sort(est_answer.measure),
+            np.sort(true_answer.measure),
+            atol=0.03,
+        )
+
+    def test_prior_smooths_unseen_contexts(self):
+        """A parent context never observed still yields a valid
+        (uniform) conditional row."""
+        a, b = var("a", 2), var("b", 3)
+        rel = FunctionalRelation.from_rows(
+            [a, b],
+            [(0, 0, 5), (0, 1, 5)],  # a=1 never observed
+            name="data",
+            dtype=np.int64,
+        )
+        cpd = estimate_cpd(rel, b, (a,), prior=1.0)
+        assert np.allclose(cpd.table[1], [1 / 3, 1 / 3, 1 / 3])
+        assert np.allclose(cpd.table.sum(axis=-1), 1.0)
+
+    def test_zero_prior_pure_mle(self):
+        a = var("a", 2)
+        rel = FunctionalRelation.from_rows(
+            [a], [(0, 3), (1, 1)], name="data", dtype=np.int64
+        )
+        cpd = estimate_cpd(rel, a, (), prior=0.0)
+        assert np.allclose(cpd.table, [0.75, 0.25])

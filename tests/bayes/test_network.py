@@ -1,0 +1,131 @@
+"""Unit tests for BayesianNetwork."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import CPD, BayesianNetwork, figure2_network, sprinkler_network
+from repro.data import var
+from repro.errors import SchemaError
+
+
+class TestStructure:
+    def test_figure2_edges(self):
+        bn = figure2_network()
+        assert set(bn.graph.edges) == {
+            ("A", "B"), ("A", "C"), ("B", "D"), ("C", "D"),
+        }
+
+    def test_topological_order(self):
+        bn = figure2_network()
+        order = bn.variable_names
+        assert order.index("A") < order.index("B")
+        assert order.index("B") < order.index("D")
+        assert order.index("C") < order.index("D")
+
+    def test_parents(self):
+        bn = figure2_network()
+        assert bn.parents("D") == ("B", "C")
+        assert bn.parents("A") == ()
+
+    def test_cycle_rejected(self):
+        a, b = var("A", 2), var("B", 2)
+        with pytest.raises(SchemaError):
+            BayesianNetwork(
+                [
+                    CPD(a, (b,), np.full((2, 2), 0.5)),
+                    CPD(b, (a,), np.full((2, 2), 0.5)),
+                ]
+            )
+
+    def test_missing_parent_cpd_rejected(self):
+        a, b = var("A", 2), var("B", 2)
+        with pytest.raises(SchemaError):
+            BayesianNetwork([CPD(a, (b,), np.full((2, 2), 0.5))])
+
+    def test_duplicate_cpd_rejected(self):
+        a = var("A", 2)
+        cpd = CPD(a, (), np.array([0.5, 0.5]))
+        with pytest.raises(SchemaError):
+            BayesianNetwork([cpd, cpd])
+
+    def test_conflicting_domain_sizes(self):
+        a2, a3 = var("A", 2), var("A", 3)
+        b = var("B", 2)
+        with pytest.raises(SchemaError):
+            BayesianNetwork(
+                [
+                    CPD(a2, (), np.array([0.5, 0.5])),
+                    CPD(b, (a3,), np.full((3, 2), 0.5)),
+                ]
+            )
+
+
+class TestJoint:
+    def test_joint_sums_to_one(self):
+        bn = figure2_network()
+        joint = bn.joint()
+        assert joint.ntuples == 16
+        assert joint.measure.sum() == pytest.approx(1.0)
+
+    def test_factorization(self):
+        """Pr(A,B,C,D) = Pr(A) Pr(B|A) Pr(C|A) Pr(D|B,C) pointwise."""
+        bn = figure2_network()
+        joint = bn.joint()
+        pa = bn.cpd("A").table
+        pb = bn.cpd("B").table
+        pc = bn.cpd("C").table
+        pd = bn.cpd("D").table
+        for a in range(2):
+            for b in range(2):
+                for c in range(2):
+                    for d in range(2):
+                        expected = pa[a] * pb[a, b] * pc[a, c] * pd[b, c, d]
+                        got = joint.value_at({"A": a, "B": b, "C": c, "D": d})
+                        assert got == pytest.approx(expected)
+
+    def test_moral_graph(self):
+        bn = figure2_network()
+        moral = bn.moral_graph()
+        # Moralization marries D's parents B and C.
+        assert moral.has_edge("B", "C")
+        assert moral.has_edge("A", "B")
+
+
+class TestSampling:
+    def test_marginal_frequencies_converge(self):
+        bn = sprinkler_network()
+        samples = bn.sample(20_000, np.random.default_rng(0))
+        freq_rain = samples["rain"].mean()
+        from repro.bayes import BruteForceInference
+
+        expected = BruteForceInference(bn).query("rain").value_at({"rain": 1})
+        assert freq_rain == pytest.approx(float(expected), abs=0.02)
+
+    def test_sample_shapes(self):
+        bn = figure2_network()
+        samples = bn.sample(100, np.random.default_rng(1))
+        assert set(samples) == {"A", "B", "C", "D"}
+        for col in samples.values():
+            assert len(col) == 100
+            assert col.min() >= 0 and col.max() <= 1
+
+
+class TestParameterEstimationRoundTrip:
+    def test_counts_recover_cpds(self):
+        """Section 4: counts from data re-estimate the local functions.
+
+        Sample from the sprinkler network, histogram parent-child
+        counts, rebuild CPDs with from_counts, and check the recovered
+        tables approximate the originals.
+        """
+        bn = sprinkler_network()
+        n = 60_000
+        samples = bn.sample(n, np.random.default_rng(2))
+
+        cpd = bn.cpd("rain")
+        counts = np.zeros((2, 2))
+        np.add.at(counts, (samples["cloudy"], samples["rain"]), 1)
+        rebuilt = CPD.from_counts(
+            cpd.variable, cpd.parents, counts, prior=1.0
+        )
+        assert np.allclose(rebuilt.table, cpd.table, atol=0.02)

@@ -1,0 +1,160 @@
+"""Structure-learning tests: BIC over MPF counts + hill climbing."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import (
+    BruteForceInference,
+    MPFInference,
+    bic_score,
+    chain_network,
+    greedy_hill_climb,
+    samples_to_relation,
+    sprinkler_network,
+)
+from repro.errors import SchemaError
+from repro.semiring import SUM_PRODUCT
+
+
+def _data(bn, n, seed=0):
+    samples = bn.sample(n, np.random.default_rng(seed))
+    variables = [bn.variable(name) for name in bn.variable_names]
+    return samples_to_relation(samples, variables), variables
+
+
+class TestBIC:
+    def test_true_structure_beats_empty(self):
+        bn = sprinkler_network()
+        data, variables = _data(bn, 20_000)
+        true_structure = [
+            (bn.variable(n), tuple(bn.variable(p) for p in bn.parents(n)))
+            for n in bn.variable_names
+        ]
+        empty_structure = [(v, ()) for v in variables]
+        assert bic_score(data, true_structure) > bic_score(
+            data, empty_structure
+        )
+
+    def test_penalty_discourages_spurious_parents(self):
+        """With little data, an extra (true-independence) parent must
+        lower BIC."""
+        bn = chain_network(length=3, domain_size=2, seed=1)
+        data, variables = _data(bn, 300)
+        x0, x1, x2 = variables
+        lean = [(x0, ()), (x1, (x0,)), (x2, (x1,))]
+        bloated = [(x0, ()), (x1, (x0,)), (x2, (x0, x1))]
+        assert bic_score(data, lean) >= bic_score(data, bloated)
+
+    def test_score_is_additive_over_families(self):
+        from repro.bayes.structure import family_bic
+
+        bn = sprinkler_network()
+        data, variables = _data(bn, 5_000)
+        structure = [(v, ()) for v in variables]
+        total = bic_score(data, structure)
+        parts = sum(
+            family_bic(data, v, (), float(data.measure.sum()))
+            for v in variables
+        )
+        assert total == pytest.approx(parts)
+
+
+class TestHillClimb:
+    def test_scores_at_least_the_true_structure(self):
+        """Greedy search is only locally optimal, so we do not demand
+        skeleton recovery — but the structure it returns must score no
+        worse than the generating chain (else the search is broken)."""
+        bn = chain_network(length=4, domain_size=2, seed=3)
+        data, variables = _data(bn, 30_000, seed=3)
+        result = greedy_hill_climb(data, variables, max_parents=2)
+        true_structure = [
+            (bn.variable(n), tuple(bn.variable(p) for p in bn.parents(n)))
+            for n in bn.variable_names
+        ]
+        assert result.score >= bic_score(data, true_structure) - 1e-6
+        # And it found *some* dependence (the chain is not independent).
+        assert any(parents for _, parents in result.structure)
+
+    def test_recovers_strong_chain_skeleton(self):
+        """With near-deterministic links the chain adjacencies are
+        unambiguous and greedy search must find them."""
+        from repro.bayes import CPD, BayesianNetwork
+        from repro.data import var
+
+        variables = [var(f"X{i}", 2) for i in range(3)]
+        strong = np.array([[0.95, 0.05], [0.05, 0.95]])
+        bn = BayesianNetwork(
+            [
+                CPD(variables[0], (), np.array([0.5, 0.5])),
+                CPD(variables[1], (variables[0],), strong),
+                CPD(variables[2], (variables[1],), strong),
+            ]
+        )
+        data, _ = _data(bn, 30_000, seed=11)
+        result = greedy_hill_climb(data, variables, max_parents=2)
+        edges = {
+            frozenset((v.name, p.name))
+            for v, parents in result.structure
+            for p in parents
+        }
+        assert frozenset(("X0", "X1")) in edges
+        assert frozenset(("X1", "X2")) in edges
+
+    def test_result_network_is_valid_and_close(self):
+        bn = sprinkler_network()
+        data, variables = _data(bn, 40_000, seed=5)
+        result = greedy_hill_climb(data, variables, max_parents=2)
+        learned = MPFInference(result.network)
+        truth = BruteForceInference(bn)
+        got = learned.query("wet_grass")
+        expected = truth.query("wet_grass")
+        assert np.allclose(
+            np.sort(got.measure), np.sort(expected.measure), atol=0.03
+        )
+
+    def test_score_improves_monotonically(self):
+        bn = chain_network(length=4, domain_size=2, seed=7)
+        data, variables = _data(bn, 10_000, seed=7)
+        result = greedy_hill_climb(data, variables)
+        scores = [s for _, s in result.trace]
+        assert scores == sorted(scores)
+        assert result.iterations == len(result.trace)
+
+    def test_respects_max_parents(self):
+        bn = sprinkler_network()
+        data, variables = _data(bn, 10_000)
+        result = greedy_hill_climb(data, variables, max_parents=1)
+        for _, parents in result.structure:
+            assert len(parents) <= 1
+
+    def test_acyclic_by_construction(self):
+        import networkx as nx
+
+        bn = sprinkler_network()
+        data, variables = _data(bn, 10_000)
+        result = greedy_hill_climb(data, variables, max_parents=2)
+        assert nx.is_directed_acyclic_graph(result.network.graph)
+
+    def test_missing_variable_rejected(self):
+        bn = sprinkler_network()
+        data, variables = _data(bn, 1_000)
+        from repro.data import var
+
+        with pytest.raises(SchemaError):
+            greedy_hill_climb(data, variables + [var("ghost", 2)])
+
+    def test_zero_iterations_on_independent_noise(self):
+        """Independent uniform variables: the empty graph is already a
+        local optimum (any edge adds penalty without likelihood)."""
+        rng = np.random.default_rng(0)
+        from repro.data import var
+
+        a, b = var("a", 2), var("b", 2)
+        samples = {
+            "a": rng.integers(0, 2, size=20_000),
+            "b": rng.integers(0, 2, size=20_000),
+        }
+        data = samples_to_relation(samples, [a, b])
+        result = greedy_hill_climb(data, [a, b])
+        assert result.iterations == 0
+        assert all(not parents for _, parents in result.structure)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Scales are deliberately tiny: every relative size relationship of the
+paper's Table 1 is preserved (contracts ≈ |pid|, location = 10×
+contracts, ctdeals complete over cid×tid, ...), but joints stay small
+enough to compare against brute-force oracles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import complete_relation, var
+from repro.datagen import linear_view, multistar_view, star_view, supply_chain
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_supply_chain():
+    """Supply chain small enough to materialize the full invest view."""
+    return supply_chain(scale=0.004, seed=7)
+
+
+@pytest.fixture
+def cyclic_supply_chain():
+    """The stdeals-extended (cyclic) schema of Figures 12-15."""
+    return supply_chain(scale=0.004, seed=7, include_stdeals=True)
+
+
+@pytest.fixture
+def chain_relations(rng):
+    """Three complete FRs forming a chain a-b, b-c, c-d."""
+    a, b, c, d = var("a", 3), var("b", 4), var("c", 2), var("d", 3)
+    return [
+        complete_relation([a, b], rng=rng, name="s1"),
+        complete_relation([b, c], rng=rng, name="s2"),
+        complete_relation([c, d], rng=rng, name="s3"),
+    ]
+
+
+@pytest.fixture
+def synthetic_views():
+    """The Section 7.3 trio at reduced domain size for fast tests."""
+    return {
+        "star": star_view(n_tables=4, domain_size=5),
+        "multistar": multistar_view(n_tables=4, domain_size=5),
+        "linear": linear_view(n_tables=4, domain_size=5),
+    }

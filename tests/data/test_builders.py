@@ -1,0 +1,99 @@
+"""Unit tests for relation builders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    complete_relation,
+    identity_relation,
+    random_relation,
+    relation_from_tensor,
+    var,
+)
+from repro.errors import SchemaError
+from repro.semiring import SUM_PRODUCT
+
+
+class TestComplete:
+    def test_covers_cross_product(self):
+        rel = complete_relation([var("a", 3), var("b", 4)])
+        assert rel.ntuples == 12
+        assert rel.is_complete()
+
+    def test_lexicographic_order(self):
+        rel = complete_relation([var("a", 2), var("b", 2)])
+        rows = [r[:-1] for r in rel.iter_rows()]
+        assert rows == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_measure_fn(self):
+        rel = complete_relation(
+            [var("a", 2), var("b", 3)],
+            measure_fn=lambda cols: cols["a"] * 10 + cols["b"],
+        )
+        assert rel.value_at({"a": 1, "b": 2}) == 12.0
+
+    def test_measure_fn_wrong_length(self):
+        with pytest.raises(SchemaError):
+            complete_relation(
+                [var("a", 2)], measure_fn=lambda cols: np.array([1.0])
+            )
+
+    def test_deterministic_under_rng(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        r1 = complete_relation([var("a", 4)], rng=rng1)
+        r2 = complete_relation([var("a", 4)], rng=rng2)
+        assert r1.equals(r2, SUM_PRODUCT)
+
+
+class TestRandom:
+    def test_density(self, rng):
+        rel = random_relation([var("a", 10), var("b", 10)], 0.3, rng)
+        assert rel.ntuples == 30
+        assert not rel.is_complete()
+
+    def test_density_one_is_complete(self, rng):
+        rel = random_relation([var("a", 4), var("b", 4)], 1.0, rng)
+        assert rel.is_complete()
+
+    def test_fd_holds(self, rng):
+        # Sampling without replacement guarantees distinct keys.
+        rel = random_relation([var("a", 6), var("b", 6)], 0.5, rng)
+        keys = rel.key_codes()
+        assert len(np.unique(keys)) == rel.ntuples
+
+    def test_invalid_density(self, rng):
+        with pytest.raises(SchemaError):
+            random_relation([var("a", 3)], 0.0, rng)
+        with pytest.raises(SchemaError):
+            random_relation([var("a", 3)], 1.5, rng)
+
+    def test_min_rows(self, rng):
+        rel = random_relation([var("a", 100)], 0.001, rng, min_rows=5)
+        assert rel.ntuples == 5
+
+
+class TestTensor:
+    def test_roundtrip(self):
+        a, b = var("a", 2), var("b", 3)
+        tensor = np.arange(6, dtype=np.float64).reshape(2, 3)
+        rel = relation_from_tensor([a, b], tensor)
+        for i in range(2):
+            for j in range(3):
+                assert rel.value_at({"a": i, "b": j}) == tensor[i, j]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SchemaError):
+            relation_from_tensor([var("a", 2)], np.zeros((3,)))
+
+
+class TestIdentity:
+    def test_all_ones(self):
+        rel = identity_relation([var("a", 2), var("b", 2)], one=1.0)
+        assert rel.is_complete()
+        assert (rel.measure == 1.0).all()
+
+    def test_boolean_identity(self):
+        rel = identity_relation([var("a", 3)], one=True, dtype=np.bool_)
+        assert rel.measure.dtype == np.bool_
+        assert rel.measure.all()

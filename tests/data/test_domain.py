@@ -1,0 +1,105 @@
+"""Unit tests for domains, variables, and variable sets."""
+
+import numpy as np
+import pytest
+
+from repro.data.domain import Domain, Variable, VariableSet, domain_product, var
+from repro.errors import SchemaError
+
+
+class TestDomain:
+    def test_codes(self):
+        d = Domain("color", 3)
+        assert d.codes().tolist() == [0, 1, 2]
+
+    def test_labels_roundtrip(self):
+        d = Domain("color", 3, labels=("red", "green", "blue"))
+        assert d.label_of(1) == "green"
+        assert d.code_of("blue") == 2
+        assert d.code_of(0) == 0
+
+    def test_unlabeled_label_of_is_code(self):
+        d = Domain("n", 5)
+        assert d.label_of(np.int64(3)) == 3
+
+    def test_bad_size(self):
+        with pytest.raises(SchemaError):
+            Domain("empty", 0)
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            Domain("color", 3, labels=("red",))
+
+    def test_code_out_of_range(self):
+        d = Domain("n", 3)
+        with pytest.raises(SchemaError):
+            d.code_of(7)
+
+
+class TestVariable:
+    def test_size(self):
+        v = var("x", 4)
+        assert v.size == 4
+        assert v.domain.name == "x"
+
+    def test_labels_via_var(self):
+        v = var("x", 2, labels=("lo", "hi"))
+        assert v.domain.code_of("hi") == 1
+
+
+class TestVariableSet:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            VariableSet.of([var("a", 2), var("a", 3)])
+
+    def test_union_preserves_order(self):
+        a, b, c = var("a", 2), var("b", 2), var("c", 2)
+        left = VariableSet.of([a, b])
+        right = VariableSet.of([c, b])
+        assert left.union(right).names == ("a", "b", "c")
+
+    def test_union_conflicting_domains(self):
+        left = VariableSet.of([var("a", 2)])
+        right = VariableSet.of([var("a", 3)])
+        with pytest.raises(SchemaError):
+            left.union(right)
+
+    def test_intersect(self):
+        a, b, c = var("a", 2), var("b", 2), var("c", 2)
+        left = VariableSet.of([a, b])
+        right = VariableSet.of([b, c])
+        assert left.intersect(right).names == ("b",)
+
+    def test_minus_and_subset(self):
+        a, b, c = var("a", 2), var("b", 3), var("c", 4)
+        vs = VariableSet.of([a, b, c])
+        assert vs.minus(["b"]).names == ("a", "c")
+        assert vs.subset(["c", "a"]).names == ("a", "c")
+
+    def test_subset_unknown(self):
+        vs = VariableSet.of([var("a", 2)])
+        with pytest.raises(SchemaError):
+            vs.subset(["zzz"])
+
+    def test_contains_variable_or_name(self):
+        a = var("a", 2)
+        vs = VariableSet.of([a])
+        assert "a" in vs
+        assert a in vs
+        assert "b" not in vs
+
+    def test_getitem(self):
+        a = var("a", 2)
+        vs = VariableSet.of([a])
+        assert vs["a"] is a
+        with pytest.raises(KeyError):
+            vs["b"]
+
+    def test_sizes(self):
+        vs = VariableSet.of([var("a", 2), var("b", 5)])
+        assert vs.sizes() == (2, 5)
+
+
+def test_domain_product():
+    assert domain_product([var("a", 2), var("b", 3), var("c", 4)]) == 24
+    assert domain_product([]) == 1

@@ -1,0 +1,157 @@
+"""Tests for the experimental data generators."""
+
+import pytest
+
+from repro.datagen import (
+    TABLE1_CARDINALITIES,
+    TABLE1_DOMAINS,
+    linear_view,
+    multistar_view,
+    star_view,
+    supply_chain,
+)
+
+
+class TestSupplyChain:
+    def test_table1_constants_match_paper(self):
+        assert TABLE1_CARDINALITIES == {
+            "contracts": 100_000,
+            "warehouses": 5_000,
+            "transporters": 500,
+            "location": 1_000_000,
+            "ctdeals": 500_000,
+        }
+        assert TABLE1_DOMAINS == {
+            "pid": 100_000,
+            "sid": 10_000,
+            "wid": 5_000,
+            "cid": 1_000,
+            "tid": 500,
+        }
+
+    def test_schema_shape(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        expect = {
+            "contracts": ("pid", "sid"),
+            "warehouses": ("wid", "cid"),
+            "transporters": ("tid",),
+            "location": ("pid", "wid"),
+            "ctdeals": ("cid", "tid"),
+        }
+        for table, variables in expect.items():
+            assert set(sc.catalog.stats(table).variables) == set(variables)
+
+    def test_relative_sizes_preserved(self):
+        sc = supply_chain(scale=0.01, seed=0)
+        cat = sc.catalog
+        # location = 10 x contracts, per Table 1.
+        assert cat.stats("location").cardinality == pytest.approx(
+            10 * cat.stats("contracts").cardinality, rel=0.01
+        )
+        # warehouses is complete over wid.
+        assert cat.stats("warehouses").cardinality == cat.variable("wid").size
+        # transporters is complete over tid.
+        assert cat.stats("transporters").cardinality == cat.variable("tid").size
+
+    def test_full_density_ctdeals_complete(self):
+        sc = supply_chain(scale=0.01, seed=0, ctdeals_density=1.0)
+        cat = sc.catalog
+        expected = cat.variable("cid").size * cat.variable("tid").size
+        assert cat.stats("ctdeals").cardinality == expected
+
+    def test_density_knob(self):
+        lo = supply_chain(scale=0.01, seed=0, ctdeals_density=0.2)
+        hi = supply_chain(scale=0.01, seed=0, ctdeals_density=0.9)
+        assert (
+            lo.catalog.stats("ctdeals").cardinality
+            < hi.catalog.stats("ctdeals").cardinality
+        )
+
+    def test_deterministic_under_seed(self):
+        a = supply_chain(scale=0.01, seed=11)
+        b = supply_chain(scale=0.01, seed=11)
+        from repro.semiring import SUM_PRODUCT
+
+        for t in a.tables:
+            assert a.catalog.relation(t).equals(
+                b.catalog.relation(t), SUM_PRODUCT
+            )
+
+    def test_measure_names(self, tiny_supply_chain):
+        cat = tiny_supply_chain.catalog
+        assert cat.relation("contracts").measure_name == "price"
+        assert cat.relation("warehouses").measure_name == "w_factor"
+        assert cat.relation("ctdeals").measure_name == "ct_discount"
+
+    def test_stdeals_extension(self, cyclic_supply_chain):
+        sc = cyclic_supply_chain
+        assert "stdeals" in sc.tables
+        assert set(sc.catalog.stats("stdeals").variables) == {"sid", "tid"}
+
+    def test_table_keys_declared(self, tiny_supply_chain):
+        assert tiny_supply_chain.table_keys["warehouses"] == ("wid",)
+
+
+class TestSyntheticViews:
+    def test_linear_chain(self):
+        view = linear_view(n_tables=5, domain_size=10)
+        assert len(view.tables) == 5
+        assert view.chain_variables == ("v0", "v1", "v2", "v3", "v4", "v5")
+        assert view.hub_variables == ()
+        for i, t in enumerate(view.tables):
+            scope = set(view.catalog.stats(t).variables)
+            assert scope == {f"v{i}", f"v{i + 1}"}
+
+    def test_star_hub_in_every_table(self):
+        view = star_view(n_tables=5, domain_size=10)
+        for t in view.tables:
+            assert "h0" in view.catalog.stats(t).variables
+
+    def test_star_completeness(self):
+        """Section 7.3: all functional relations are complete."""
+        view = star_view(n_tables=5, domain_size=10)
+        for t in view.tables:
+            assert view.catalog.relation(t).is_complete()
+
+    def test_multistar_connectivity_capped_at_three(self):
+        view = multistar_view(n_tables=5, domain_size=10)
+        for h in view.hub_variables:
+            count = sum(
+                1
+                for t in view.tables
+                if h in view.catalog.stats(t).variables
+            )
+            assert count == 3
+
+    def test_multistar_has_multiple_hubs(self):
+        view = multistar_view(n_tables=5, domain_size=10)
+        assert len(view.hub_variables) == 2
+
+    def test_multistar_small_falls_back_to_linear(self):
+        view = multistar_view(n_tables=2, domain_size=4)
+        assert view.kind == "linear"
+
+    def test_domain_size_respected(self):
+        view = star_view(n_tables=3, domain_size=7)
+        for v in view.chain_variables + view.hub_variables:
+            assert view.catalog.variable(v).size == 7
+
+    def test_connectivity_ordering(self):
+        """star max connectivity N > multistar 3 > linear 2 — the axis
+        Figure 10's discussion moves along."""
+        def max_connectivity(view):
+            return max(
+                sum(
+                    1
+                    for t in view.tables
+                    if v in view.catalog.stats(t).variables
+                )
+                for v in view.chain_variables + view.hub_variables
+            )
+
+        star = star_view(n_tables=5, domain_size=4)
+        multi = multistar_view(n_tables=5, domain_size=4)
+        linear = linear_view(n_tables=5, domain_size=4)
+        assert max_connectivity(star) == 5
+        assert max_connectivity(multi) == 3
+        assert max_connectivity(linear) == 2

@@ -1,0 +1,50 @@
+"""Guard tests: every example script runs to completion in-process."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name, argv=None, monkeypatch=None, capsys=None):
+    if monkeypatch is not None and argv is not None:
+        monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out if capsys else ""
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys=capsys)
+    assert "Cheapest landed cost" in out
+    assert "Strategy comparison" in out
+    assert "GroupBy(product)" in out
+
+
+def test_supply_chain(monkeypatch, capsys):
+    out = _run(
+        "supply_chain.py", argv=["0.005"], monkeypatch=monkeypatch,
+        capsys=capsys,
+    )
+    assert "minimum investment on each part" in out
+    assert "plan-linearity test" in out
+    assert "cs+nonlinear" in out
+
+
+def test_bayesian_inference(capsys):
+    out = _run("bayesian_inference.py", capsys=capsys)
+    assert "Pr(C=0 | A=0) = 0.9000" in out
+    assert "matches brute force: True" in out
+    assert "MISMATCH" not in out
+    assert "Structure learning" in out
+
+
+def test_workload_cache(capsys):
+    out = _run("workload_cache.py", capsys=capsys)
+    assert "ctdeals ⋉* transporters" in out       # Figure 11 step 1
+    assert "Definition 5 invariant holds: True" in out
+    assert "invariant holds on cyclic schema: False" in out  # Figure 12
+    assert "BP over the junction tree restores the invariant: True" in out
+    assert "cache advantage" in out

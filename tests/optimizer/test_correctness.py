@@ -1,0 +1,201 @@
+"""Every optimizer's plan must compute the right answer.
+
+The oracle is the naive plan: join everything, aggregate once.  All
+algorithms, all query forms, several semirings, random schemas.
+"""
+
+from functools import reduce
+
+import numpy as np
+import pytest
+
+from repro.algebra import marginalize, product_join, restrict
+from repro.catalog import Catalog
+from repro.data import complete_relation, random_relation, var
+from repro.optimizer import (
+    CSOptimizer,
+    CSPlusLinear,
+    CSPlusNonlinear,
+    QuerySpec,
+    VariableElimination,
+)
+from repro.plans import execute
+from repro.semiring import BOOLEAN, MAX_PRODUCT, MIN_SUM, SUM_PRODUCT
+
+ALL_OPTIMIZERS = [
+    CSOptimizer(),
+    CSPlusLinear(),
+    CSPlusNonlinear(),
+    VariableElimination("degree"),
+    VariableElimination("width"),
+    VariableElimination("elim_cost"),
+    VariableElimination("degree", extended=True),
+    VariableElimination("width", extended=True),
+    VariableElimination("elim_cost", extended=True),
+    VariableElimination("degree+width"),
+    VariableElimination("degree+elim_cost", extended=True),
+    VariableElimination("random", seed=0),
+    VariableElimination("random", extended=True, seed=1),
+]
+
+_IDS = [getattr(o, "algorithm") for o in ALL_OPTIMIZERS]
+
+
+def _oracle(catalog, tables, query_vars, selections, semiring):
+    relations = [catalog.relation(t) for t in tables]
+    joint = reduce(lambda a, b: product_join(a, b, semiring), relations)
+    if selections:
+        joint = restrict(joint, selections)
+    return marginalize(joint, query_vars, semiring)
+
+
+def _random_schema(seed):
+    """A random multi-table schema with overlapping variable scopes."""
+    rng = np.random.default_rng(seed)
+    n_vars = int(rng.integers(3, 6))
+    variables = [var(f"x{i}", int(rng.integers(2, 4))) for i in range(n_vars)]
+    n_tables = int(rng.integers(2, 5))
+    catalog = Catalog()
+    names = []
+    for t in range(n_tables):
+        arity = int(rng.integers(1, min(3, n_vars) + 1))
+        chosen = rng.choice(n_vars, size=arity, replace=False)
+        scope = [variables[i] for i in sorted(chosen)]
+        density = float(rng.uniform(0.4, 1.0))
+        rel = random_relation(scope, density, rng, name=f"t{t}")
+        names.append(catalog.register(rel))
+    # Make sure the schema is connected enough to be interesting:
+    # always add one relation covering two random variables.
+    if n_vars >= 2:
+        extra_scope = [variables[0], variables[-1]]
+        catalog.register(
+            random_relation(extra_scope, 0.8, rng, name="bridge")
+        )
+        names.append("bridge")
+    covered = sorted(
+        {v for t in names for v in catalog.stats(t).variables}
+    )
+    return catalog, names, covered, rng
+
+
+@pytest.mark.parametrize("optimizer", ALL_OPTIMIZERS, ids=_IDS)
+def test_basic_query_matches_oracle(optimizer, tiny_supply_chain):
+    sc = tiny_supply_chain
+    spec = QuerySpec(tables=sc.tables, query_vars=("wid",))
+    result = optimizer.optimize(spec, sc.catalog)
+    got, _ = execute(result.plan, sc.catalog, SUM_PRODUCT)
+    expected = _oracle(sc.catalog, sc.tables, ("wid",), {}, SUM_PRODUCT)
+    assert got.equals(expected, SUM_PRODUCT)
+
+
+@pytest.mark.parametrize("optimizer", ALL_OPTIMIZERS, ids=_IDS)
+def test_restricted_answer_matches_oracle(optimizer, tiny_supply_chain):
+    sc = tiny_supply_chain
+    spec = QuerySpec(
+        tables=sc.tables, query_vars=("wid",), selections={"wid": 1}
+    )
+    result = optimizer.optimize(spec, sc.catalog)
+    got, _ = execute(result.plan, sc.catalog, SUM_PRODUCT)
+    expected = _oracle(sc.catalog, sc.tables, ("wid",), {"wid": 1}, SUM_PRODUCT)
+    assert got.equals(expected, SUM_PRODUCT, ignore_zero_rows=True)
+
+
+@pytest.mark.parametrize("optimizer", ALL_OPTIMIZERS, ids=_IDS)
+def test_constrained_domain_matches_oracle(optimizer, tiny_supply_chain):
+    sc = tiny_supply_chain
+    spec = QuerySpec(
+        tables=sc.tables, query_vars=("cid",), selections={"tid": 1}
+    )
+    result = optimizer.optimize(spec, sc.catalog)
+    got, _ = execute(result.plan, sc.catalog, SUM_PRODUCT)
+    expected = _oracle(sc.catalog, sc.tables, ("cid",), {"tid": 1}, SUM_PRODUCT)
+    assert got.equals(expected, SUM_PRODUCT, ignore_zero_rows=True)
+
+
+@pytest.mark.parametrize(
+    "semiring", [SUM_PRODUCT, MIN_SUM, MAX_PRODUCT], ids=lambda s: s.name
+)
+@pytest.mark.parametrize(
+    "optimizer",
+    [CSPlusNonlinear(), VariableElimination("degree", extended=True)],
+    ids=["cs+nl", "ve+"],
+)
+def test_semiring_generality(optimizer, semiring, tiny_supply_chain):
+    """The same plan is correct under any semiring (GDL genericity)."""
+    sc = tiny_supply_chain
+    spec = QuerySpec(tables=sc.tables, query_vars=("pid",))
+    result = optimizer.optimize(spec, sc.catalog)
+    got, _ = execute(result.plan, sc.catalog, semiring)
+    expected = _oracle(sc.catalog, sc.tables, ("pid",), {}, semiring)
+    assert got.equals(expected, semiring)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_schemas_all_optimizers_agree(seed):
+    catalog, tables, variables, rng = _random_schema(seed)
+    query_var = variables[int(rng.integers(0, len(variables)))]
+    spec = QuerySpec(tables=tuple(tables), query_vars=(query_var,))
+    expected = _oracle(catalog, tables, (query_var,), {}, SUM_PRODUCT)
+    for optimizer in ALL_OPTIMIZERS[:8]:
+        result = optimizer.optimize(spec, catalog)
+        got, _ = execute(result.plan, catalog, SUM_PRODUCT)
+        assert got.equals(expected, SUM_PRODUCT), (
+            f"{optimizer.algorithm} wrong on seed {seed}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_schemas_multi_variable_queries(seed):
+    catalog, tables, variables, rng = _random_schema(seed + 100)
+    k = min(2, len(variables))
+    chosen = tuple(
+        variables[i] for i in rng.choice(len(variables), size=k, replace=False)
+    )
+    spec = QuerySpec(tables=tuple(tables), query_vars=chosen)
+    expected = _oracle(catalog, tables, chosen, {}, SUM_PRODUCT)
+    for optimizer in (CSPlusNonlinear(), VariableElimination("degree", extended=True)):
+        result = optimizer.optimize(spec, catalog)
+        got, _ = execute(result.plan, catalog, SUM_PRODUCT)
+        assert got.equals(expected, SUM_PRODUCT)
+
+
+def test_boolean_semiring_end_to_end(rng):
+    """Reachability-style query on the boolean semiring."""
+    a, b, c = var("a", 3), var("b", 3), var("c", 3)
+    r1 = complete_relation(
+        [a, b], measure_fn=lambda cols: (cols["a"] + cols["b"]) % 2 == 0
+    ).with_name("r1")
+    r2 = complete_relation(
+        [b, c], measure_fn=lambda cols: cols["b"] >= cols["c"]
+    ).with_name("r2")
+    r1 = r1.with_measure(r1.measure.astype(bool))
+    r2 = r2.with_measure(r2.measure.astype(bool))
+    catalog = Catalog()
+    catalog.register_all([r1, r2])
+    spec = QuerySpec(tables=("r1", "r2"), query_vars=("a",))
+    result = CSPlusNonlinear().optimize(spec, catalog)
+    got, _ = execute(result.plan, catalog, BOOLEAN)
+    expected = _oracle(catalog, ("r1", "r2"), ("a",), {}, BOOLEAN)
+    assert got.equals(expected, BOOLEAN)
+
+
+def test_single_table_query(tiny_supply_chain):
+    sc = tiny_supply_chain
+    spec = QuerySpec(tables=("ctdeals",), query_vars=("cid",))
+    for optimizer in (CSOptimizer(), VariableElimination("degree")):
+        result = optimizer.optimize(spec, sc.catalog)
+        got, _ = execute(result.plan, sc.catalog, SUM_PRODUCT)
+        expected = marginalize(
+            sc.catalog.relation("ctdeals"), ["cid"], SUM_PRODUCT
+        )
+        assert got.equals(expected, SUM_PRODUCT)
+
+
+def test_empty_group_by_total_mass(tiny_supply_chain):
+    sc = tiny_supply_chain
+    spec = QuerySpec(tables=sc.tables, query_vars=())
+    result = VariableElimination("degree").optimize(spec, sc.catalog)
+    got, _ = execute(result.plan, sc.catalog, SUM_PRODUCT)
+    expected = _oracle(sc.catalog, sc.tables, (), {}, SUM_PRODUCT)
+    assert got.arity == 0
+    assert np.isclose(got.measure[0], expected.measure[0], rtol=1e-9)

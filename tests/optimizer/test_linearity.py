@@ -1,0 +1,64 @@
+"""Unit tests for the Eq. 1 plan-linearity test (Section 5.1)."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.data import complete_relation, var
+from repro.optimizer import linearity_test
+from repro.datagen import supply_chain
+
+
+class TestEquationOne:
+    def test_paper_q1_values(self):
+        """The paper's worked numbers: σ_cid=1000, σ̂_cid=5000 fails the
+        inequality; σ_tid=σ̂_tid=500 satisfies it."""
+        import math
+
+        sigma, sigma_hat = 1000.0, 5000.0
+        lhs = sigma**2 + sigma_hat * math.log2(sigma_hat)
+        rhs = sigma * sigma_hat
+        assert lhs < rhs  # nonlinear recommended for Q1 (cid)
+
+        sigma = sigma_hat = 500.0
+        lhs = sigma**2 + sigma_hat * math.log2(sigma_hat)
+        rhs = sigma * sigma_hat
+        assert lhs >= rhs  # linear admissible for Q2 (tid)
+
+    def test_full_scale_catalog_directions(self):
+        """At Table 1 scale the catalog-driven test reproduces the
+        paper's verdicts without generating the data."""
+        from repro.catalog import TableStats
+        from repro.optimizer.linearity import LinearityTest
+
+        q1 = LinearityTest("cid", sigma=1000, sigma_hat=5000,
+                           linear_admissible=False)
+        assert q1.lhs < q1.rhs
+        q2 = LinearityTest("tid", sigma=500, sigma_hat=500,
+                           linear_admissible=True)
+        assert q2.lhs >= q2.rhs
+
+    def test_catalog_integration(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        result = linearity_test(sc.catalog, "tid")
+        assert result.variable == "tid"
+        assert result.sigma == sc.catalog.variable("tid").size
+        assert result.sigma_hat == sc.catalog.stats("transporters").cardinality
+        # tid's smallest relation is transporters with σ̂ = σ: linear OK.
+        assert result.linear_admissible
+
+    def test_small_domain_in_big_table_wants_nonlinear(self):
+        """A tiny-domain variable living only in large relations fails
+        Eq. 1 — the situation where nonlinear reduction pays off."""
+        cat = Catalog()
+        # Needs σ_x > log2(σ̂_x) for the inequality to flip: x of
+        # domain 20 inside 6000-row relations qualifies.
+        x, y = var("x", 20), var("y", 300)
+        cat.register(complete_relation([x, y], name="big1"))
+        cat.register(complete_relation([x, y], name="big2").with_name("big2"))
+        result = linearity_test(cat, "x")
+        assert not result.linear_admissible
+
+    def test_str_rendering(self, tiny_supply_chain):
+        text = str(linearity_test(tiny_supply_chain.catalog, "tid"))
+        assert "tid" in text
+        assert "linear admissible" in text or "nonlinear" in text

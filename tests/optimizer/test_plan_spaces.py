@@ -1,0 +1,192 @@
+"""Plan-space structure: Theorems 1 & 3, the CS+ guarantee, and
+optimization-time scaling (Theorem 2)."""
+
+import pytest
+
+from repro.optimizer import (
+    CSOptimizer,
+    CSPlusLinear,
+    CSPlusNonlinear,
+    QuerySpec,
+    VariableElimination,
+)
+from repro.datagen import linear_view, multistar_view, star_view
+
+
+def _spec(view, query_var=None):
+    return QuerySpec(
+        tables=view.tables,
+        query_vars=(query_var or view.chain_variables[0],),
+    )
+
+
+class TestGreedyConservativeGuarantee:
+    """CS+ returns a plan no worse than the single-root-GroupBy plan
+    (Chaudhuri & Shim's guarantee, retained by the MPF extension)."""
+
+    @pytest.mark.parametrize("kind", ["star", "multistar", "linear"])
+    def test_csplus_never_worse_than_cs(self, synthetic_views, kind):
+        view = synthetic_views[kind]
+        spec = _spec(view)
+        cs = CSOptimizer().optimize(spec, view.catalog)
+        csplus = CSPlusLinear().optimize(spec, view.catalog)
+        assert csplus.cost <= cs.cost + 1e-9
+
+    def test_nonlinear_never_worse_than_linear(self, synthetic_views):
+        for view in synthetic_views.values():
+            spec = _spec(view)
+            linear = CSPlusLinear().optimize(spec, view.catalog)
+            nonlinear = CSPlusNonlinear().optimize(spec, view.catalog)
+            assert nonlinear.cost <= linear.cost + 1e-9
+
+    def test_supply_chain_ordering(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        spec = QuerySpec(tables=sc.tables, query_vars=("wid",))
+        cs = CSOptimizer().optimize(spec, sc.catalog)
+        csplus = CSPlusLinear().optimize(spec, sc.catalog)
+        nonlinear = CSPlusNonlinear().optimize(spec, sc.catalog)
+        assert nonlinear.cost <= csplus.cost <= cs.cost
+
+
+class TestInclusionRelationships:
+    """Theorem 1 / Theorem 3, checked as cost dominance: plans found in
+    the smaller space never beat the optimum of the enclosing one."""
+
+    @pytest.mark.parametrize("kind", ["star", "multistar", "linear"])
+    @pytest.mark.parametrize(
+        "heuristic", ["degree", "width", "elim_cost"]
+    )
+    def test_ve_within_csplus(self, synthetic_views, kind, heuristic):
+        view = synthetic_views[kind]
+        spec = _spec(view)
+        optimum = CSPlusNonlinear().optimize(spec, view.catalog).cost
+        ve = VariableElimination(heuristic).optimize(spec, view.catalog).cost
+        assert optimum <= ve + 1e-9
+
+    @pytest.mark.parametrize("kind", ["star", "multistar", "linear"])
+    @pytest.mark.parametrize("heuristic", ["degree", "width", "elim_cost"])
+    def test_extension_never_degrades(self, synthetic_views, kind, heuristic):
+        """Theorem 3's practical content: VE+ ≤ VE in plan cost."""
+        view = synthetic_views[kind]
+        spec = _spec(view)
+        plain = VariableElimination(heuristic).optimize(spec, view.catalog)
+        extended = VariableElimination(heuristic, extended=True).optimize(
+            spec, view.catalog
+        )
+        assert extended.cost <= plain.cost + 1e-9
+
+    @pytest.mark.parametrize("kind", ["star", "multistar", "linear"])
+    def test_extended_ve_reaches_csplus_optimum(self, kind):
+        """The Table 2 observation: at the paper's exact configuration
+        (N=5 tables, domain size 10), extended VE attains the
+        nonlinear-CS+ optimum for every heuristic."""
+        maker = {
+            "star": star_view,
+            "multistar": multistar_view,
+            "linear": linear_view,
+        }[kind]
+        view = maker(n_tables=5, domain_size=10)
+        spec = _spec(view)
+        optimum = CSPlusNonlinear().optimize(spec, view.catalog).cost
+        for heuristic in ("degree", "width", "elim_cost"):
+            extended = VariableElimination(
+                heuristic, extended=True
+            ).optimize(spec, view.catalog)
+            assert extended.cost == pytest.approx(optimum, rel=1e-9)
+
+    def test_supply_chain_inclusion(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        for qv in ("wid", "cid", "tid", "sid", "pid"):
+            spec = QuerySpec(tables=sc.tables, query_vars=(qv,))
+            optimum = CSPlusNonlinear().optimize(spec, sc.catalog).cost
+            for heuristic in ("degree", "width"):
+                plain = VariableElimination(heuristic).optimize(
+                    spec, sc.catalog
+                )
+                ext = VariableElimination(heuristic, extended=True).optimize(
+                    spec, sc.catalog
+                )
+                assert optimum <= ext.cost + 1e-9 <= plain.cost + 2e-9
+
+
+class TestDegreeCatastropheOnStar:
+    """Section 7.3's headline: plain degree eliminates the hub first on
+    the star view, joining every base table with no GDL optimization."""
+
+    def test_degree_picks_hub_first(self):
+        view = star_view(n_tables=5, domain_size=10)
+        spec = _spec(view)
+        result = VariableElimination("degree").optimize(spec, view.catalog)
+        assert result.extras["elimination_order"][0] == "h0"
+
+    def test_degree_catastrophic_vs_width(self):
+        view = star_view(n_tables=5, domain_size=10)
+        spec = _spec(view)
+        degree = VariableElimination("degree").optimize(spec, view.catalog)
+        width = VariableElimination("width").optimize(spec, view.catalog)
+        assert degree.cost > 100 * width.cost
+
+    def test_extension_rescues_degree(self):
+        view = star_view(n_tables=5, domain_size=10)
+        spec = _spec(view)
+        optimum = CSPlusNonlinear().optimize(spec, view.catalog).cost
+        rescued = VariableElimination("degree", extended=True).optimize(
+            spec, view.catalog
+        )
+        assert rescued.cost == pytest.approx(optimum, rel=1e-9)
+
+    def test_width_fine_on_star(self):
+        view = star_view(n_tables=5, domain_size=10)
+        spec = _spec(view)
+        optimum = CSPlusNonlinear().optimize(spec, view.catalog).cost
+        width = VariableElimination("width").optimize(spec, view.catalog)
+        assert width.cost <= 3 * optimum
+
+
+class TestOptimizationEffort:
+    """Theorem 2's shape: VE considers far fewer plans than CS+ when
+    average connectivity is low, and CS+ effort grows fast with N."""
+
+    def test_ve_considers_fewer_plans_than_csplus(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        spec = QuerySpec(tables=sc.tables, query_vars=("wid",))
+        ve = VariableElimination("degree").optimize(spec, sc.catalog)
+        csplus = CSPlusNonlinear().optimize(spec, sc.catalog)
+        assert ve.plans_considered < csplus.plans_considered / 3
+
+    def test_csplus_effort_grows_with_n(self):
+        small = linear_view(n_tables=4, domain_size=4)
+        large = linear_view(n_tables=7, domain_size=4)
+        effort = {}
+        for view in (small, large):
+            spec = _spec(view)
+            effort[len(view.tables)] = CSPlusNonlinear().optimize(
+                spec, view.catalog
+            ).plans_considered
+        assert effort[7] > 6 * effort[4]
+
+    def test_ve_effort_grows_slowly_with_n(self):
+        small = linear_view(n_tables=4, domain_size=4)
+        large = linear_view(n_tables=8, domain_size=4)
+        effort = {}
+        for view in (small, large):
+            spec = _spec(view)
+            effort[len(view.tables)] = VariableElimination("degree").optimize(
+                spec, view.catalog
+            ).plans_considered
+        assert effort[8] <= 4 * effort[4]
+
+
+class TestNonlinearity:
+    def test_ve_produces_nonlinear_plans(self):
+        """On the multistar view the VE plan is naturally bushy."""
+        view = multistar_view(n_tables=5, domain_size=5)
+        spec = _spec(view, view.chain_variables[2])
+        result = VariableElimination("width").optimize(spec, view.catalog)
+        assert not result.plan.is_linear()
+
+    def test_linear_csplus_produces_linear_plans(self, synthetic_views):
+        for view in synthetic_views.values():
+            spec = _spec(view)
+            result = CSPlusLinear().optimize(spec, view.catalog)
+            assert result.plan.is_linear()

@@ -1,0 +1,183 @@
+"""Property-based optimizer tests over hypothesis-generated schemas.
+
+Each property is an invariant the Section 5 analysis promises:
+optimizer plans compute the oracle answer, CS+ dominates CS, the
+extension never degrades VE, and plan structure respects the semantic
+correctness condition.
+"""
+
+from functools import reduce
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import marginalize, product_join, restrict
+from repro.catalog import Catalog
+from repro.data import FunctionalRelation, var
+from repro.optimizer import (
+    CSOptimizer,
+    CSPlusLinear,
+    CSPlusNonlinear,
+    QuerySpec,
+    VariableElimination,
+)
+from repro.plans import GroupBy, Scan, execute
+from repro.semiring import SUM_PRODUCT
+
+
+@st.composite
+def schema_and_query(draw):
+    """A random connected-ish schema, its catalog, and a query spec."""
+    n_vars = draw(st.integers(3, 5))
+    sizes = [draw(st.integers(2, 4)) for _ in range(n_vars)]
+    variables = [var(f"x{i}", sizes[i]) for i in range(n_vars)]
+
+    n_tables = draw(st.integers(2, 4))
+    catalog = Catalog()
+    names = []
+    for t in range(n_tables):
+        arity = draw(st.integers(1, min(3, n_vars)))
+        chosen = sorted(
+            draw(
+                st.lists(
+                    st.integers(0, n_vars - 1),
+                    min_size=arity,
+                    max_size=arity,
+                    unique=True,
+                )
+            )
+        )
+        scope = [variables[i] for i in chosen]
+        total = 1
+        for v in scope:
+            total *= v.size
+        n_rows = draw(st.integers(1, total))
+        flat = draw(
+            st.lists(
+                st.integers(0, total - 1),
+                min_size=n_rows,
+                max_size=n_rows,
+                unique=True,
+            )
+        )
+        columns = {}
+        remaining = np.asarray(flat, dtype=np.int64)
+        divisor = total
+        for v in scope:
+            divisor //= v.size
+            columns[v.name] = (remaining // divisor) % v.size
+        measure = np.asarray(
+            draw(
+                st.lists(
+                    st.floats(0.01, 10.0, allow_nan=False),
+                    min_size=n_rows,
+                    max_size=n_rows,
+                )
+            )
+        )
+        rel = FunctionalRelation(scope, columns, measure, name=f"t{t}")
+        names.append(catalog.register(rel))
+
+    covered = sorted({v for t in names for v in catalog.stats(t).variables})
+    query_var = draw(st.sampled_from(covered))
+    use_selection = draw(st.booleans())
+    selections = {}
+    if use_selection and len(covered) > 1:
+        sel_var = draw(st.sampled_from(covered))
+        sel_size = catalog.variable(sel_var).size
+        selections[sel_var] = draw(st.integers(0, sel_size - 1))
+    spec = QuerySpec(
+        tables=tuple(names), query_vars=(query_var,), selections=selections
+    )
+    return catalog, spec
+
+
+def _oracle(catalog, spec):
+    relations = [catalog.relation(t) for t in spec.tables]
+    joint = reduce(lambda a, b: product_join(a, b, SUM_PRODUCT), relations)
+    if spec.selections:
+        joint = restrict(joint, spec.selections)
+    return marginalize(joint, spec.query_vars, SUM_PRODUCT)
+
+
+@given(schema_and_query())
+@settings(max_examples=40, deadline=None)
+def test_csplus_nonlinear_matches_oracle(case):
+    catalog, spec = case
+    result = CSPlusNonlinear().optimize(spec, catalog)
+    got, _ = execute(result.plan, catalog, SUM_PRODUCT)
+    assert got.equals(
+        _oracle(catalog, spec), SUM_PRODUCT, ignore_zero_rows=True
+    )
+
+
+@given(schema_and_query())
+@settings(max_examples=40, deadline=None)
+def test_ve_extended_matches_oracle(case):
+    catalog, spec = case
+    result = VariableElimination("degree", extended=True).optimize(
+        spec, catalog
+    )
+    got, _ = execute(result.plan, catalog, SUM_PRODUCT)
+    assert got.equals(
+        _oracle(catalog, spec), SUM_PRODUCT, ignore_zero_rows=True
+    )
+
+
+@given(schema_and_query())
+@settings(max_examples=40, deadline=None)
+def test_cost_dominance_chain(case):
+    """cs+nonlinear ≤ cs+linear ≤ cs, and VE+ ≤ VE, in estimated cost."""
+    catalog, spec = case
+    cs = CSOptimizer().optimize(spec, catalog).cost
+    linear = CSPlusLinear().optimize(spec, catalog).cost
+    nonlinear = CSPlusNonlinear().optimize(spec, catalog).cost
+    assert nonlinear <= linear + 1e-9 <= cs + 2e-9
+
+    for heuristic in ("degree", "width"):
+        plain = VariableElimination(heuristic).optimize(spec, catalog).cost
+        ext = VariableElimination(heuristic, extended=True).optimize(
+            spec, catalog
+        ).cost
+        assert ext <= plain + 1e-9
+
+
+@given(schema_and_query())
+@settings(max_examples=40, deadline=None)
+def test_interior_groupbys_respect_correctness_condition(case):
+    """Every GroupBy in a CS+ plan retains the query variables and the
+    variables of every base table not yet joined beneath it."""
+    catalog, spec = case
+    plan = CSPlusNonlinear().optimize(spec, catalog).plan
+    table_vars = {
+        t: set(catalog.stats(t).variables) for t in spec.tables
+    }
+
+    def check(node, tables_outside):
+        if isinstance(node, GroupBy):
+            kept = set(node.group_names)
+            needed = set(spec.query_vars)
+            for t in tables_outside:
+                needed |= table_vars[t]
+            produced = set()
+            for t in node.base_tables():
+                produced |= table_vars[t]
+            assert needed & produced <= kept | (needed - produced)
+        for child in node.children():
+            inside = set(child.base_tables())
+            outside = set(spec.tables) - inside
+            check(child, outside)
+
+    check(plan, set())
+
+
+@given(schema_and_query())
+@settings(max_examples=30, deadline=None)
+def test_plans_considered_positive_and_bounded(case):
+    catalog, spec = case
+    n = len(spec.tables)
+    result = CSPlusNonlinear().optimize(spec, catalog)
+    assert result.plans_considered >= n - 1
+    # Loose upper bound: 4 candidates per split, 3^n splits, plus leaves.
+    assert result.plans_considered <= 8 * 3**n + 4 * n

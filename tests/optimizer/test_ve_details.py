@@ -1,0 +1,108 @@
+"""VE internals: Proposition 1 pruning, elimination-order reporting,
+and QuerySpec validation."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimizer import (
+    QuerySpec,
+    VariableElimination,
+    fd_prunable_variables,
+)
+from repro.optimizer.base import OptimizationResult
+
+
+class TestQuerySpec:
+    def test_requires_tables(self):
+        with pytest.raises(OptimizationError):
+            QuerySpec(tables=(), query_vars=("x",))
+
+    def test_rejects_duplicate_tables(self):
+        with pytest.raises(OptimizationError):
+            QuerySpec(tables=("a", "a"), query_vars=())
+
+    def test_unknown_query_variable(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        spec = QuerySpec(tables=sc.tables, query_vars=("ghost",))
+        with pytest.raises(OptimizationError):
+            VariableElimination().optimize(spec, sc.catalog)
+
+
+class TestFDPruning:
+    def test_prunable_detection(self):
+        table_vars = {"w": ("wid", "cid"), "t": ("tid",)}
+        table_keys = {"w": ("wid",), "t": ("tid",)}
+        prunable = fd_prunable_variables(table_vars, table_keys)
+        assert prunable == {"cid"}
+
+    def test_default_maximal_fd_disables_pruning(self):
+        table_vars = {"w": ("wid", "cid")}
+        assert fd_prunable_variables(table_vars, {}) == frozenset()
+
+    def test_partial_key_declarations(self):
+        table_vars = {"w": ("wid", "cid"), "ct": ("cid", "tid")}
+        table_keys = {"w": ("wid",)}
+        # cid appears in ct's (undeclared, hence maximal) key.
+        assert fd_prunable_variables(table_vars, table_keys) == frozenset()
+
+    def test_prunable_variables_eliminated_first(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        spec = QuerySpec(tables=sc.tables, query_vars=("pid",))
+        # Declare every table's key so some non-key variable exists:
+        # warehouses' key is wid, so cid is determined... but cid also
+        # appears in ctdeals (maximal FD) — declare that one too.
+        keys = {
+            "warehouses": ("wid",),
+            "transporters": ("tid",),
+            "ctdeals": ("cid", "tid"),
+            "contracts": ("pid", "sid"),
+            "location": ("pid", "wid"),
+        }
+        prunable = fd_prunable_variables(
+            {t: sc.catalog.stats(t).variables for t in sc.tables}, keys
+        )
+        assert prunable == frozenset()  # every var is in some key here
+
+    def test_result_correct_with_keys(self, tiny_supply_chain):
+        from repro.plans import execute
+        from repro.semiring import SUM_PRODUCT
+        from repro.algebra import marginalize, product_join
+        from functools import reduce
+
+        sc = tiny_supply_chain
+        spec = QuerySpec(tables=sc.tables, query_vars=("wid",))
+        ve = VariableElimination("degree", table_keys=sc.table_keys)
+        result = ve.optimize(spec, sc.catalog)
+        got, _ = execute(result.plan, sc.catalog, SUM_PRODUCT)
+        joint = reduce(
+            lambda a, b: product_join(a, b, SUM_PRODUCT),
+            [sc.catalog.relation(t) for t in sc.tables],
+        )
+        assert got.equals(marginalize(joint, ["wid"], SUM_PRODUCT), SUM_PRODUCT)
+
+
+class TestReporting:
+    def test_elimination_order_covers_nonquery_vars(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        spec = QuerySpec(tables=sc.tables, query_vars=("wid",))
+        result = VariableElimination("degree").optimize(spec, sc.catalog)
+        order = result.extras["elimination_order"]
+        assert "wid" not in order
+        assert set(order) <= {"pid", "sid", "cid", "tid"}
+
+    def test_result_fields(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        spec = QuerySpec(tables=sc.tables, query_vars=("wid",))
+        result = VariableElimination("width").optimize(spec, sc.catalog)
+        assert isinstance(result, OptimizationResult)
+        assert result.algorithm == "ve(width)"
+        assert result.cost > 0
+        assert result.plans_considered > 0
+        assert result.planning_seconds >= 0
+
+    def test_algorithm_names(self):
+        assert VariableElimination("degree").algorithm == "ve(degree)"
+        assert (
+            VariableElimination("degree", extended=True).algorithm
+            == "ve(degree)+ext"
+        )

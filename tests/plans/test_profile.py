@@ -1,0 +1,70 @@
+"""Tests for the execution profiler."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.data import complete_relation, var
+from repro.plans import (
+    GroupBy,
+    ProductJoin,
+    Scan,
+    execute,
+    profile_execution,
+)
+from repro.semiring import SUM_PRODUCT
+
+
+@pytest.fixture
+def setting(rng):
+    cat = Catalog()
+    cat.register(complete_relation([var("a", 6), var("b", 5)], rng=rng,
+                                   name="s1"))
+    cat.register(complete_relation([var("b", 5), var("c", 4)], rng=rng,
+                                   name="s2"))
+    plan = GroupBy(ProductJoin(Scan("s1"), Scan("s2")), ["a"])
+    return cat, plan
+
+
+class TestProfile:
+    def test_result_matches_plain_execution(self, setting):
+        cat, plan = setting
+        profile = profile_execution(plan, cat, SUM_PRODUCT)
+        expected, _ = execute(plan, cat, SUM_PRODUCT)
+        assert profile.result.equals(expected, SUM_PRODUCT)
+
+    def test_one_entry_per_operator(self, setting):
+        cat, plan = setting
+        profile = profile_execution(plan, cat, SUM_PRODUCT)
+        assert len(profile.operators) == plan.count_nodes()
+        labels = [op.label for op in profile.operators]
+        assert labels[-1].startswith("GroupBy")  # root finishes last
+        assert labels[0].startswith("Scan")
+
+    def test_deltas_sum_to_total(self, setting):
+        cat, plan = setting
+        profile = profile_execution(plan, cat, SUM_PRODUCT)
+        assert sum(op.tuples for op in profile.operators) == (
+            profile.total.tuples_processed
+        )
+        assert sum(op.page_reads for op in profile.operators) == (
+            profile.total.page_reads
+        )
+        assert sum(op.elapsed for op in profile.operators) == pytest.approx(
+            profile.total.elapsed()
+        )
+
+    def test_scans_carry_the_reads(self, setting):
+        cat, plan = setting
+        profile = profile_execution(plan, cat, SUM_PRODUCT)
+        for op in profile.operators:
+            if op.label.startswith("Scan"):
+                assert op.page_reads >= 1
+            else:
+                assert op.page_reads == 0
+
+    def test_formatted_table(self, setting):
+        cat, plan = setting
+        text = profile_execution(plan, cat, SUM_PRODUCT).formatted()
+        assert "operator" in text
+        assert "total" in text
+        assert "Scan(s1)" in text

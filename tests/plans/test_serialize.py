@@ -1,0 +1,85 @@
+"""Plan serialization round-trip tests."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.optimizer import CSPlusNonlinear, QuerySpec, VariableElimination
+from repro.plans import (
+    GroupBy,
+    IndexScan,
+    ProductJoin,
+    Scan,
+    Select,
+    execute,
+    explain,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+)
+from repro.semiring import SUM_PRODUCT
+
+
+def _roundtrip(plan):
+    return plan_from_json(plan_to_json(plan))
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        plan = GroupBy(
+            ProductJoin(
+                Select(Scan("a"), {"x": 1}),
+                IndexScan("b", {"y": 2}),
+                method="sort_merge",
+            ),
+            ["x"],
+            method="hash",
+        )
+        rebuilt = _roundtrip(plan)
+        assert explain(rebuilt) == explain(plan)
+        assert rebuilt.child.method == "sort_merge"
+        assert rebuilt.method == "hash"
+
+    def test_optimizer_plan_roundtrips_and_executes(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        spec = QuerySpec(tables=sc.tables, query_vars=("wid",))
+        plan = VariableElimination("degree").optimize(spec, sc.catalog).plan
+        rebuilt = _roundtrip(plan)
+        original, _ = execute(plan, sc.catalog, SUM_PRODUCT)
+        again, _ = execute(rebuilt, sc.catalog, SUM_PRODUCT)
+        assert original.equals(again, SUM_PRODUCT)
+
+    def test_json_defaults(self):
+        plan = ProductJoin(Scan("a"), Scan("b"))
+        data = plan_to_dict(plan)
+        assert data["method"] == "hash"
+        # Older payloads without method still load.
+        del data["method"]
+        rebuilt = plan_from_dict(data)
+        assert rebuilt.method == "hash"
+
+    def test_prepared_statement_workflow(self, tiny_supply_chain):
+        """Persist a plan as JSON, reload in a 'new session', run it."""
+        sc = tiny_supply_chain
+        spec = QuerySpec(tables=sc.tables, query_vars=("cid",))
+        payload = plan_to_json(
+            CSPlusNonlinear().optimize(spec, sc.catalog).plan, indent=2
+        )
+        assert '"op":' in payload
+        rebuilt = plan_from_json(payload)
+        result, _ = execute(rebuilt, sc.catalog, SUM_PRODUCT)
+        assert result.var_names == ("cid",)
+
+
+class TestErrors:
+    def test_unknown_op(self):
+        with pytest.raises(PlanError):
+            plan_from_dict({"op": "teleport"})
+
+    def test_malformed_dict(self):
+        with pytest.raises(PlanError):
+            plan_from_dict({"nope": 1})
+
+    def test_invalid_json(self):
+        with pytest.raises(PlanError):
+            plan_from_json("{not json")

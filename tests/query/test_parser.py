@@ -1,0 +1,183 @@
+"""Parser tests for the paper's SQL extension."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import (
+    CreateViewStatement,
+    SelectStatement,
+    parse_create_mpfview,
+    parse_select,
+    parse_statement,
+)
+
+CREATE_SQL = """
+create mpfview invest as
+  (select pid, sid, wid, cid, tid,
+          measure = (* contracts.price, warehouses.w_factor,
+                       transporters.t_overhead, location.quantity,
+                       ctdeals.ct_discount)
+   from contracts, warehouses, transporters, location, ctdeals
+   where contracts.pid = location.pid and
+         location.wid = warehouses.wid and
+         warehouses.cid = ctdeals.cid and
+         ctdeals.tid = transporters.tid)
+"""
+
+
+class TestCreateView:
+    def test_paper_syntax(self):
+        stmt = parse_create_mpfview(CREATE_SQL)
+        assert stmt.name == "invest"
+        assert stmt.variables == ("pid", "sid", "wid", "cid", "tid")
+        assert stmt.multiplicative_op == "*"
+        assert stmt.tables == (
+            "contracts", "warehouses", "transporters", "location", "ctdeals",
+        )
+        assert len(stmt.measure_refs) == 5
+        assert ("contracts.pid", "location.pid") in stmt.join_predicates
+
+    def test_additive_view(self):
+        sql = (
+            "create mpfview costs as (select a, b, "
+            "measure = (+ t1.c1, t2.c2) from t1, t2)"
+        )
+        stmt = parse_create_mpfview(sql)
+        assert stmt.multiplicative_op == "+"
+        assert stmt.join_predicates == ()
+
+    def test_boolean_view(self):
+        sql = (
+            "create mpfview reach as (select a, "
+            "measure = (and t1.e, t2.e) from t1, t2)"
+        )
+        assert parse_create_mpfview(sql).multiplicative_op == "and"
+
+    def test_bad_operator(self):
+        sql = (
+            "create mpfview v as (select a, measure = (< t1.f) from t1)"
+        )
+        with pytest.raises(ParseError):
+            parse_create_mpfview(sql)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_create_mpfview(CREATE_SQL + " banana")
+
+    def test_truncated(self):
+        with pytest.raises(ParseError):
+            parse_create_mpfview("create mpfview v as (select a,")
+
+
+class TestSelect:
+    def test_basic_form(self):
+        stmt = parse_select("select wid, sum(inv) from invest group by wid")
+        assert stmt.view == "invest"
+        assert stmt.group_by == ("wid",)
+        assert stmt.aggregate == "sum"
+        assert stmt.measure_ref == "inv"
+        assert stmt.selections == {}
+        assert stmt.having is None
+
+    def test_restricted_answer(self):
+        stmt = parse_select(
+            "select wid, sum(inv) from invest where wid = 3 group by wid"
+        )
+        assert stmt.selections == {"wid": 3}
+
+    def test_constrained_domain(self):
+        stmt = parse_select(
+            "select cid, sum(inv) from invest where tid = 1 group by cid"
+        )
+        assert stmt.selections == {"tid": 1}
+        assert stmt.group_by == ("cid",)
+
+    def test_conjunctive_where(self):
+        stmt = parse_select(
+            "select cid, min(inv) from invest "
+            "where tid = 1 and sid = 2 group by cid"
+        )
+        assert stmt.selections == {"tid": 1, "sid": 2}
+        assert stmt.aggregate == "min"
+
+    def test_having(self):
+        stmt = parse_select(
+            "select wid, sum(inv) from invest group by wid having f < 100"
+        )
+        assert stmt.having == ("<", 100.0)
+
+    def test_having_float_threshold(self):
+        stmt = parse_select(
+            "select wid, sum(inv) from invest group by wid having inv >= 0.5"
+        )
+        assert stmt.having == (">=", 0.5)
+
+    def test_multi_variable_group_by(self):
+        stmt = parse_select(
+            "select wid, cid, sum(inv) from invest group by wid, cid"
+        )
+        assert stmt.group_by == ("wid", "cid")
+
+    def test_aggregate_only_total(self):
+        stmt = parse_select("select sum(inv) from invest")
+        assert stmt.group_by == ()
+
+    def test_select_list_group_by_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_select(
+                "select wid, sum(inv) from invest group by cid"
+            )
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ParseError):
+            parse_select("select wid, avg(inv) from invest group by wid")
+
+    def test_bad_having_operator(self):
+        with pytest.raises(ParseError):
+            parse_select(
+                "select wid, sum(inv) from invest group by wid having f + 3"
+            )
+
+    def test_case_insensitive_keywords(self):
+        stmt = parse_select("SELECT wid, SUM(inv) FROM invest GROUP BY wid")
+        assert stmt.aggregate == "sum"
+
+
+class TestDispatch:
+    def test_statement_dispatch(self):
+        assert isinstance(parse_statement(CREATE_SQL), CreateViewStatement)
+        assert isinstance(
+            parse_statement("select sum(f) from v"), SelectStatement
+        )
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("drop table students")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_statement("select $ from v")
+
+
+class TestCreateIndex:
+    def test_parse(self):
+        from repro.query import CreateIndexStatement
+
+        stmt = parse_statement("create index on contracts ( pid )")
+        assert isinstance(stmt, CreateIndexStatement)
+        assert stmt.table == "contracts"
+        assert stmt.variable == "pid"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("create index on contracts(pid) extra")
+
+    def test_engine_integration(self, tiny_supply_chain):
+        from repro import Database
+
+        db = Database()
+        for t in tiny_supply_chain.tables:
+            db.register(tiny_supply_chain.catalog.relation(t))
+        outcome = db.execute("create index on ctdeals(tid)")
+        assert outcome == "ctdeals(tid)"
+        assert db.catalog.index_on("ctdeals", "tid") is not None

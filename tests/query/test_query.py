@@ -1,0 +1,107 @@
+"""Tests for MPFView and MPFQuery objects."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import HavingClause, MPFQuery, MPFView
+from repro.semiring import MIN_SUM, SUM_PRODUCT
+
+
+@pytest.fixture
+def view(tiny_supply_chain):
+    return MPFView("invest", tiny_supply_chain.tables, SUM_PRODUCT)
+
+
+class TestMPFView:
+    def test_variables_union(self, view, tiny_supply_chain):
+        variables = view.variables(tiny_supply_chain.catalog)
+        assert set(variables) == {"pid", "sid", "wid", "cid", "tid"}
+
+    def test_materialize_is_product_join(self, view, tiny_supply_chain):
+        from functools import reduce
+
+        from repro.algebra import product_join
+
+        cat = tiny_supply_chain.catalog
+        expected = reduce(
+            lambda a, b: product_join(a, b, SUM_PRODUCT),
+            [cat.relation(t) for t in view.tables],
+        )
+        assert view.materialize(cat).equals(expected, SUM_PRODUCT)
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(QueryError):
+            MPFView("v", ())
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(QueryError):
+            MPFView("v", ("a", "a"))
+
+
+class TestMPFQueryForms:
+    def test_basic(self, view):
+        q = MPFQuery(view, ("wid",))
+        assert q.form == "basic"
+
+    def test_restricted_answer(self, view):
+        q = MPFQuery(view, ("wid",), selections={"wid": 1})
+        assert q.form == "restricted-answer"
+
+    def test_constrained_domain(self, view):
+        q = MPFQuery(view, ("cid",), selections={"tid": 1})
+        assert q.form == "constrained-domain"
+
+    def test_mixed_selections(self, view):
+        q = MPFQuery(view, ("cid",), selections={"cid": 0, "tid": 1})
+        assert q.form == "restricted-answer+constrained-domain"
+
+    def test_constrained_range(self, view):
+        q = MPFQuery(view, ("wid",), having=HavingClause("<", 10.0))
+        assert q.form == "basic+constrained-range"
+
+
+class TestValidation:
+    def test_unknown_group_by(self, view, tiny_supply_chain):
+        q = MPFQuery(view, ("ghost",))
+        with pytest.raises(QueryError):
+            q.validate(tiny_supply_chain.catalog)
+
+    def test_unknown_selection(self, view, tiny_supply_chain):
+        q = MPFQuery(view, ("wid",), selections={"ghost": 1})
+        with pytest.raises(QueryError):
+            q.validate(tiny_supply_chain.catalog)
+
+    def test_to_spec(self, view, tiny_supply_chain):
+        q = MPFQuery(view, ("cid",), selections={"tid": 1})
+        spec = q.to_spec(tiny_supply_chain.catalog)
+        assert spec.tables == view.tables
+        assert spec.query_vars == ("cid",)
+        assert spec.selections == {"tid": 1}
+
+
+class TestHaving:
+    def test_finish_applies_filter(self, view, tiny_supply_chain):
+        q = MPFQuery(view, ("wid",), having=HavingClause(">", 0.0))
+        materialized = view.materialize(tiny_supply_chain.catalog)
+        from repro.algebra import marginalize
+
+        result = marginalize(materialized, ["wid"], SUM_PRODUCT)
+        filtered = q.finish(result)
+        assert filtered.ntuples == result.ntuples  # all positive
+
+        q2 = MPFQuery(view, ("wid",), having=HavingClause("<", 0.0))
+        assert q2.finish(result).ntuples == 0
+
+    def test_finish_noop_without_having(self, view):
+        q = MPFQuery(view, ("wid",))
+        from repro.data import FunctionalRelation
+
+        rel = FunctionalRelation.constant(1.0)
+        assert q.finish(rel) is rel
+
+
+def test_repr_round_trip_information(view):
+    q = MPFQuery(view, ("wid",), selections={"tid": 1},
+                 having=HavingClause("<", 5))
+    text = repr(q)
+    assert "wid" in text and "tid=1" in text and "< 5" in text

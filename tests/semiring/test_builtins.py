@@ -1,0 +1,201 @@
+"""Unit tests for the builtin semirings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemiringError
+from repro.semiring import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    COUNTING,
+    MAX_PRODUCT,
+    MAX_SUM,
+    MIN_PRODUCT,
+    MIN_SUM,
+    SUM_PRODUCT,
+    by_name,
+)
+
+
+class TestLookup:
+    def test_by_name_canonical(self):
+        assert by_name("sum_product") is SUM_PRODUCT
+        assert by_name("min_sum") is MIN_SUM
+
+    def test_by_name_aggregate_alias(self):
+        assert by_name("sum") is SUM_PRODUCT
+        assert by_name("min") is MIN_SUM
+        assert by_name("max") is MAX_SUM
+        assert by_name("or") is BOOLEAN
+
+    def test_by_name_case_insensitive(self):
+        assert by_name("SUM") is SUM_PRODUCT
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            by_name("does_not_exist")
+
+
+class TestIdentities:
+    @pytest.mark.parametrize("s", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_additive_identity(self, s):
+        a = np.array([s.one, s.zero], dtype=s.dtype)
+        assert s.close(s.plus(a, s.zeros(2)), a)
+
+    @pytest.mark.parametrize("s", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_multiplicative_identity(self, s):
+        a = np.array([s.one, s.zero], dtype=s.dtype)
+        assert s.close(s.times(a, s.ones(2)), a)
+
+    @pytest.mark.parametrize("s", ALL_SEMIRINGS, ids=lambda s: s.name)
+    def test_zero_annihilates(self, s):
+        a = np.array([s.one], dtype=s.dtype)
+        assert s.close(s.times(a, s.zeros(1)), s.zeros(1))
+
+
+class TestDivision:
+    def test_sum_product_divides(self):
+        a = np.array([6.0, 0.0])
+        b = np.array([2.0, 0.0])
+        out = SUM_PRODUCT.divide(a, b)
+        assert out[0] == pytest.approx(3.0)
+        assert out[1] == 0.0  # 0/0 = 0 convention
+
+    def test_min_sum_divides_by_subtraction(self):
+        a = np.array([5.0, np.inf])
+        b = np.array([2.0, np.inf])
+        out = MIN_SUM.divide(a, b)
+        assert out[0] == pytest.approx(3.0)
+        assert out[1] == np.inf  # zero / zero = zero
+
+    def test_boolean_has_no_division(self):
+        assert not BOOLEAN.supports_division
+        with pytest.raises(SemiringError):
+            BOOLEAN.divide(np.array([True]), np.array([True]))
+
+    def test_counting_has_no_division(self):
+        assert not COUNTING.supports_division
+
+    def test_max_product_divide(self):
+        out = MAX_PRODUCT.divide(np.array([0.6]), np.array([0.3]))
+        assert out[0] == pytest.approx(2.0)
+
+
+class TestAggregate:
+    def test_sum_groups(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        ids = np.array([0, 1, 0, 1])
+        out = SUM_PRODUCT.aggregate(vals, ids, 2)
+        assert out.tolist() == [4.0, 6.0]
+
+    def test_min_groups(self):
+        vals = np.array([3.0, 1.0, 2.0])
+        ids = np.array([0, 0, 1])
+        out = MIN_SUM.aggregate(vals, ids, 2)
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_empty_group_gets_zero(self):
+        out = MIN_SUM.aggregate(np.array([1.0]), np.array([1]), 3)
+        assert out[0] == np.inf
+        assert out[2] == np.inf
+
+    def test_bool_groups(self):
+        vals = np.array([False, True, False])
+        ids = np.array([0, 0, 1])
+        out = BOOLEAN.aggregate(vals, ids, 2)
+        assert out.tolist() == [True, False]
+
+    def test_empty_input(self):
+        out = SUM_PRODUCT.aggregate(np.array([]), np.array([], dtype=np.int64), 2)
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_reduce(self):
+        assert SUM_PRODUCT.reduce(np.array([1.0, 2.0, 3.0])) == 6.0
+        assert MIN_SUM.reduce(np.array([3.0, 1.0])) == 1.0
+        assert SUM_PRODUCT.reduce(np.array([])) == 0.0
+
+    def test_aggregate_without_plus_at_fallback(self):
+        from repro.semiring.base import Semiring
+
+        custom = Semiring(
+            "custom_max", np.maximum, np.add, -np.inf, 0.0,
+        )
+        vals = np.array([1.0, 5.0, 2.0])
+        ids = np.array([0, 0, 1])
+        out = custom.aggregate(vals, ids, 2)
+        assert out.tolist() == [5.0, 2.0]
+
+
+class TestIdempotence:
+    def test_flags(self):
+        assert MIN_SUM.idempotent_plus
+        assert not SUM_PRODUCT.idempotent_plus
+        assert BOOLEAN.idempotent_times
+        assert not MIN_SUM.idempotent_times
+
+    def test_close_handles_shape_mismatch(self):
+        assert not SUM_PRODUCT.close(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestLogProb:
+    def test_isomorphic_to_sum_product(self):
+        """exp(plus_log(log a, log b)) == a + b, and times is ×."""
+        from repro.semiring import LOG_PROB
+
+        a, b = 0.3, 0.0625
+        la, lb = np.log(a), np.log(b)
+        assert np.exp(LOG_PROB.plus(la, lb)) == pytest.approx(a + b)
+        assert np.exp(LOG_PROB.times(la, lb)) == pytest.approx(a * b)
+        assert np.exp(
+            LOG_PROB.divide(np.array([la]), np.array([lb]))
+        )[0] == pytest.approx(a / b)
+
+    def test_zero_and_one(self):
+        from repro.semiring import LOG_PROB
+
+        assert LOG_PROB.zero == -np.inf  # log 0
+        assert LOG_PROB.one == 0.0       # log 1
+
+    def test_aggregate_is_logsumexp(self):
+        from repro.semiring import LOG_PROB
+
+        vals = np.log(np.array([0.1, 0.2, 0.3]))
+        ids = np.zeros(3, dtype=np.int64)
+        out = LOG_PROB.aggregate(vals, ids, 1)
+        assert np.exp(out[0]) == pytest.approx(0.6)
+
+    def test_stable_on_tiny_probabilities(self):
+        """200 factors of 1e-3 underflow linear space but not log
+        space."""
+        from repro.semiring import LOG_PROB, SUM_PRODUCT
+
+        linear = np.prod(np.full(200, 1e-3))
+        assert linear == 0.0  # underflow
+        log_value = np.sum(np.log(np.full(200, 1e-3)))
+        assert np.isfinite(log_value)
+        # And the semiring reproduces it through times.
+        acc = LOG_PROB.one
+        for _ in range(200):
+            acc = LOG_PROB.times(acc, np.log(1e-3))
+        assert acc == pytest.approx(log_value)
+
+    def test_marginalization_agrees_with_linear_space(self, rng=None):
+        from repro.algebra import marginalize, product_join
+        from repro.data import complete_relation, var
+        from repro.semiring import LOG_PROB, SUM_PRODUCT
+
+        rng = np.random.default_rng(4)
+        a, b, c = var("a", 3), var("b", 4), var("c", 2)
+        s1 = complete_relation([a, b], rng=rng, low=0.01, high=1.0)
+        s2 = complete_relation([b, c], rng=rng, low=0.01, high=1.0)
+        linear = marginalize(
+            product_join(s1, s2, SUM_PRODUCT), ["a"], SUM_PRODUCT
+        )
+        l1 = s1.with_measure(np.log(s1.measure))
+        l2 = s2.with_measure(np.log(s2.measure))
+        logspace = marginalize(
+            product_join(l1, l2, LOG_PROB), ["a"], LOG_PROB
+        )
+        assert np.allclose(
+            np.exp(np.sort(logspace.measure)), np.sort(linear.measure)
+        )

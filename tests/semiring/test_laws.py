@@ -1,0 +1,133 @@
+"""Property-based verification of the semiring laws (Section 2).
+
+The MPF optimizations all rest on the commutative-semiring axioms —
+especially distributivity, which is what lets GroupBys push through
+product joins (the GDL).  Hypothesis draws measure values per semiring
+and checks every axiom.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring import (
+    BOOLEAN,
+    COUNTING,
+    LOG_PROB,
+    MAX_PRODUCT,
+    MAX_SUM,
+    MIN_PRODUCT,
+    MIN_SUM,
+    SUM_PRODUCT,
+)
+
+# Strategies tailored per semiring so floating error stays benign:
+# bounded nonnegative reals for product semirings, bounded reals for
+# tropical ones, booleans, and small ints for counting.
+_VALUE_STRATEGIES = {
+    SUM_PRODUCT.name: st.floats(0, 100, allow_nan=False),
+    MIN_SUM.name: st.floats(-100, 100, allow_nan=False) | st.just(np.inf),
+    MAX_SUM.name: st.floats(-100, 100, allow_nan=False) | st.just(-np.inf),
+    MIN_PRODUCT.name: st.floats(0, 100, allow_nan=False) | st.just(np.inf),
+    MAX_PRODUCT.name: st.floats(0, 100, allow_nan=False),
+    BOOLEAN.name: st.booleans(),
+    COUNTING.name: st.integers(0, 1000),
+    LOG_PROB.name: st.floats(-50, 5, allow_nan=False) | st.just(-np.inf),
+}
+
+_SEMIRINGS = [
+    SUM_PRODUCT, MIN_SUM, MAX_SUM, MIN_PRODUCT, MAX_PRODUCT, BOOLEAN,
+    COUNTING, LOG_PROB,
+]
+
+
+def _triple(semiring):
+    value = _VALUE_STRATEGIES[semiring.name]
+    return st.tuples(value, value, value)
+
+
+def _check(semiring, lhs, rhs):
+    assert semiring.close(
+        np.asarray(lhs, dtype=semiring.dtype),
+        np.asarray(rhs, dtype=semiring.dtype),
+        rtol=1e-7,
+        atol=1e-7,
+    ), f"{semiring.name}: {lhs} != {rhs}"
+
+
+def _law_factories(s):
+    """Build the five law checkers for one semiring via closures
+    (hypothesis rejects default-argument capture)."""
+
+    def plus_assoc(abc):
+        a, b, c = abc
+        _check(s, s.plus(s.plus(a, b), c), s.plus(a, s.plus(b, c)))
+
+    def plus_comm(abc):
+        a, b, _ = abc
+        _check(s, s.plus(a, b), s.plus(b, a))
+
+    def times_assoc(abc):
+        a, b, c = abc
+        _check(s, s.times(s.times(a, b), c), s.times(a, s.times(b, c)))
+
+    def times_comm(abc):
+        a, b, _ = abc
+        _check(s, s.times(a, b), s.times(b, a))
+
+    def distributive(abc):
+        a, b, c = abc
+        _check(
+            s,
+            s.times(a, s.plus(b, c)),
+            s.plus(s.times(a, b), s.times(a, c)),
+        )
+
+    return {
+        "plus_associative": plus_assoc,
+        "plus_commutative": plus_comm,
+        "times_associative": times_assoc,
+        "times_commutative": times_comm,
+        "distributive": distributive,
+    }
+
+
+def _make_law_tests():
+    # One generated test per (semiring, law) keeps failures attributable.
+    tests = {}
+    for semiring in _SEMIRINGS:
+        decorate = settings(max_examples=60, deadline=None)
+        for law_name, law in _law_factories(semiring).items():
+            wrapped = decorate(given(_triple(semiring))(law))
+            tests[f"test_{semiring.name}_{law_name}"] = wrapped
+    return tests
+
+
+globals().update(_make_law_tests())
+
+
+@given(st.lists(st.floats(0, 10, allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_aggregate_matches_sequential_reduce(values):
+    """Grouped aggregation equals a left fold with plus."""
+    arr = np.asarray(values)
+    expected = 0.0
+    for v in values:
+        expected += v
+    got = SUM_PRODUCT.reduce(arr)
+    assert abs(got - expected) < 1e-7 * max(1.0, abs(expected))
+
+
+@given(
+    st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=30),
+    st.integers(1, 5),
+)
+@settings(max_examples=50, deadline=None)
+def test_grouped_min_matches_python_min(values, n_groups):
+    arr = np.asarray(values)
+    ids = np.arange(len(values)) % n_groups
+    got = MIN_SUM.aggregate(arr, ids, n_groups)
+    for g in range(n_groups):
+        members = [v for i, v in enumerate(values) if i % n_groups == g]
+        expected = min(members) if members else np.inf
+        assert got[g] == expected

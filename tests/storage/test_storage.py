@@ -1,0 +1,161 @@
+"""Unit tests for the simulated storage substrate."""
+
+import pytest
+
+from repro.data import complete_relation, var
+from repro.errors import StorageError
+from repro.storage import (
+    BufferPool,
+    HeapFile,
+    IOStats,
+    PageGeometry,
+    PageId,
+    TempFileAllocator,
+)
+
+
+class TestPageGeometry:
+    def test_tuple_bytes(self):
+        g = PageGeometry(arity=3)
+        assert g.tuple_bytes == 32  # 3 vars + measure, 8 bytes each
+
+    def test_tuples_per_page(self):
+        g = PageGeometry(arity=1, page_size=8192)
+        assert g.tuples_per_page == (8192 - 24) // 16
+
+    def test_pages_for(self):
+        g = PageGeometry(arity=1, page_size=8192)
+        tpp = g.tuples_per_page
+        assert g.pages_for(0) == 1
+        assert g.pages_for(tpp) == 1
+        assert g.pages_for(tpp + 1) == 2
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(StorageError):
+            PageGeometry(arity=1, page_size=8)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(StorageError):
+            PageGeometry(arity=-1)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(capacity_pages=4)
+        stats = IOStats()
+        page = PageId(1, 0)
+        pool.read(page, stats)
+        pool.read(page, stats)
+        assert stats.page_reads == 1
+        assert stats.buffer_hits == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(capacity_pages=2)
+        stats = IOStats()
+        p = [PageId(1, i) for i in range(3)]
+        pool.read(p[0], stats)
+        pool.read(p[1], stats)
+        pool.read(p[2], stats)  # evicts p[0]
+        pool.read(p[0], stats)  # miss again
+        assert stats.page_reads == 4
+        assert stats.buffer_hits == 0
+
+    def test_lru_recency_update(self):
+        pool = BufferPool(capacity_pages=2)
+        stats = IOStats()
+        a, b, c = PageId(1, 0), PageId(1, 1), PageId(1, 2)
+        pool.read(a, stats)
+        pool.read(b, stats)
+        pool.read(a, stats)  # refresh a
+        pool.read(c, stats)  # evicts b, not a
+        assert a in pool
+        assert b not in pool
+
+    def test_write_admits_page(self):
+        pool = BufferPool(capacity_pages=4)
+        stats = IOStats()
+        pool.write(PageId(2, 0), stats)
+        assert stats.page_writes == 1
+        assert PageId(2, 0) in pool
+
+    def test_invalidate_file(self):
+        pool = BufferPool(capacity_pages=8)
+        stats = IOStats()
+        pool.read(PageId(1, 0), stats)
+        pool.read(PageId(2, 0), stats)
+        pool.invalidate_file(1)
+        assert PageId(1, 0) not in pool
+        assert PageId(2, 0) in pool
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(0)
+
+
+class TestHeapFile:
+    def test_for_relation(self):
+        rel = complete_relation([var("a", 100), var("b", 100)])
+        hf = HeapFile.for_relation(1, rel)
+        assert hf.ntuples == 10_000
+        assert hf.n_pages == PageGeometry(2).pages_for(10_000)
+
+    def test_scan_charges_all_pages(self):
+        hf = HeapFile(1, ntuples=100_000, arity=2)
+        pool = BufferPool(capacity_pages=hf.n_pages + 10)
+        stats = IOStats()
+        hf.scan(pool, stats)
+        assert stats.page_reads == hf.n_pages
+        # Second scan hits the cache.
+        hf.scan(pool, stats)
+        assert stats.page_reads == hf.n_pages
+        assert stats.buffer_hits == hf.n_pages
+
+    def test_scan_larger_than_pool_never_hits(self):
+        hf = HeapFile(1, ntuples=100_000, arity=2)
+        pool = BufferPool(capacity_pages=max(1, hf.n_pages // 2))
+        stats = IOStats()
+        hf.scan(pool, stats)
+        hf.scan(pool, stats)
+        assert stats.buffer_hits == 0
+        assert stats.page_reads == 2 * hf.n_pages
+
+    def test_write_out(self):
+        hf = HeapFile(3, ntuples=1000, arity=1)
+        pool = BufferPool()
+        stats = IOStats()
+        hf.write_out(pool, stats)
+        assert stats.page_writes == hf.n_pages
+
+
+class TestTempAllocator:
+    def test_unique_negative_ids(self):
+        alloc = TempFileAllocator()
+        a = alloc.allocate(10, 1)
+        b = alloc.allocate(10, 1)
+        assert a.file_id != b.file_id
+        assert a.file_id < 0 and b.file_id < 0
+
+
+class TestIOStats:
+    def test_elapsed_weighting(self):
+        stats = IOStats(io_weight=100.0, cpu_weight=1.0)
+        stats.charge_read(2)
+        stats.charge_write(1)
+        stats.charge_cpu(50)
+        assert stats.elapsed() == 100.0 * 3 + 50
+
+    def test_merged_with(self):
+        a = IOStats()
+        a.charge_read(1)
+        a.record_operator("x", 5)
+        b = IOStats()
+        b.charge_cpu(10)
+        merged = a.merged_with(b)
+        assert merged.page_reads == 1
+        assert merged.tuples_processed == 10
+        assert merged.operators_run == 1
+
+    def test_summary_format(self):
+        stats = IOStats()
+        stats.charge_read()
+        assert "reads=1" in stats.summary()

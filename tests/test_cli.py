@@ -1,0 +1,99 @@
+"""CLI tests (in-process: call main with argv)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_runs(self, capsys):
+        assert main(["demo", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum investment per part" in out
+        assert "strategy comparison" in out
+        assert "cs+nonlinear" in out
+
+
+class TestSql:
+    def test_inline_statement(self, capsys):
+        rc = main(
+            [
+                "sql", "--scale", "0.005",
+                "-c", "select wid, sum(inv) from invest group by wid",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wid" in out
+        assert "rows]" in out
+
+    def test_explain_flag(self, capsys):
+        rc = main(
+            [
+                "sql", "--scale", "0.005", "--explain",
+                "-c", "select cid, sum(inv) from invest group by cid",
+            ]
+        )
+        assert rc == 0
+        assert "Scan(" in capsys.readouterr().out
+
+    def test_file_input(self, tmp_path, capsys):
+        script = tmp_path / "queries.sql"
+        script.write_text(
+            "select wid, sum(inv) from invest group by wid;\n"
+            "select tid, min(inv) from invest group by tid\n"
+        )
+        rc = main(["sql", "--scale", "0.005", "-f", str(script)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("mpf>") == 2
+
+    def test_no_statements_is_usage_error(self, capsys):
+        assert main(["sql"]) == 2
+
+    def test_bad_sql_reports_error(self, capsys):
+        rc = main(["sql", "--scale", "0.005", "-c", "select banana"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_create_view_statement(self, capsys):
+        rc = main(
+            [
+                "sql", "--scale", "0.005",
+                "-c",
+                "create mpfview twotab as (select pid, wid, "
+                "measure = (* location.quantity, contracts.price) "
+                "from location, contracts)",
+                "-c", "select wid, sum(f) from twotab group by wid",
+            ]
+        )
+        assert rc == 0
+        assert "created" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_table2(self, capsys):
+        assert main(["table2", "--n-tables", "4", "--domain", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "nonlinear CS+" in out
+        assert "VE(deg) ext." in out
+
+    def test_table3(self, capsys):
+        assert main(
+            ["table3", "--n-tables", "4", "--domain", "5", "--runs", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "VE(random)" in out
+        assert "VE(random) ext." in out
+
+
+class TestInference:
+    def test_runs(self, capsys):
+        assert main(["inference"]) == 0
+        out = capsys.readouterr().out
+        assert "Pr(C=0 | A=0) = 0.9000" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

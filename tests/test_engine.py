@@ -1,0 +1,251 @@
+"""End-to-end tests of the Database facade."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ParseError, QueryError
+from repro.semiring import SUM_PRODUCT
+
+CREATE_INVEST = """
+create mpfview invest as
+  (select pid, sid, wid, cid, tid,
+          measure = (* contracts.price, warehouses.w_factor,
+                       transporters.t_overhead, location.quantity,
+                       ctdeals.ct_discount)
+   from contracts, warehouses, transporters, location, ctdeals
+   where contracts.pid = location.pid and
+         location.wid = warehouses.wid and
+         warehouses.cid = ctdeals.cid and
+         ctdeals.tid = transporters.tid)
+"""
+
+
+@pytest.fixture
+def db(tiny_supply_chain):
+    database = Database()
+    for t in tiny_supply_chain.tables:
+        database.register(tiny_supply_chain.catalog.relation(t))
+    database.execute(CREATE_INVEST)
+    return database
+
+
+class TestDDL:
+    def test_view_created(self, db):
+        report = db.execute("select wid, sum(inv) from invest group by wid")
+        assert report.result.var_names == ("wid",)
+
+    def test_duplicate_view_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute(CREATE_INVEST)
+
+    def test_view_over_unknown_table(self, db):
+        with pytest.raises(QueryError):
+            db.create_view("v2", ("contracts", "ghost"))
+
+    def test_measure_ref_must_name_from_table(self, db):
+        bad = (
+            "create mpfview v2 as (select pid, "
+            "measure = (* elsewhere.f) from contracts)"
+        )
+        with pytest.raises(QueryError):
+            db.execute(bad)
+
+    def test_join_predicates_must_be_natural(self, db):
+        bad = (
+            "create mpfview v2 as (select pid, wid, "
+            "measure = (* contracts.price, location.quantity) "
+            "from contracts, location where contracts.pid = location.wid)"
+        )
+        with pytest.raises(QueryError):
+            db.execute(bad)
+
+
+class TestQueries:
+    def test_all_strategies_agree(self, db):
+        sql = "select wid, sum(inv) from invest group by wid"
+        reference = db.execute(sql, strategy="cs").result
+        for strategy in ("cs+", "cs+nonlinear", "ve", "ve+", "auto"):
+            got = db.execute(sql, strategy=strategy).result
+            assert got.equals(reference, SUM_PRODUCT), strategy
+
+    def test_strategies_match_oracle(self, db, tiny_supply_chain):
+        from functools import reduce
+
+        from repro.algebra import marginalize, product_join
+
+        cat = tiny_supply_chain.catalog
+        joint = reduce(
+            lambda a, b: product_join(a, b, SUM_PRODUCT),
+            [cat.relation(t) for t in tiny_supply_chain.tables],
+        )
+        expected = marginalize(joint, ["cid"], SUM_PRODUCT)
+        got = db.execute("select cid, sum(inv) from invest group by cid")
+        assert got.result.equals(expected, SUM_PRODUCT)
+
+    def test_constrained_domain_sql(self, db, tiny_supply_chain):
+        from functools import reduce
+
+        from repro.algebra import marginalize, product_join, restrict
+
+        cat = tiny_supply_chain.catalog
+        joint = reduce(
+            lambda a, b: product_join(a, b, SUM_PRODUCT),
+            [cat.relation(t) for t in tiny_supply_chain.tables],
+        )
+        expected = marginalize(
+            restrict(joint, {"tid": 1}), ["cid"], SUM_PRODUCT
+        )
+        got = db.execute(
+            "select cid, sum(inv) from invest where tid = 1 group by cid"
+        )
+        assert got.result.equals(expected, SUM_PRODUCT, ignore_zero_rows=True)
+
+    def test_min_aggregate_selects_min_product(self, db):
+        report = db.execute("select pid, min(inv) from invest group by pid")
+        assert report.semiring.name == "min_product"
+
+    def test_having_filters(self, db):
+        full = db.execute("select wid, sum(inv) from invest group by wid")
+        threshold = float(sorted(full.result.measure)[len(full.result.measure) // 2])
+        filtered = db.execute(
+            f"select wid, sum(inv) from invest group by wid having f < {threshold}"
+        )
+        assert 0 < filtered.result.ntuples < full.result.ntuples
+
+    def test_incompatible_aggregate(self, db):
+        with pytest.raises(QueryError):
+            db.execute("select wid, or(inv) from invest group by wid")
+
+    def test_unknown_view(self, db):
+        with pytest.raises(QueryError):
+            db.execute("select wid, sum(inv) from ghost group by wid")
+
+    def test_unknown_strategy(self, db):
+        with pytest.raises(QueryError):
+            db.execute(
+                "select wid, sum(inv) from invest group by wid",
+                strategy="quantum",
+            )
+
+    def test_parse_error_propagates(self, db):
+        with pytest.raises(ParseError):
+            db.execute("select select select")
+
+
+class TestReport:
+    def test_summary_fields(self, db):
+        report = db.execute(
+            "select wid, sum(inv) from invest group by wid", strategy="ve+"
+        )
+        text = report.summary()
+        assert "ve(degree)+ext" in text
+        assert "est cost" in text
+        assert "rows:" in text
+        assert "linearity" in text
+
+    def test_plan_text(self, db):
+        report = db.execute("select wid, sum(inv) from invest group by wid")
+        assert "Scan(" in report.plan_text
+        assert "GroupBy" in report.plan_text
+
+    def test_explain_without_execution(self, db):
+        text = db.explain_query(
+            "select wid, sum(inv) from invest group by wid", strategy="cs"
+        )
+        assert text.count("Scan") == 5
+
+    def test_exec_stats_populated(self, db):
+        report = db.execute("select wid, sum(inv) from invest group by wid")
+        assert report.exec_stats.page_reads > 0
+        assert report.exec_stats.elapsed() > 0
+
+
+class TestCache:
+    def test_build_and_query(self, db):
+        db.build_cache("invest")
+        got = db.query_cached("invest", "wid")
+        expected = db.execute(
+            "select wid, sum(inv) from invest group by wid"
+        ).result
+        assert got.equals(expected, SUM_PRODUCT, ignore_zero_rows=True)
+
+    def test_cached_evidence(self, db):
+        db.build_cache("invest")
+        got = db.query_cached("invest", "cid", evidence={"tid": 1})
+        expected = db.execute(
+            "select cid, sum(inv) from invest where tid = 1 group by cid"
+        ).result
+        assert got.equals(expected, SUM_PRODUCT, ignore_zero_rows=True)
+
+    def test_cache_required(self, db):
+        with pytest.raises(QueryError):
+            db.query_cached("invest", "wid")
+
+    def test_cache_unknown_view(self, db):
+        with pytest.raises(QueryError):
+            db.build_cache("ghost")
+
+
+class TestProfile:
+    def test_profile_breakdown(self, db):
+        profile = db.profile(
+            "select wid, sum(inv) from invest group by wid"
+        )
+        assert profile.result.var_names == ("wid",)
+        assert len(profile.operators) >= 6  # 5 scans + joins + groupbys
+        text = profile.formatted()
+        assert "Scan(location)" in text
+        assert "total" in text
+
+    def test_profile_requires_select(self, db):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            db.profile("create index on contracts(pid)")
+
+    def test_profile_unknown_view(self, db):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            db.profile("select sum(f) from ghost")
+
+
+class TestPlanCache:
+    def test_repeat_query_hits_cache(self, db):
+        from repro.query import MPFQuery, MPFView
+
+        view = MPFView("invest", db._views["invest"].view_tables,
+                       SUM_PRODUCT)
+        query = MPFQuery(view, ("wid",))
+        first = db.run_query(query, use_plan_cache=True)
+        assert db.plan_cache_hits == 0
+        second = db.run_query(query, use_plan_cache=True)
+        assert db.plan_cache_hits == 1
+        assert second.optimization.algorithm.endswith("+cached")
+        assert second.optimization.planning_seconds == 0.0
+        assert first.result.equals(second.result, SUM_PRODUCT)
+
+    def test_different_constants_miss(self, db):
+        from repro.query import MPFQuery, MPFView
+
+        view = MPFView("invest", db._views["invest"].view_tables,
+                       SUM_PRODUCT)
+        db.run_query(
+            MPFQuery(view, ("cid",), selections={"tid": 0}),
+            use_plan_cache=True,
+        )
+        db.run_query(
+            MPFQuery(view, ("cid",), selections={"tid": 1}),
+            use_plan_cache=True,
+        )
+        assert db.plan_cache_hits == 0
+
+    def test_cache_off_by_default(self, db):
+        from repro.query import MPFQuery, MPFView
+
+        view = MPFView("invest", db._views["invest"].view_tables,
+                       SUM_PRODUCT)
+        query = MPFQuery(view, ("wid",))
+        db.run_query(query)
+        db.run_query(query)
+        assert db.plan_cache_hits == 0

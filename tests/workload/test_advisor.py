@@ -1,0 +1,81 @@
+"""Tests for the workload cache advisor."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.semiring import SUM_PRODUCT
+from repro.workload import (
+    MPFWorkload,
+    advise_cache,
+    cache_objective,
+    satisfies_workload_invariant,
+)
+
+
+@pytest.fixture
+def setting(tiny_supply_chain):
+    sc = tiny_supply_chain
+    relations = [sc.catalog.relation(t) for t in sc.tables]
+    workload = MPFWorkload.uniform(["pid", "sid", "wid", "cid", "tid"])
+    return relations, workload
+
+
+class TestAdvise:
+    def test_returns_minimum_objective(self, setting):
+        relations, workload = setting
+        best, candidates = advise_cache(relations, SUM_PRODUCT, workload)
+        assert candidates[0].cache is best
+        objectives = [c.objective for c in candidates]
+        assert objectives == sorted(objectives)
+        assert candidates[0].objective == cache_objective(best, workload)
+
+    def test_best_cache_is_correct(self, setting):
+        relations, workload = setting
+        best, _ = advise_cache(relations, SUM_PRODUCT, workload)
+        assert satisfies_workload_invariant(
+            best.tables, relations, SUM_PRODUCT
+        )
+
+    def test_random_restarts_extend_candidates(self, setting):
+        relations, workload = setting
+        _, base = advise_cache(relations, SUM_PRODUCT, workload)
+        _, extended = advise_cache(
+            relations, SUM_PRODUCT, workload, random_restarts=3
+        )
+        assert len(extended) == len(base) + 3
+        labels = {c.label for c in extended}
+        assert {"random#0", "random#1", "random#2"} <= labels
+
+    def test_restarts_deterministic_under_seed(self, setting):
+        relations, workload = setting
+        _, a = advise_cache(
+            relations, SUM_PRODUCT, workload, random_restarts=2, seed=5
+        )
+        _, b = advise_cache(
+            relations, SUM_PRODUCT, workload, random_restarts=2, seed=5
+        )
+        assert [c.objective for c in a] == [c.objective for c in b]
+
+    def test_materialization_weight_shifts_choice(self, setting):
+        relations, workload = setting
+        _, cheap_storage = advise_cache(
+            relations, SUM_PRODUCT, workload, materialization_weight=0.0
+        )
+        _, pricey_storage = advise_cache(
+            relations, SUM_PRODUCT, workload, materialization_weight=100.0
+        )
+        # With expensive storage the objective must weigh total tuples
+        # 100x harder; scores change accordingly.
+        assert pricey_storage[0].objective > cheap_storage[0].objective
+
+    def test_empty_view_rejected(self, setting):
+        _, workload = setting
+        with pytest.raises(WorkloadError):
+            advise_cache([], SUM_PRODUCT, workload)
+
+    def test_single_heuristic(self, setting):
+        relations, workload = setting
+        _, candidates = advise_cache(
+            relations, SUM_PRODUCT, workload, heuristics=("width",)
+        )
+        assert [c.label for c in candidates] == ["ve(width)"]

@@ -1,0 +1,165 @@
+"""Belief propagation tests: Figure 11's program, Theorem 6's
+invariant, and the Figure 12 cyclic double-counting failure."""
+
+import pytest
+
+from repro.errors import AcyclicityError, SemiringError, WorkloadError
+from repro.semiring import BOOLEAN, MIN_SUM, SUM_PRODUCT
+from repro.workload import (
+    belief_propagation,
+    bp_program_literal,
+    satisfies_workload_invariant,
+)
+
+FIGURE11_ORDER = [
+    "transporters", "ctdeals", "warehouses", "location", "contracts",
+]
+
+
+def _relations(sc, order=None):
+    names = order or sc.tables
+    return {t: sc.catalog.relation(t) for t in names}
+
+
+class TestFigure11Program:
+    def test_exact_program(self, tiny_supply_chain):
+        """With order t, ct, w, l, c (root c) the semijoin program is
+        exactly Figure 11's eight steps."""
+        rels = _relations(tiny_supply_chain, FIGURE11_ORDER)
+        result = belief_propagation(rels, SUM_PRODUCT, root="contracts")
+        listing = result.program_listing().splitlines()
+        assert listing == [
+            "1. ctdeals ⋉* transporters",
+            "2. warehouses ⋉* ctdeals",
+            "3. location ⋉* warehouses",
+            "4. contracts ⋉* location",
+            "5. location ⋉ contracts",
+            "6. warehouses ⋉ location",
+            "7. ctdeals ⋉ warehouses",
+            "8. transporters ⋉ ctdeals",
+        ]
+
+    def test_forward_steps_before_backward(self, tiny_supply_chain):
+        rels = _relations(tiny_supply_chain, FIGURE11_ORDER)
+        result = belief_propagation(rels, SUM_PRODUCT, root="contracts")
+        kinds = [s.kind for s in result.program]
+        assert kinds == ["product"] * 4 + ["update"] * 4
+
+
+class TestInvariant:
+    def test_tree_bp_satisfies_definition5(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        rels = _relations(sc)
+        result = belief_propagation(rels, SUM_PRODUCT)
+        assert satisfies_workload_invariant(
+            result.tables, list(rels.values()), SUM_PRODUCT
+        )
+
+    def test_min_sum_bp(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        rels = _relations(sc)
+        result = belief_propagation(rels, MIN_SUM)
+        assert satisfies_workload_invariant(
+            result.tables, list(rels.values()), MIN_SUM
+        )
+
+    def test_literal_program_on_chain_schema(self, tiny_supply_chain):
+        """Algorithm 4 verbatim coincides with tree BP on the path-
+        shaped supply-chain schema."""
+        sc = tiny_supply_chain
+        rels = _relations(sc, FIGURE11_ORDER)
+        result = bp_program_literal(rels, SUM_PRODUCT, FIGURE11_ORDER)
+        assert satisfies_workload_invariant(
+            result.tables, list(rels.values()), SUM_PRODUCT
+        )
+
+    def test_scopes_preserved(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        rels = _relations(sc)
+        result = belief_propagation(rels, SUM_PRODUCT)
+        for name, updated in result.tables.items():
+            assert set(updated.var_names) == set(rels[name].var_names)
+
+
+class TestCyclicFailure:
+    def test_tree_bp_refuses_cyclic_schema(self, cyclic_supply_chain):
+        rels = _relations(cyclic_supply_chain)
+        with pytest.raises(AcyclicityError):
+            belief_propagation(rels, SUM_PRODUCT)
+
+    def test_literal_bp_double_counts_on_cycle(self, cyclic_supply_chain):
+        """Figure 12's walk-through: on the stdeals schema the literal
+        program re-propagates transporters' measure and the invariant
+        fails."""
+        sc = cyclic_supply_chain
+        order = [
+            "transporters", "stdeals", "ctdeals", "warehouses",
+            "location", "contracts",
+        ]
+        rels = _relations(sc, order)
+        result = bp_program_literal(rels, SUM_PRODUCT, order)
+        assert not satisfies_workload_invariant(
+            result.tables, list(rels.values()), SUM_PRODUCT
+        )
+
+    def test_boolean_tree_bp_uses_product_fallback(self, tiny_supply_chain):
+        """The boolean semiring has no division, but its idempotent
+        multiplication lets the backward pass reuse the product
+        semijoin — and on the acyclic schema the invariant holds."""
+        sc = tiny_supply_chain
+        rels = {
+            t: r.with_measure(r.measure > r.measure.mean())
+            for t, r in _relations(sc).items()
+        }
+        result = belief_propagation(rels, BOOLEAN)
+        assert satisfies_workload_invariant(
+            result.tables, list(rels.values()), BOOLEAN
+        )
+
+    def test_update_semijoin_is_calibration_fixpoint(self, tiny_supply_chain):
+        """A calibrated table absorbing its calibrated neighbor via the
+        *update* semijoin (which divides) is unchanged — the backward
+        operator, unlike the forward one, is a fixpoint at
+        calibration."""
+        from repro.algebra import update_semijoin
+
+        sc = tiny_supply_chain
+        rels = _relations(sc)
+        result = belief_propagation(rels, SUM_PRODUCT)
+        ct = result.tables["ctdeals"]
+        w = result.tables["warehouses"]
+        again = update_semijoin(ct, w, SUM_PRODUCT)
+        assert again.equals(ct, SUM_PRODUCT, ignore_zero_rows=True)
+
+
+class TestValidation:
+    def test_unknown_root(self, tiny_supply_chain):
+        rels = _relations(tiny_supply_chain)
+        with pytest.raises(WorkloadError):
+            belief_propagation(rels, SUM_PRODUCT, root="ghost")
+
+    def test_literal_order_must_be_permutation(self, tiny_supply_chain):
+        rels = _relations(tiny_supply_chain)
+        with pytest.raises(WorkloadError):
+            bp_program_literal(rels, SUM_PRODUCT, ["contracts"])
+
+    def test_unique_names_required(self, tiny_supply_chain):
+        rel = tiny_supply_chain.catalog.relation("contracts")
+        anonymous = rel.with_name(None)
+        other = tiny_supply_chain.catalog.relation("location")
+        # List input with a None name gets a positional name; fine.
+        result = belief_propagation([anonymous.with_name("c"), other],
+                                    SUM_PRODUCT)
+        assert set(result.tables) == {"c", "location"}
+
+    def test_counting_semiring_backward_pass_unsupported(
+        self, tiny_supply_chain
+    ):
+        from repro.semiring import COUNTING
+
+        rels = {
+            t: r.with_measure(r.measure.astype("int64"))
+            for t, r in _relations(tiny_supply_chain).items()
+        }
+        with pytest.raises(SemiringError):
+            belief_propagation(rels, COUNTING)

@@ -1,0 +1,121 @@
+"""Unit tests for schema graphs and acyclicity (Theorems 7 & 8)."""
+
+import networkx as nx
+import pytest
+
+from repro.workload import (
+    gyo_reduction,
+    has_running_intersection,
+    is_acyclic_schema,
+    junction_tree_of_schema,
+    relation_graph,
+    variable_graph,
+)
+
+SUPPLY_SCHEMA = {
+    "contracts": ("pid", "sid"),
+    "warehouses": ("wid", "cid"),
+    "transporters": ("tid",),
+    "location": ("pid", "wid"),
+    "ctdeals": ("cid", "tid"),
+}
+
+CYCLIC_SCHEMA = dict(SUPPLY_SCHEMA, stdeals=("sid", "tid"))
+
+
+class TestRelationGraph:
+    def test_supply_chain_is_a_path(self):
+        g = relation_graph(SUPPLY_SCHEMA)
+        assert g.number_of_edges() == 4
+        degrees = sorted(d for _, d in g.degree)
+        assert degrees == [1, 1, 2, 2, 2]
+
+    def test_edge_annotations(self):
+        g = relation_graph(SUPPLY_SCHEMA)
+        assert g.edges["contracts", "location"]["shared"] == {"pid"}
+        assert g.edges["contracts", "location"]["weight"] == 1
+
+    def test_stdeals_closes_the_cycle(self):
+        g = relation_graph(CYCLIC_SCHEMA)
+        assert nx.cycle_basis(g)
+
+
+class TestVariableGraph:
+    def test_acyclic_schema_chordal(self):
+        """Figure 13: the original variable graph is (trivially)
+        chordal."""
+        g = variable_graph(SUPPLY_SCHEMA)
+        assert nx.is_chordal(g)
+        assert set(g.nodes) == {"pid", "sid", "wid", "cid", "tid"}
+
+    def test_stdeals_breaks_chordality(self):
+        """Adding stdeals creates the chordless 5-cycle the paper
+        describes (sid-pid-wid-cid-tid-sid)."""
+        g = variable_graph(CYCLIC_SCHEMA)
+        assert not nx.is_chordal(g)
+        cycle = ["sid", "pid", "wid", "cid", "tid"]
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert g.has_edge(a, b)
+
+    def test_isolated_single_variable_relation(self):
+        g = variable_graph({"t": ("x",)})
+        assert list(g.nodes) == ["x"]
+        assert g.number_of_edges() == 0
+
+
+class TestRunningIntersection:
+    def test_supply_chain_tree_has_rip(self):
+        tree = junction_tree_of_schema(SUPPLY_SCHEMA)
+        assert tree is not None
+        assert has_running_intersection(tree, SUPPLY_SCHEMA)
+
+    def test_cyclic_schema_has_no_junction_tree(self):
+        assert junction_tree_of_schema(CYCLIC_SCHEMA) is None
+
+    def test_bad_tree_detected(self):
+        # A star tree rooted at transporters violates RIP: the path
+        # contracts-transporters-location does not carry pid.
+        tree = nx.Graph()
+        tree.add_edges_from(
+            ("transporters", other)
+            for other in SUPPLY_SCHEMA
+            if other != "transporters"
+        )
+        assert not has_running_intersection(tree, SUPPLY_SCHEMA)
+
+
+class TestGYO:
+    def test_acyclic_reduces_to_empty(self):
+        assert gyo_reduction(SUPPLY_SCHEMA) == []
+        assert is_acyclic_schema(SUPPLY_SCHEMA)
+
+    def test_cyclic_leaves_residue(self):
+        residue = gyo_reduction(CYCLIC_SCHEMA)
+        assert residue
+        assert not is_acyclic_schema(CYCLIC_SCHEMA)
+
+    def test_triangle_hypergraph_cyclic(self):
+        schema = {"r1": ("a", "b"), "r2": ("b", "c"), "r3": ("a", "c")}
+        assert not is_acyclic_schema(schema)
+
+    def test_covered_triangle_acyclic(self):
+        # Adding a covering relation makes the triangle α-acyclic.
+        schema = {
+            "r1": ("a", "b"),
+            "r2": ("b", "c"),
+            "r3": ("a", "c"),
+            "big": ("a", "b", "c"),
+        }
+        assert is_acyclic_schema(schema)
+
+    def test_single_relation_acyclic(self):
+        assert is_acyclic_schema({"r": ("a", "b", "c")})
+
+    def test_empty_schema_acyclic(self):
+        assert is_acyclic_schema({})
+
+    def test_disconnected_acyclic(self):
+        schema = {"r1": ("a", "b"), "r2": ("x", "y")}
+        assert is_acyclic_schema(schema)
+        tree = junction_tree_of_schema(schema)
+        assert tree is not None  # a forest

@@ -1,0 +1,112 @@
+"""Junction tree (Algorithm 5) tests, including the Figure 15 result."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import WorkloadError
+from repro.semiring import SUM_PRODUCT
+from repro.workload import (
+    belief_propagation,
+    build_junction_tree,
+    satisfies_workload_invariant,
+)
+
+
+def _relations(sc):
+    return [sc.catalog.relation(t) for t in sc.tables]
+
+
+class TestFigure15:
+    def test_clique_schema(self, cyclic_supply_chain):
+        """Triangulating with tid, sid yields the Figure 15 schema:
+        (sid, cid, tid), (pid, sid, cid), (pid, wid, cid)."""
+        jt = build_junction_tree(
+            _relations(cyclic_supply_chain), SUM_PRODUCT, order=["tid", "sid"]
+        )
+        scopes = {frozenset(rel.var_names) for rel in jt.cliques.values()}
+        assert scopes == {
+            frozenset(("sid", "cid", "tid")),
+            frozenset(("pid", "sid", "cid")),
+            frozenset(("pid", "wid", "cid")),
+        }
+
+    def test_tree_shape(self, cyclic_supply_chain):
+        jt = build_junction_tree(
+            _relations(cyclic_supply_chain), SUM_PRODUCT, order=["tid", "sid"]
+        )
+        assert nx.is_tree(jt.tree)
+        assert jt.tree.number_of_nodes() == 3
+
+    def test_every_base_relation_assigned(self, cyclic_supply_chain):
+        sc = cyclic_supply_chain
+        jt = build_junction_tree(_relations(sc), SUM_PRODUCT, order=["tid", "sid"])
+        assert set(jt.assignment) == set(sc.tables)
+        for table, clique in jt.assignment.items():
+            table_vars = set(sc.catalog.stats(table).variables)
+            clique_vars = set(jt.cliques[clique].var_names)
+            assert table_vars <= clique_vars
+
+
+class TestCorrectness:
+    def test_bp_over_junction_tree_satisfies_invariant(
+        self, cyclic_supply_chain
+    ):
+        """The full Algorithm 5 + Algorithm 4 pipeline on the cyclic
+        schema: junction tree then BP restores Definition 5."""
+        relations = _relations(cyclic_supply_chain)
+        jt = build_junction_tree(relations, SUM_PRODUCT, order=["tid", "sid"])
+        bp = belief_propagation(jt.cliques, SUM_PRODUCT, tree=jt.tree)
+        assert satisfies_workload_invariant(bp.tables, relations, SUM_PRODUCT)
+
+    def test_product_of_cliques_equals_joint(self, cyclic_supply_chain):
+        """Before BP, the clique potentials are a factorization: their
+        product join equals the full view."""
+        from functools import reduce
+
+        from repro.algebra import product_join
+
+        relations = _relations(cyclic_supply_chain)
+        jt = build_junction_tree(relations, SUM_PRODUCT, order=["tid", "sid"])
+        joint_from_cliques = reduce(
+            lambda a, b: product_join(a, b, SUM_PRODUCT),
+            jt.cliques.values(),
+        )
+        joint = reduce(
+            lambda a, b: product_join(a, b, SUM_PRODUCT), relations
+        )
+        assert joint_from_cliques.equals(
+            joint, SUM_PRODUCT, ignore_zero_rows=True
+        )
+
+    def test_acyclic_schema_passthrough(self, tiny_supply_chain):
+        """On an already-acyclic schema the junction tree's cliques are
+        the (merged) relation scopes and BP still works."""
+        relations = _relations(tiny_supply_chain)
+        jt = build_junction_tree(relations, SUM_PRODUCT)
+        bp = belief_propagation(jt.cliques, SUM_PRODUCT, tree=jt.tree)
+        assert satisfies_workload_invariant(bp.tables, relations, SUM_PRODUCT)
+
+
+class TestValidation:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_junction_tree([], SUM_PRODUCT)
+
+    def test_validate_raises_on_broken_tree(self, cyclic_supply_chain):
+        jt = build_junction_tree(
+            _relations(cyclic_supply_chain), SUM_PRODUCT, order=["tid", "sid"]
+        )
+        # Sabotage: replace the tree with a wrong-topology star.
+        names = list(jt.cliques)
+        bad = nx.Graph()
+        # Connect the two non-adjacent end cliques directly.
+        bad.add_edge(names[0], names[2])
+        bad.add_node(names[1])
+        jt.tree = bad
+        with pytest.raises(WorkloadError):
+            jt.validate()
+
+    def test_min_fill_default_order(self, cyclic_supply_chain):
+        jt = build_junction_tree(_relations(cyclic_supply_chain), SUM_PRODUCT)
+        assert nx.is_chordal(jt.triangulation.chordal_graph)
+        jt.validate()

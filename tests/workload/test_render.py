@@ -1,0 +1,59 @@
+"""DOT rendering tests (Figures 13-15 as text artifacts)."""
+
+import pytest
+
+from repro.semiring import SUM_PRODUCT
+from repro.workload import (
+    build_junction_tree,
+    junction_tree_dot,
+    triangulate,
+    triangulation_dot,
+    variable_graph,
+    variable_graph_dot,
+)
+
+CYCLIC_SCHEMA = {
+    "contracts": ("pid", "sid"),
+    "warehouses": ("wid", "cid"),
+    "transporters": ("tid",),
+    "location": ("pid", "wid"),
+    "ctdeals": ("cid", "tid"),
+    "stdeals": ("sid", "tid"),
+}
+
+
+class TestVariableGraphDot:
+    def test_figure13_shape(self):
+        dot = variable_graph_dot(variable_graph(CYCLIC_SCHEMA))
+        assert dot.startswith("graph")
+        assert dot.rstrip().endswith("}")
+        for v in ("pid", "sid", "wid", "cid", "tid"):
+            assert f'"{v}"' in dot
+        assert '"sid" -- "tid"' in dot  # the stdeals edge
+
+    def test_deterministic(self):
+        g = variable_graph(CYCLIC_SCHEMA)
+        assert variable_graph_dot(g) == variable_graph_dot(g)
+
+
+class TestTriangulationDot:
+    def test_fill_edges_dashed(self):
+        g = variable_graph(CYCLIC_SCHEMA)
+        result = triangulate(g, order=["tid", "sid"])
+        dot = triangulation_dot(result)
+        assert dot.count("style=dashed") == len(result.fill_edges)
+        assert '"cid" -- "sid" [style=dashed]' in dot
+
+
+class TestJunctionTreeDot:
+    def test_figure15_rendering(self, cyclic_supply_chain):
+        relations = [
+            cyclic_supply_chain.catalog.relation(t)
+            for t in cyclic_supply_chain.tables
+        ]
+        jt = build_junction_tree(relations, SUM_PRODUCT, order=["tid", "sid"])
+        dot = junction_tree_dot(jt)
+        assert "shape=box" in dot
+        # Two tree edges with separator labels.
+        assert dot.count(" -- ") == 2
+        assert "label=" in dot

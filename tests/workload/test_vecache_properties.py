@@ -1,0 +1,117 @@
+"""Property-based VE-cache tests: Definition 5 on random schemas."""
+
+from functools import reduce
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import marginalize, product_join, restrict
+from repro.data import FunctionalRelation, var
+from repro.semiring import SUM_PRODUCT
+from repro.workload import build_ve_cache, satisfies_workload_invariant
+
+
+@st.composite
+def random_view(draw):
+    """2-4 sparse relations over ≤5 shared variables."""
+    n_vars = draw(st.integers(2, 5))
+    sizes = [draw(st.integers(2, 3)) for _ in range(n_vars)]
+    variables = [var(f"x{i}", sizes[i]) for i in range(n_vars)]
+    n_tables = draw(st.integers(2, 4))
+    relations = []
+    for t in range(n_tables):
+        arity = draw(st.integers(1, min(3, n_vars)))
+        chosen = sorted(
+            draw(
+                st.lists(
+                    st.integers(0, n_vars - 1),
+                    min_size=arity,
+                    max_size=arity,
+                    unique=True,
+                )
+            )
+        )
+        scope = [variables[i] for i in chosen]
+        total = 1
+        for v in scope:
+            total *= v.size
+        n_rows = draw(st.integers(1, total))
+        flat = draw(
+            st.lists(
+                st.integers(0, total - 1),
+                min_size=n_rows,
+                max_size=n_rows,
+                unique=True,
+            )
+        )
+        columns = {}
+        remaining = np.asarray(flat, dtype=np.int64)
+        divisor = total
+        for v in scope:
+            divisor //= v.size
+            columns[v.name] = (remaining // divisor) % v.size
+        measure = np.asarray(
+            draw(
+                st.lists(
+                    st.floats(0.05, 5.0, allow_nan=False),
+                    min_size=n_rows,
+                    max_size=n_rows,
+                )
+            )
+        )
+        relations.append(
+            FunctionalRelation(scope, columns, measure, name=f"t{t}")
+        )
+    return relations
+
+
+@given(random_view())
+@settings(max_examples=30, deadline=None)
+def test_cache_satisfies_definition5(relations):
+    cache = build_ve_cache(relations, SUM_PRODUCT)
+    assert satisfies_workload_invariant(
+        cache.tables, relations, SUM_PRODUCT
+    )
+
+
+@given(random_view(), st.integers(0, 10))
+@settings(max_examples=25, deadline=None)
+def test_evidence_absorption_matches_oracle(relations, seed):
+    cache = build_ve_cache(relations, SUM_PRODUCT)
+    rng = np.random.default_rng(seed)
+    all_vars = sorted({v for r in relations for v in r.var_names})
+    if len(all_vars) < 2:
+        return
+    ev_var, q_var = rng.choice(all_vars, size=2, replace=False)
+    ev_size = next(
+        r.variables[ev_var].size for r in relations
+        if ev_var in r.variables
+    )
+    evidence = {str(ev_var): int(rng.integers(ev_size))}
+    conditioned = cache.absorb_evidence(evidence)
+    got = conditioned.answer(str(q_var))
+
+    joint = reduce(
+        lambda a, b: product_join(a, b, SUM_PRODUCT), relations
+    )
+    expected = marginalize(
+        restrict(joint, evidence), [str(q_var)], SUM_PRODUCT
+    )
+    assert got.equals(expected, SUM_PRODUCT, ignore_zero_rows=True)
+
+
+@given(random_view())
+@settings(max_examples=20, deadline=None)
+def test_cached_totals_agree_across_tables(relations):
+    """Every calibrated table carries the same total mass (the view's
+    total) — a cheap consistency invariant of calibration."""
+    cache = build_ve_cache(relations, SUM_PRODUCT)
+    joint = reduce(
+        lambda a, b: product_join(a, b, SUM_PRODUCT), relations
+    )
+    expected_total = float(joint.measure.sum())
+    for table in cache.tables.values():
+        assert np.isclose(
+            float(table.measure.sum()), expected_total, rtol=1e-9
+        )

@@ -1,0 +1,82 @@
+"""Workload-model tests: the MPF Workload Problem objective."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.optimizer import CSPlusNonlinear
+from repro.semiring import SUM_PRODUCT
+from repro.workload import (
+    MPFWorkload,
+    WorkloadQuery,
+    baseline_objective,
+    build_ve_cache,
+    cache_objective,
+)
+
+
+class TestWorkloadModel:
+    def test_uniform(self):
+        w = MPFWorkload.uniform(["a", "b", "c", "d"])
+        assert len(w.queries) == 4
+        assert sum(q.probability for q in w.queries) == pytest.approx(1.0)
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            MPFWorkload.uniform([])
+
+    def test_probability_bounds(self):
+        with pytest.raises(WorkloadError):
+            WorkloadQuery("x", 1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadQuery("x", -0.1)
+
+    def test_total_probability_capped(self):
+        with pytest.raises(WorkloadError):
+            MPFWorkload([WorkloadQuery("a", 0.7), WorkloadQuery("b", 0.7)])
+
+    def test_expected_cost_weighting(self):
+        w = MPFWorkload([WorkloadQuery("a", 0.25), WorkloadQuery("b", 0.75)])
+        cost = w.expected_cost(lambda q: 100.0 if q.variable == "a" else 20.0)
+        assert cost == pytest.approx(0.25 * 100 + 0.75 * 20)
+
+    def test_variables(self):
+        w = MPFWorkload.uniform(["x", "y"])
+        assert w.variables() == ("x", "y")
+
+
+class TestObjectives:
+    def test_cache_beats_baseline_on_repeated_queries(
+        self, tiny_supply_chain
+    ):
+        """Section 6's premise: for a workload of single-variable
+        queries, the calibrated cache answers from small tables while
+        the baseline re-joins the view each time."""
+        sc = tiny_supply_chain
+        relations = [sc.catalog.relation(t) for t in sc.tables]
+        cache = build_ve_cache(relations, SUM_PRODUCT)
+        workload = MPFWorkload.uniform(["pid", "sid", "wid", "cid", "tid"])
+
+        with_cache = cache_objective(cache, workload)
+        without = baseline_objective(
+            sc.catalog, sc.tables, workload, CSPlusNonlinear()
+        )
+        assert with_cache < without
+
+    def test_materialization_weight(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        relations = [sc.catalog.relation(t) for t in sc.tables]
+        cache = build_ve_cache(relations, SUM_PRODUCT)
+        workload = MPFWorkload.uniform(["wid"])
+        cheap = cache_objective(cache, workload, materialization_weight=0.0)
+        pricey = cache_objective(cache, workload, materialization_weight=10.0)
+        assert pricey > cheap
+        assert pricey - cheap == pytest.approx(10.0 * cache.total_tuples())
+
+    def test_baseline_respects_probabilities(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        certain = MPFWorkload([WorkloadQuery("wid", 1.0)])
+        rare = MPFWorkload([WorkloadQuery("wid", 0.1)])
+        optimizer = CSPlusNonlinear()
+        full = baseline_objective(sc.catalog, sc.tables, certain, optimizer)
+        tenth = baseline_objective(sc.catalog, sc.tables, rare, optimizer)
+        assert tenth == pytest.approx(0.1 * full)
