@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.bayes.cpd import CPD
 from repro.bayes.network import BayesianNetwork
-from repro.data.domain import Variable, var
+from repro.data.domain import var
 
 __all__ = [
     "figure2_network",

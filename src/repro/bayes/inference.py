@@ -31,6 +31,7 @@ from repro.errors import QueryError
 from repro.optimizer.base import Optimizer, QuerySpec
 from repro.optimizer.ve import VariableElimination
 from repro.plans.executor import Executor
+from repro.plans.runtime import ExecutionContext
 from repro.semiring.builtins import LOG_PROB, MAX_PRODUCT, MAX_SUM, SUM_PRODUCT
 from repro.workload.vecache import VECache, build_ve_cache
 
@@ -123,7 +124,9 @@ class MPFInference:
         )
         result = self.optimizer.optimize(spec, self.catalog)
         executor = Executor(
-            self.catalog, MAX_SUM if self.log_space else MAX_PRODUCT
+            self.catalog,
+            MAX_SUM if self.log_space else MAX_PRODUCT,
+            pool=self._executor.pool,
         )
         answer, _stats = executor.run(result.plan)
         if self.log_space:
@@ -134,10 +137,18 @@ class MPFInference:
     # Workload path (Section 6)
     # ------------------------------------------------------------------
     def build_cache(self, heuristic: str = "degree") -> VECache:
-        """Calibrate a VE-cache over the CPTs for repeated marginals."""
+        """Calibrate a VE-cache over the CPTs for repeated marginals.
+
+        The cache is built through a catalog-backed execution context
+        sharing this engine's buffer pool, so construction pays — and
+        reports — the same simulated IO an equivalent query would.
+        """
         relations = [self.catalog.relation(t) for t in self.tables]
+        context = ExecutionContext(
+            self.catalog, self._semiring, pool=self._executor.pool
+        )
         return build_ve_cache(
-            relations, self._semiring, heuristic=heuristic
+            relations, self._semiring, heuristic=heuristic, context=context
         )
 
     def query_cached(

@@ -16,7 +16,7 @@ it — ``select C, SUM(p) from joint where A = 0 group by C`` computes
 from __future__ import annotations
 
 from functools import reduce
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable
 
 import networkx as nx
 

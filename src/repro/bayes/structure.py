@@ -20,9 +20,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import networkx as nx
-import numpy as np
 
-from repro.bayes.cpd import CPD
 from repro.bayes.estimation import counts, estimate_cpd
 from repro.bayes.network import BayesianNetwork
 from repro.data.domain import Variable

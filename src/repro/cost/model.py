@@ -20,7 +20,6 @@ Both models share one interface so optimizers are model-agnostic.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
 
 from repro.catalog.statistics import TableStats
 from repro.storage.page import DEFAULT_PAGE_SIZE, PageGeometry

@@ -19,8 +19,8 @@ chosen plan, its estimated cost, and the simulated execution stats.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, SimpleCostModel
@@ -32,7 +32,9 @@ from repro.optimizer.csplus import CSPlusLinear, CSPlusNonlinear
 from repro.optimizer.linearity import LinearityTest, linearity_test
 from repro.optimizer.ve import VariableElimination
 from repro.plans.executor import Executor
+from repro.plans.lower import PlanDAG, lower
 from repro.plans.printer import explain
+from repro.plans.runtime import ExecutionContext, evaluate_dag
 from repro.query.parser import (
     CreateIndexStatement,
     CreateViewStatement,
@@ -55,7 +57,7 @@ from repro.storage.buffer import BufferPool
 from repro.storage.iostats import IOStats
 from repro.workload.vecache import VECache, build_ve_cache
 
-__all__ = ["Database", "QueryReport"]
+__all__ = ["Database", "QueryReport", "BatchReport"]
 
 # (multiplicative op of the view, additive aggregate of the query)
 _SEMIRINGS: dict[tuple[str, str], Semiring] = {
@@ -100,6 +102,40 @@ class QueryReport:
 
 
 @dataclass
+class BatchReport:
+    """What :meth:`Database.run_batch` produced.
+
+    ``reports`` align with the submitted queries; each carries the
+    *incremental* stats its evaluation added on top of earlier queries
+    in the batch (shared subplans are paid for by the first query that
+    needs them).  ``stats`` is the whole batch's combined clock and
+    ``dag`` the shared plan DAG, whose ``shared_nodes`` counts subplan
+    occurrences eliminated by cross-query CSE.
+    """
+
+    reports: list[QueryReport]
+    stats: IOStats
+    dag: PlanDAG
+
+    @property
+    def shared_subplans(self) -> int:
+        return self.dag.shared_nodes
+
+    @property
+    def memo_hits(self) -> int:
+        return self.stats.memo_hits
+
+    def summary(self) -> str:
+        return (
+            f"batch of {len(self.reports)} queries: "
+            f"{self.dag.tree_nodes} plan nodes → "
+            f"{self.dag.unique_nodes} unique "
+            f"({self.shared_subplans} shared), "
+            f"{self.stats.summary()}"
+        )
+
+
+@dataclass
 class _ViewEntry:
     view_tables: tuple[str, ...]
     multiplicative_op: str
@@ -115,8 +151,7 @@ class Database:
     ):
         self.catalog = Catalog()
         self.cost_model = cost_model or SimpleCostModel()
-        # Not `pool or BufferPool()`: an empty pool is falsy (__len__).
-        self.pool = pool if pool is not None else BufferPool()
+        self.pool = pool or BufferPool()
         self._views: dict[str, _ViewEntry] = {}
         self._caches: dict[str, VECache] = {}
         self._plan_cache: dict[tuple, dict] = {}
@@ -221,7 +256,6 @@ class Database:
         strategy: str,
         heuristic: str = "degree",
         seed: int | None = None,
-        query: MPFQuery | None = None,
     ) -> Optimizer:
         strategy = strategy.lower()
         if strategy == "cs":
@@ -238,30 +272,23 @@ class Database:
             return VariableElimination(heuristic, extended=True, seed=seed)
         raise QueryError(f"unknown evaluation strategy {strategy!r}")
 
-    def run_query(
+    def _optimize_query(
         self,
         query: MPFQuery,
-        strategy: str = "auto",
-        heuristic: str = "degree",
-        seed: int | None = None,
-        use_plan_cache: bool = False,
-    ) -> QueryReport:
-        """Optimize and execute one MPF query.
-
-        ``use_plan_cache`` turns on prepared-statement behavior: the
-        chosen plan is memoized by the query's shape (tables, group-by
-        list, selection *variables* — not the constants — and
-        strategy), so repeats of the same template skip optimization.
-        Selection constants may differ because plans embed them only in
-        pushed-down Select/IndexScan predicates, which are rebuilt.
-        """
+        strategy: str,
+        heuristic: str,
+        seed: int | None,
+        use_plan_cache: bool,
+    ) -> OptimizationResult:
+        """Plan one query, consulting the plan cache when enabled."""
         spec = query.to_spec(self.catalog)
-        optimizer = self.make_optimizer(strategy, heuristic, seed, query)
 
         cache_key = None
         if use_plan_cache:
-            # Constants matter to the plan (leaf Select nodes carry
-            # them), so the key includes the full selection mapping.
+            # Constants matter to the plan (pushed-down Select /
+            # IndexScan leaves embed them), so the key is the full
+            # selection mapping — two queries differing only in a
+            # constant get distinct cache entries.
             cache_key = (
                 spec.tables,
                 spec.query_vars,
@@ -274,31 +301,34 @@ class Database:
             from repro.plans.serialize import plan_from_dict
 
             self.plan_cache_hits += 1
-            plan = plan_from_dict(cached["plan"])
-            optimization = OptimizationResult(
-                plan=plan,
+            return OptimizationResult(
+                plan=plan_from_dict(cached["plan"]),
                 cost=cached["cost"],
                 algorithm=cached["algorithm"] + "+cached",
                 planning_seconds=0.0,
                 plans_considered=0,
             )
-        else:
-            optimization = optimizer.optimize(
-                spec, self.catalog, self.cost_model
-            )
-            if cache_key is not None:
-                from repro.plans.serialize import plan_to_dict
 
-                self._plan_cache[cache_key] = {
-                    "plan": plan_to_dict(optimization.plan),
-                    "cost": optimization.cost,
-                    "algorithm": optimization.algorithm,
-                }
+        optimizer = self.make_optimizer(strategy, heuristic, seed)
+        optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
+        if cache_key is not None:
+            from repro.plans.serialize import plan_to_dict
 
-        executor = Executor(self.catalog, query.view.semiring, pool=self.pool)
-        result, stats = executor.run(optimization.plan)
+            self._plan_cache[cache_key] = {
+                "plan": plan_to_dict(optimization.plan),
+                "cost": optimization.cost,
+                "algorithm": optimization.algorithm,
+            }
+        return optimization
+
+    def _finish_report(
+        self,
+        query: MPFQuery,
+        optimization: OptimizationResult,
+        result: FunctionalRelation,
+        stats: IOStats,
+    ) -> QueryReport:
         result = query.finish(result).with_name(query.view.name)
-
         linearity = None
         if len(query.group_by) == 1:
             linearity = linearity_test(self.catalog, query.group_by[0])
@@ -310,6 +340,79 @@ class Database:
             semiring=query.view.semiring,
             linearity=linearity,
         )
+
+    def run_query(
+        self,
+        query: MPFQuery,
+        strategy: str = "auto",
+        heuristic: str = "degree",
+        seed: int | None = None,
+        use_plan_cache: bool = False,
+    ) -> QueryReport:
+        """Optimize and execute one MPF query.
+
+        ``use_plan_cache`` turns on prepared-statement behavior: the
+        chosen plan is memoized by the query's full shape — tables,
+        group-by list, and the complete selection mapping including
+        constants (plans embed constants in pushed-down Select /
+        IndexScan predicates, so the constants are part of the plan's
+        identity) — plus strategy, so exact repeats skip optimization.
+        """
+        optimization = self._optimize_query(
+            query, strategy, heuristic, seed, use_plan_cache
+        )
+        executor = Executor(self.catalog, query.view.semiring, pool=self.pool)
+        result, stats = executor.run(optimization.plan)
+        return self._finish_report(query, optimization, result, stats)
+
+    def run_batch(
+        self,
+        queries: Sequence[MPFQuery],
+        strategy: str = "auto",
+        heuristic: str = "degree",
+        seed: int | None = None,
+        use_plan_cache: bool = False,
+    ) -> BatchReport:
+        """Optimize and execute a batch of queries with shared subplans.
+
+        The physical counterpart of Section 6's workload sharing: all
+        chosen plans are lowered into one common-subexpression-
+        eliminated DAG and evaluated through a single
+        :class:`ExecutionContext`, so structurally identical subplans
+        across the batch — repeated scans, shared join/aggregation
+        prefixes, even whole repeated queries — execute once and are
+        served to later queries from the runtime memo.  All queries
+        must agree on the semiring (one view, or views with the same
+        operator pair).
+        """
+        queries = list(queries)
+        if not queries:
+            raise QueryError("run_batch needs at least one query")
+        semiring = queries[0].view.semiring
+        for query in queries[1:]:
+            if query.view.semiring is not semiring:
+                raise QueryError(
+                    "batch mixes semirings "
+                    f"({semiring.name!r} vs {query.view.semiring.name!r}); "
+                    "split it into per-semiring batches"
+                )
+
+        optimizations = [
+            self._optimize_query(q, strategy, heuristic, seed, use_plan_cache)
+            for q in queries
+        ]
+        dag = lower([opt.plan for opt in optimizations])
+        ctx = ExecutionContext(self.catalog, semiring, pool=self.pool)
+
+        reports = []
+        for query, optimization, root in zip(queries, optimizations, dag.roots):
+            snapshot = ctx.stats.snapshot()
+            (result,) = evaluate_dag(dag, ctx, roots=[root])
+            stats = ctx.stats.since(snapshot)
+            reports.append(
+                self._finish_report(query, optimization, result, stats)
+            )
+        return BatchReport(reports=reports, stats=ctx.stats, dag=dag)
 
     def profile(
         self, sql: str, strategy: str = "auto", **options
@@ -435,7 +538,10 @@ class Database:
         if semiring is None:
             semiring = SUM_PRODUCT
         relations = [self.catalog.relation(t) for t in entry.view_tables]
-        cache = build_ve_cache(relations, semiring, heuristic=heuristic)
+        context = ExecutionContext(self.catalog, semiring, pool=self.pool)
+        cache = build_ve_cache(
+            relations, semiring, heuristic=heuristic, context=context
+        )
         self._caches[view_name] = cache
         return cache
 

@@ -2,9 +2,32 @@
 
 from repro.plans.annotate import annotate, plan_cost
 from repro.plans.executor import Executor, execute
-from repro.plans.nodes import GroupBy, IndexScan, PlanNode, ProductJoin, Scan, Select
+from repro.plans.lower import PlanDAG, lower
+from repro.plans.nodes import (
+    GroupBy,
+    IndexScan,
+    PlanNode,
+    ProductJoin,
+    Scan,
+    Select,
+    SemiJoin,
+)
 from repro.plans.printer import explain
-from repro.plans.profile import ExecutionProfile, OperatorProfile, profile_execution
+from repro.plans.profile import (
+    ExecutionProfile,
+    OperatorProfile,
+    ProfilingTracer,
+    profile_execution,
+)
+from repro.plans.runtime import (
+    DEFAULT_WORKMEM_PAGES,
+    ExecutionContext,
+    PhysicalOperator,
+    Tracer,
+    evaluate,
+    evaluate_dag,
+    operator_for,
+)
 from repro.plans.serialize import (
     plan_from_dict,
     plan_from_json,
@@ -19,12 +42,23 @@ __all__ = [
     "Select",
     "ProductJoin",
     "GroupBy",
+    "SemiJoin",
     "annotate",
     "plan_cost",
     "explain",
     "Executor",
     "execute",
+    "PlanDAG",
+    "lower",
+    "ExecutionContext",
+    "PhysicalOperator",
+    "Tracer",
+    "evaluate",
+    "evaluate_dag",
+    "operator_for",
+    "DEFAULT_WORKMEM_PAGES",
     "profile_execution",
+    "ProfilingTracer",
     "ExecutionProfile",
     "OperatorProfile",
     "plan_to_dict",

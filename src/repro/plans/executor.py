@@ -1,46 +1,35 @@
-"""Plan execution over the simulated storage substrate.
+"""Compatibility wrapper over the physical-operator runtime.
 
-The executor evaluates a plan tree bottom-up with the vectorized
-algebra operators, while charging the :class:`IOStats` clock the way a
-disk-based engine would pay:
+Historically this module held a recursive tree interpreter; execution
+now lives in :mod:`repro.plans.runtime` (operator classes over an
+:class:`~repro.plans.runtime.ExecutionContext`, driving a CSE'd plan
+DAG).  :class:`Executor` keeps the old surface — construct with a
+catalog (or plain name→relation mapping) and a semiring, call
+``run(plan)`` — while delegating to the runtime.
 
-* ``Scan`` — sequential page reads of the base heap file through the
-  buffer pool (repeat scans of small tables hit the cache);
-* ``ProductJoin`` — hash-join CPU work proportional to
-  ``|L| + |R| + |out|``; results wider than the work-memory budget are
-  spilled (page writes) like PostgreSQL materializing a hash join that
-  exceeds ``work_mem``;
-* ``GroupBy`` — sort-based aggregation: ``n·log2(n)`` CPU plus the
-  output tuples, with the same spill rule;
-* ``Select`` — one pass over the input.
-
-``execute`` returns the result relation and the populated stats, whose
-``elapsed()`` is the deterministic evaluation-time proxy used by the
-benchmark harness.
+Each ``run`` evaluates with a fresh memo, preserving the historical
+per-query semantics (repeat runs pay buffer-pool hits, not memo hits);
+callers that want cross-query subplan sharing use one
+:class:`ExecutionContext` directly or :meth:`repro.engine.Database.run_batch`.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Mapping
 
-from repro.algebra.aggregate import marginalize
-from repro.algebra.join import product_join
-from repro.algebra.select import restrict
 from repro.catalog.catalog import Catalog
 from repro.data.relation import FunctionalRelation
-from repro.errors import PlanError
-from repro.plans.nodes import GroupBy, IndexScan, PlanNode, ProductJoin, Scan, Select
+from repro.plans.nodes import PlanNode
+from repro.plans.runtime import (
+    DEFAULT_WORKMEM_PAGES,
+    ExecutionContext,
+    evaluate,
+)
 from repro.semiring.base import Semiring
 from repro.storage.buffer import BufferPool
-from repro.storage.heapfile import HeapFile, TempFileAllocator
 from repro.storage.iostats import IOStats
-from repro.storage.page import PageGeometry
 
-__all__ = ["Executor", "execute"]
-
-# Work-memory budget for a single operator, in pages (cf. work_mem).
-DEFAULT_WORKMEM_PAGES = 2048
+__all__ = ["Executor", "execute", "DEFAULT_WORKMEM_PAGES"]
 
 
 class Executor:
@@ -52,111 +41,37 @@ class Executor:
         semiring: Semiring,
         pool: BufferPool | None = None,
         workmem_pages: int = DEFAULT_WORKMEM_PAGES,
+        context: ExecutionContext | None = None,
     ):
-        self._catalog = catalog if isinstance(catalog, Catalog) else None
-        self._env: Mapping[str, FunctionalRelation] = (
-            catalog.environment() if isinstance(catalog, Catalog) else dict(catalog)
+        self.context = context or ExecutionContext(
+            catalog, semiring, pool=pool, workmem_pages=workmem_pages
         )
-        self.semiring = semiring
-        # `pool or BufferPool()` would discard an *empty* caller pool:
-        # BufferPool defines __len__, so a fresh pool is falsy.
-        self.pool = pool if pool is not None else BufferPool()
-        self.workmem_pages = workmem_pages
-        self._temp = TempFileAllocator()
-        self._adhoc_files: dict[str, HeapFile] = {}
+
+    @property
+    def semiring(self) -> Semiring:
+        return self.context.semiring
+
+    @property
+    def pool(self) -> BufferPool:
+        return self.context.pool
+
+    @property
+    def workmem_pages(self) -> int:
+        return self.context.workmem_pages
 
     # ------------------------------------------------------------------
     def run(self, plan: PlanNode, stats: IOStats | None = None):
         """Execute ``plan``; returns ``(relation, stats)``."""
         stats = stats or IOStats()
-        result = self._eval(plan, stats)
+        ctx = self.context
+        ctx.reset_memo()
+        previous = ctx.stats
+        ctx.stats = stats
+        try:
+            result = evaluate(plan, ctx)
+        finally:
+            ctx.stats = previous
         return result, stats
-
-    # ------------------------------------------------------------------
-    def _heapfile_for(self, table: str, relation: FunctionalRelation) -> HeapFile:
-        if self._catalog is not None and table in self._catalog:
-            return self._catalog.heapfile(table)
-        if table not in self._adhoc_files:
-            self._adhoc_files[table] = self._temp.allocate(
-                relation.ntuples, relation.arity
-            )
-        return self._adhoc_files[table]
-
-    def _maybe_spill(self, relation: FunctionalRelation, stats: IOStats) -> None:
-        """Charge a materialization write when the result exceeds work-mem."""
-        geometry = PageGeometry(relation.arity)
-        pages = geometry.pages_for(relation.ntuples)
-        if pages > self.workmem_pages:
-            temp = self._temp.allocate(relation.ntuples, relation.arity)
-            temp.write_out(self.pool, stats)
-
-    def _eval(self, node: PlanNode, stats: IOStats) -> FunctionalRelation:
-        if isinstance(node, Scan):
-            try:
-                relation = self._env[node.table]
-            except KeyError:
-                raise PlanError(f"unknown table {node.table!r}") from None
-            heapfile = self._heapfile_for(node.table, relation)
-            heapfile.scan(self.pool, stats)
-            stats.record_operator(node.label(), relation.ntuples)
-            return relation
-
-        if isinstance(node, IndexScan):
-            try:
-                relation = self._env[node.table]
-            except KeyError:
-                raise PlanError(f"unknown table {node.table!r}") from None
-            if self._catalog is None:
-                raise PlanError(
-                    "IndexScan requires a catalog-backed executor"
-                )
-            index = self._catalog.index_on(node.table, node.variable)
-            if index is None:
-                raise PlanError(
-                    f"no index on {node.table}({node.variable})"
-                )
-            value = node.predicate[node.variable]
-            code = relation.variables[node.variable].domain.code_of(value)
-            rows = index.lookup(code, self.pool, stats)
-            result = relation.take(rows)
-            stats.record_operator(node.label(), result.ntuples)
-            return result
-
-        if isinstance(node, Select):
-            child = self._eval(node.child, stats)
-            stats.charge_cpu(child.ntuples)
-            result = restrict(child, node.predicate)
-            stats.record_operator(node.label(), result.ntuples)
-            return result
-
-        if isinstance(node, ProductJoin):
-            left = self._eval(node.left, stats)
-            right = self._eval(node.right, stats)
-            result = product_join(left, right, self.semiring)
-            if node.method == "sort_merge":
-                nl, nr = max(left.ntuples, 2), max(right.ntuples, 2)
-                stats.charge_cpu(
-                    int(nl * math.log2(nl) + nr * math.log2(nr))
-                )
-            stats.charge_cpu(left.ntuples + right.ntuples + result.ntuples)
-            self._maybe_spill(result, stats)
-            stats.record_operator(node.label(), result.ntuples)
-            return result
-
-        if isinstance(node, GroupBy):
-            child = self._eval(node.child, stats)
-            n = max(child.ntuples, 2)
-            if node.method == "sort":
-                stats.charge_cpu(int(n * math.log2(n)))
-            else:  # hash aggregation: one pass + group emission
-                stats.charge_cpu(n)
-            result = marginalize(child, node.group_names, self.semiring)
-            stats.charge_cpu(result.ntuples)
-            self._maybe_spill(result, stats)
-            stats.record_operator(node.label(), result.ntuples)
-            return result
-
-        raise PlanError(f"unknown plan node {type(node).__name__}")
 
 
 def execute(

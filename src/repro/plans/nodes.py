@@ -17,23 +17,52 @@ from typing import Iterator, Mapping
 from repro.catalog.statistics import TableStats
 from repro.errors import PlanError
 
-__all__ = ["PlanNode", "Scan", "IndexScan", "Select", "ProductJoin", "GroupBy"]
+__all__ = [
+    "PlanNode",
+    "Scan",
+    "IndexScan",
+    "Select",
+    "ProductJoin",
+    "GroupBy",
+    "SemiJoin",
+]
 
 
 class PlanNode:
     """Base plan node with optimizer annotations."""
 
-    __slots__ = ("stats", "op_cost", "total_cost")
+    __slots__ = ("stats", "op_cost", "total_cost", "_structural_key")
 
     def __init__(self):
         self.stats: TableStats | None = None
         self.op_cost: float | None = None
         self.total_cost: float | None = None
+        self._structural_key: tuple | None = None
 
     def children(self) -> tuple["PlanNode", ...]:
         return ()
 
     def label(self) -> str:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Structural identity
+    # ------------------------------------------------------------------
+    def structural_key(self) -> tuple:
+        """Canonical hashable key: equal keys ⇔ structurally equal plans.
+
+        The key covers everything execution depends on (node type,
+        table names, predicates, group lists, physical methods) and
+        nothing else; annotations are ignored.  It is the identity
+        used by :func:`repro.plans.lower.lower` for common-subexpression
+        elimination and by the runtime memo table.  Cached after first
+        computation — plan trees must not be mutated afterwards.
+        """
+        if self._structural_key is None:
+            self._structural_key = self._key()
+        return self._structural_key
+
+    def _key(self) -> tuple:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -97,6 +126,9 @@ class Scan(PlanNode):
     def label(self) -> str:
         return f"Scan({self.table})"
 
+    def _key(self) -> tuple:
+        return ("scan", self.table)
+
 
 class IndexScan(PlanNode):
     """Equality access via a hash index: probe instead of scan.
@@ -126,6 +158,9 @@ class IndexScan(PlanNode):
         (var_name, value), = self.predicate.items()
         return f"IndexScan({self.table}, {var_name}={value})"
 
+    def _key(self) -> tuple:
+        return ("index_scan", self.table, tuple(sorted(self.predicate.items())))
+
 
 class Select(PlanNode):
     """Equality selection ``{variable: value}`` on a child plan."""
@@ -145,6 +180,13 @@ class Select(PlanNode):
     def label(self) -> str:
         preds = ", ".join(f"{k}={v}" for k, v in self.predicate.items())
         return f"Select({preds})"
+
+    def _key(self) -> tuple:
+        return (
+            "select",
+            tuple(sorted(self.predicate.items())),
+            self.child.structural_key(),
+        )
 
 
 class ProductJoin(PlanNode):
@@ -174,6 +216,14 @@ class ProductJoin(PlanNode):
         suffix = "" if self.method == "hash" else f" [{self.method}]"
         return f"ProductJoin{suffix}"
 
+    def _key(self) -> tuple:
+        return (
+            "product_join",
+            self.method,
+            self.left.structural_key(),
+            self.right.structural_key(),
+        )
+
 
 class GroupBy(PlanNode):
     """GroupBy on the named variables, aggregating with the semiring.
@@ -196,3 +246,52 @@ class GroupBy(PlanNode):
 
     def label(self) -> str:
         return f"GroupBy({', '.join(self.group_names) or '∅'})"
+
+    def _key(self) -> tuple:
+        return (
+            "group_by",
+            self.group_names,
+            self.method,
+            self.child.structural_key(),
+        )
+
+
+class SemiJoin(PlanNode):
+    """Semijoin reduction ``target ⋉ source`` (Definition 6).
+
+    ``kind`` selects the message direction: ``"product"`` is the
+    forward message ``t ⋉* s`` (absorb the source's marginal) and
+    ``"update"`` the backward message ``t ⋉ s`` (absorb while dividing
+    out the target's own marginal; needs semiring division).  These are
+    the physical operators of the workload machinery — BP passes,
+    VE-cache calibration, and evidence absorption all compile to plans
+    of SemiJoins over cached tables.
+    """
+
+    __slots__ = ("target", "source", "kind")
+
+    KINDS = ("product", "update")
+
+    def __init__(self, target: PlanNode, source: PlanNode,
+                 kind: str = "product"):
+        super().__init__()
+        if kind not in self.KINDS:
+            raise PlanError(f"unknown semijoin kind {kind!r}")
+        self.target = target
+        self.source = source
+        self.kind = kind
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.target, self.source)
+
+    def label(self) -> str:
+        symbol = "⋉*" if self.kind == "product" else "⋉"
+        return f"SemiJoin[{symbol}]"
+
+    def _key(self) -> tuple:
+        return (
+            "semijoin",
+            self.kind,
+            self.target.structural_key(),
+            self.source.structural_key(),
+        )

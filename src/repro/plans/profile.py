@@ -1,8 +1,12 @@
 """Execution profiling: per-operator breakdown of a plan run.
 
-``profile_execution`` runs a plan while recording, for every operator,
-its output cardinality and the incremental work (tuples + page IO)
-attributable to it — an ``EXPLAIN ANALYZE`` for the simulated engine.
+``profile_execution`` is an ``EXPLAIN ANALYZE`` for the simulated
+engine.  It is no longer a parallel execution path: profiling is a
+:class:`~repro.plans.runtime.Tracer` attached to an ordinary
+:class:`~repro.plans.runtime.ExecutionContext`, so the profiled run is
+exactly the run the engine would do — same operators, same memo
+behavior — with each operator's incremental work captured from the
+stats deltas the runtime hands the tracer.
 """
 
 from __future__ import annotations
@@ -12,13 +16,23 @@ from typing import Mapping
 
 from repro.catalog.catalog import Catalog
 from repro.data.relation import FunctionalRelation
-from repro.plans.executor import DEFAULT_WORKMEM_PAGES, Executor
+from repro.plans.lower import lower
 from repro.plans.nodes import PlanNode
+from repro.plans.runtime import (
+    DEFAULT_WORKMEM_PAGES,
+    ExecutionContext,
+    evaluate_dag,
+)
 from repro.semiring.base import Semiring
 from repro.storage.buffer import BufferPool
 from repro.storage.iostats import IOStats
 
-__all__ = ["OperatorProfile", "ExecutionProfile", "profile_execution"]
+__all__ = [
+    "OperatorProfile",
+    "ExecutionProfile",
+    "ProfilingTracer",
+    "profile_execution",
+]
 
 
 @dataclass(frozen=True)
@@ -31,6 +45,7 @@ class OperatorProfile:
     page_reads: int
     page_writes: int
     elapsed: float
+    memoized: bool = False
 
 
 @dataclass
@@ -48,8 +63,9 @@ class ExecutionProfile:
         )
         lines = [header, "-" * len(header)]
         for op in self.operators:
+            label = f"{op.label} [memo]" if op.memoized else op.label
             lines.append(
-                f"{op.label:40s} {op.out_rows:>9,} {op.tuples:>10,} "
+                f"{label:40s} {op.out_rows:>9,} {op.tuples:>10,} "
                 f"{op.page_reads:>7} {op.page_writes:>7} "
                 f"{op.elapsed:>12,.0f}"
             )
@@ -63,50 +79,40 @@ class ExecutionProfile:
         return "\n".join(lines)
 
 
-class _ProfilingExecutor(Executor):
-    """Executor that snapshots the stats clock around every operator."""
+class ProfilingTracer:
+    """Runtime tracer that collects one profile row per operator."""
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.operator_profiles: list[OperatorProfile] = []
+    def __init__(self):
+        self.operators: list[OperatorProfile] = []
 
-    def _eval(self, node: PlanNode, stats: IOStats) -> FunctionalRelation:
-        # Children are profiled by their own recursive calls; this
-        # operator's increment is the delta net of its subtree.
-        before_children = (
-            stats.tuples_processed, stats.page_reads, stats.page_writes,
-            stats.elapsed(),
-        )
-        child_totals = [0, 0, 0, 0.0]
-        # Temporarily wrap: run children first through the normal path
-        # is interwoven inside super()._eval, so measure the whole
-        # subtree and subtract previously recorded child deltas.
-        recorded_before = len(self.operator_profiles)
-        result = super()._eval(node, stats)
-        for profile in self.operator_profiles[recorded_before:]:
-            child_totals[0] += profile.tuples
-            child_totals[1] += profile.page_reads
-            child_totals[2] += profile.page_writes
-            child_totals[3] += profile.elapsed
-        self.operator_profiles.append(
+    def on_execute(
+        self, node: PlanNode, result: FunctionalRelation, delta: IOStats
+    ) -> None:
+        self.operators.append(
             OperatorProfile(
                 label=node.label(),
                 out_rows=result.ntuples,
-                tuples=stats.tuples_processed
-                - before_children[0]
-                - child_totals[0],
-                page_reads=stats.page_reads
-                - before_children[1]
-                - child_totals[1],
-                page_writes=stats.page_writes
-                - before_children[2]
-                - child_totals[2],
-                elapsed=stats.elapsed()
-                - before_children[3]
-                - child_totals[3],
+                tuples=delta.tuples_processed,
+                page_reads=delta.page_reads,
+                page_writes=delta.page_writes,
+                elapsed=delta.elapsed(),
             )
         )
-        return result
+
+    def on_memo_hit(
+        self, node: PlanNode, result: FunctionalRelation
+    ) -> None:
+        self.operators.append(
+            OperatorProfile(
+                label=node.label(),
+                out_rows=result.ntuples,
+                tuples=0,
+                page_reads=0,
+                page_writes=0,
+                elapsed=0.0,
+                memoized=True,
+            )
+        )
 
 
 def profile_execution(
@@ -117,13 +123,17 @@ def profile_execution(
     workmem_pages: int = DEFAULT_WORKMEM_PAGES,
 ) -> ExecutionProfile:
     """Run the plan and return the per-operator breakdown."""
-    executor = _ProfilingExecutor(
-        catalog, semiring, pool=pool, workmem_pages=workmem_pages
+    tracer = ProfilingTracer()
+    ctx = ExecutionContext(
+        catalog,
+        semiring,
+        pool=pool,
+        workmem_pages=workmem_pages,
+        tracer=tracer,
     )
-    stats = IOStats()
-    result = executor._eval(plan, stats)
+    (result,) = evaluate_dag(lower(plan), ctx)
     return ExecutionProfile(
         result=result,
-        operators=executor.operator_profiles,
-        total=stats,
+        operators=tracer.operators,
+        total=ctx.stats,
     )

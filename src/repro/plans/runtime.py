@@ -1,0 +1,379 @@
+"""The physical-operator runtime: one execution path for everything.
+
+Every consumer of the algebra — ad-hoc MPF queries, batched workloads,
+VE-cache construction, BP passes, junction-tree materialization,
+Bayesian inference — evaluates plans through this module, so all of
+them pay simulated IO through the shared buffer pool, show up in
+:class:`~repro.storage.iostats.IOStats`, and benefit from memoized
+shared subplans.
+
+The pieces:
+
+* :class:`ExecutionContext` — everything one evaluation environment
+  owns: the name→relation environment (optionally catalog-backed), the
+  semiring, the buffer pool, the stats clock, the work-mem budget, the
+  memo table keyed by structural plan keys, and an optional tracer.
+  Contexts are long-lived: a batch of queries (or a whole workload
+  cache build) shares one context, which is what makes cross-query
+  sharing real.
+
+* per-node-type :class:`PhysicalOperator` classes — ``execute(ctx,
+  inputs)`` runs one operator over already-evaluated inputs, charging
+  the clock the way a disk-based engine would (sequential page reads
+  through the pool for scans, hash/sort CPU for joins and aggregation,
+  spill writes past ``workmem_pages``).
+
+* :func:`evaluate` / :func:`evaluate_dag` — drive a lowered
+  :class:`~repro.plans.lower.PlanDAG` in topological order.  A node
+  whose structural key is already in the context memo is never
+  re-executed; its cached result is reused and a memo hit is charged
+  instead of IO.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Protocol, Sequence
+
+from repro.algebra.aggregate import marginalize
+from repro.algebra.join import product_join
+from repro.algebra.select import restrict
+from repro.algebra.semijoin import product_semijoin, update_semijoin
+from repro.catalog.catalog import Catalog
+from repro.data.relation import FunctionalRelation
+from repro.errors import PlanError
+from repro.plans.lower import PlanDAG, lower
+from repro.plans.nodes import (
+    GroupBy,
+    IndexScan,
+    PlanNode,
+    ProductJoin,
+    Scan,
+    Select,
+    SemiJoin,
+)
+from repro.semiring.base import Semiring
+from repro.storage.buffer import BufferPool
+from repro.storage.heapfile import HeapFile, TempFileAllocator
+from repro.storage.iostats import IOStats
+from repro.storage.page import PageGeometry
+
+__all__ = [
+    "DEFAULT_WORKMEM_PAGES",
+    "ExecutionContext",
+    "Tracer",
+    "PhysicalOperator",
+    "ScanOperator",
+    "IndexScanOperator",
+    "SelectOperator",
+    "ProductJoinOperator",
+    "GroupByOperator",
+    "SemiJoinOperator",
+    "operator_for",
+    "evaluate",
+    "evaluate_dag",
+]
+
+# Work-memory budget for a single operator, in pages (cf. work_mem).
+DEFAULT_WORKMEM_PAGES = 2048
+
+
+class Tracer(Protocol):
+    """Observation hook invoked by the runtime per evaluated node."""
+
+    def on_execute(
+        self, node: PlanNode, result: FunctionalRelation, delta: IOStats
+    ) -> None:
+        """An operator ran; ``delta`` holds its own incremental work."""
+
+    def on_memo_hit(
+        self, node: PlanNode, result: FunctionalRelation
+    ) -> None:
+        """A node's result was served from the context memo."""
+
+
+class ExecutionContext:
+    """Shared state for one evaluation environment.
+
+    ``catalog`` may be a :class:`Catalog` (base tables get their
+    catalog heap files and indexes) or a plain name→relation mapping
+    (everything is ad-hoc).  Intermediates produced by workload code
+    are added with :meth:`bind`, which also invalidates memo entries
+    that read the rebound name.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | Mapping[str, FunctionalRelation],
+        semiring: Semiring,
+        pool: BufferPool | None = None,
+        workmem_pages: int = DEFAULT_WORKMEM_PAGES,
+        stats: IOStats | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.catalog = catalog if isinstance(catalog, Catalog) else None
+        self.env: dict[str, FunctionalRelation] = dict(
+            catalog.environment() if isinstance(catalog, Catalog) else catalog
+        )
+        self.semiring = semiring
+        self.pool = pool or BufferPool()
+        self.workmem_pages = workmem_pages
+        self.stats = stats if stats is not None else IOStats()
+        self.tracer = tracer
+        self.memo: dict[tuple, FunctionalRelation] = {}
+        self._memo_reads: dict[tuple, frozenset[str]] = {}
+        self._temp = TempFileAllocator()
+        self._adhoc_files: dict[str, HeapFile] = {}
+
+    # ------------------------------------------------------------------
+    # Environment
+    # ------------------------------------------------------------------
+    def relation(self, table: str) -> FunctionalRelation:
+        try:
+            return self.env[table]
+        except KeyError:
+            raise PlanError(f"unknown table {table!r}") from None
+
+    def bind(self, name: str, relation: FunctionalRelation) -> None:
+        """(Re)bind a name; memo entries reading it become invalid."""
+        self.env[name] = relation
+        self.invalidate(name)
+
+    def invalidate(self, *tables: str) -> None:
+        """Drop memoized results that scanned any of ``tables``."""
+        names = set(tables)
+        stale = [
+            key
+            for key, reads in self._memo_reads.items()
+            if reads & names
+        ]
+        for key in stale:
+            del self.memo[key]
+            del self._memo_reads[key]
+        for name in names:
+            file = self._adhoc_files.pop(name, None)
+            if file is not None:
+                file.drop(self.pool)
+
+    def reset_memo(self) -> None:
+        self.memo.clear()
+        self._memo_reads.clear()
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+    def heapfile_for(
+        self, table: str, relation: FunctionalRelation
+    ) -> HeapFile:
+        if self.catalog is not None and table in self.catalog:
+            return self.catalog.heapfile(table)
+        if table not in self._adhoc_files:
+            self._adhoc_files[table] = self._temp.allocate(
+                relation.ntuples, relation.arity
+            )
+        return self._adhoc_files[table]
+
+    def maybe_spill(self, relation: FunctionalRelation) -> None:
+        """Charge a materialization write when a result exceeds work-mem."""
+        geometry = PageGeometry(relation.arity)
+        pages = geometry.pages_for(relation.ntuples)
+        if pages > self.workmem_pages:
+            temp = self._temp.allocate(relation.ntuples, relation.arity)
+            temp.write_out(self.pool, self.stats)
+
+
+# ----------------------------------------------------------------------
+# Physical operators
+# ----------------------------------------------------------------------
+class PhysicalOperator:
+    """One plan node's physical implementation."""
+
+    def __init__(self, node: PlanNode):
+        self.node = node
+
+    def execute(
+        self, ctx: ExecutionContext, inputs: Sequence[FunctionalRelation]
+    ) -> FunctionalRelation:
+        raise NotImplementedError
+
+
+class ScanOperator(PhysicalOperator):
+    """Sequential page reads of the base heap file through the pool."""
+
+    node: Scan
+
+    def execute(self, ctx, inputs):
+        relation = ctx.relation(self.node.table)
+        heapfile = ctx.heapfile_for(self.node.table, relation)
+        heapfile.scan(ctx.pool, ctx.stats)
+        return relation
+
+
+class IndexScanOperator(PhysicalOperator):
+    """Equality probe through a catalog hash index."""
+
+    node: IndexScan
+
+    def execute(self, ctx, inputs):
+        relation = ctx.relation(self.node.table)
+        if ctx.catalog is None:
+            raise PlanError("IndexScan requires a catalog-backed context")
+        index = ctx.catalog.index_on(self.node.table, self.node.variable)
+        if index is None:
+            raise PlanError(
+                f"no index on {self.node.table}({self.node.variable})"
+            )
+        value = self.node.predicate[self.node.variable]
+        code = relation.variables[self.node.variable].domain.code_of(value)
+        rows = index.lookup(code, ctx.pool, ctx.stats)
+        return relation.take(rows)
+
+
+class SelectOperator(PhysicalOperator):
+    """One pass over the input applying equality predicates."""
+
+    node: Select
+
+    def execute(self, ctx, inputs):
+        (child,) = inputs
+        ctx.stats.charge_cpu(child.ntuples)
+        return restrict(child, self.node.predicate)
+
+
+class ProductJoinOperator(PhysicalOperator):
+    """Hash (or sort-merge) product join with spill accounting."""
+
+    node: ProductJoin
+
+    def execute(self, ctx, inputs):
+        left, right = inputs
+        result = product_join(left, right, ctx.semiring)
+        if self.node.method == "sort_merge":
+            nl, nr = max(left.ntuples, 2), max(right.ntuples, 2)
+            ctx.stats.charge_cpu(
+                int(nl * math.log2(nl) + nr * math.log2(nr))
+            )
+        ctx.stats.charge_cpu(left.ntuples + right.ntuples + result.ntuples)
+        ctx.maybe_spill(result)
+        return result
+
+
+class GroupByOperator(PhysicalOperator):
+    """Sort- or hash-based semiring aggregation with spill accounting."""
+
+    node: GroupBy
+
+    def execute(self, ctx, inputs):
+        (child,) = inputs
+        n = max(child.ntuples, 2)
+        if self.node.method == "sort":
+            ctx.stats.charge_cpu(int(n * math.log2(n)))
+        else:  # hash aggregation: one pass + group emission
+            ctx.stats.charge_cpu(n)
+        result = marginalize(child, self.node.group_names, ctx.semiring)
+        ctx.stats.charge_cpu(result.ntuples)
+        ctx.maybe_spill(result)
+        return result
+
+
+class SemiJoinOperator(PhysicalOperator):
+    """Product / update semijoin — the workload message primitive."""
+
+    node: SemiJoin
+
+    def execute(self, ctx, inputs):
+        target, source = inputs
+        if self.node.kind == "product":
+            result = product_semijoin(target, source, ctx.semiring)
+        else:
+            result = update_semijoin(target, source, ctx.semiring)
+        ctx.stats.charge_cpu(
+            target.ntuples + source.ntuples + result.ntuples
+        )
+        ctx.maybe_spill(result)
+        return result
+
+
+OPERATORS: dict[type[PlanNode], type[PhysicalOperator]] = {
+    Scan: ScanOperator,
+    IndexScan: IndexScanOperator,
+    Select: SelectOperator,
+    ProductJoin: ProductJoinOperator,
+    GroupBy: GroupByOperator,
+    SemiJoin: SemiJoinOperator,
+}
+
+
+def operator_for(node: PlanNode) -> PhysicalOperator:
+    try:
+        return OPERATORS[type(node)](node)
+    except KeyError:
+        raise PlanError(
+            f"unknown plan node {type(node).__name__}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Evaluation drivers
+# ----------------------------------------------------------------------
+def evaluate_dag(
+    dag: PlanDAG,
+    ctx: ExecutionContext,
+    roots: Sequence[tuple] | None = None,
+) -> list[FunctionalRelation]:
+    """Evaluate (a subset of) a DAG's roots; returns results in order.
+
+    Each unique node executes at most once; nodes already in the
+    context memo (from this call or an earlier one against the same
+    context) are served from it, charging a memo hit instead of work.
+    Subtrees below a memoized node are skipped entirely.
+    """
+    if roots is None:
+        roots = dag.roots
+
+    # Which nodes actually need executing: walk down from the requested
+    # roots, stopping at memo boundaries.
+    needed: set[tuple] = set()
+    pending = [key for key in roots if key not in ctx.memo]
+    while pending:
+        key = pending.pop()
+        if key in needed:
+            continue
+        needed.add(key)
+        pending.extend(
+            k for k in dag.children[key]
+            if k not in needed and k not in ctx.memo
+        )
+
+    hits_counted: set[tuple] = set()
+
+    def fetch(key: tuple) -> FunctionalRelation:
+        result = ctx.memo[key]
+        if key not in hits_counted and key not in executed:
+            hits_counted.add(key)
+            ctx.stats.charge_memo_hit()
+            if ctx.tracer is not None:
+                ctx.tracer.on_memo_hit(dag.nodes[key], result)
+        return result
+
+    executed: set[tuple] = set()
+    for key in dag.topological():
+        if key not in needed:
+            continue
+        node = dag.nodes[key]
+        inputs = tuple(fetch(k) for k in dag.children[key])
+        snapshot = ctx.stats.snapshot()
+        result = operator_for(node).execute(ctx, inputs)
+        ctx.stats.record_operator(node.label(), result.ntuples)
+        ctx.memo[key] = result
+        ctx._memo_reads[key] = dag.base_tables(key)
+        executed.add(key)
+        if ctx.tracer is not None:
+            ctx.tracer.on_execute(node, result, ctx.stats.since(snapshot))
+    return [fetch(key) for key in roots]
+
+
+def evaluate(plan: PlanNode, ctx: ExecutionContext) -> FunctionalRelation:
+    """Lower one plan tree and evaluate it through the context."""
+    (result,) = evaluate_dag(lower(plan), ctx)
+    return result

@@ -12,7 +12,15 @@ from __future__ import annotations
 import json
 
 from repro.errors import PlanError
-from repro.plans.nodes import GroupBy, IndexScan, PlanNode, ProductJoin, Scan, Select
+from repro.plans.nodes import (
+    GroupBy,
+    IndexScan,
+    PlanNode,
+    ProductJoin,
+    Scan,
+    Select,
+    SemiJoin,
+)
 
 __all__ = ["plan_to_dict", "plan_from_dict", "plan_to_json", "plan_from_json"]
 
@@ -47,6 +55,13 @@ def plan_to_dict(plan: PlanNode) -> dict:
             "method": plan.method,
             "child": plan_to_dict(plan.child),
         }
+    if isinstance(plan, SemiJoin):
+        return {
+            "op": "semijoin",
+            "kind": plan.kind,
+            "target": plan_to_dict(plan.target),
+            "source": plan_to_dict(plan.source),
+        }
     raise PlanError(f"cannot serialize node {type(plan).__name__}")
 
 
@@ -73,6 +88,12 @@ def plan_from_dict(data: dict) -> PlanNode:
             plan_from_dict(data["child"]),
             data["group_names"],
             method=data.get("method", "sort"),
+        )
+    if op == "semijoin":
+        return SemiJoin(
+            plan_from_dict(data["target"]),
+            plan_from_dict(data["source"]),
+            kind=data.get("kind", "product"),
         )
     raise PlanError(f"unknown plan op {op!r}")
 

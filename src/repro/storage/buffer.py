@@ -32,6 +32,11 @@ class BufferPool:
     def __len__(self) -> int:
         return len(self._pages)
 
+    def __bool__(self) -> bool:
+        # Without this, an *empty* pool is falsy through __len__ and
+        # `pool or BufferPool()` silently discards a caller's pool.
+        return True
+
     def __contains__(self, page: PageId) -> bool:
         return page in self._pages
 

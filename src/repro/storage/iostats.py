@@ -32,6 +32,7 @@ class IOStats:
     buffer_hits: int = 0
     tuples_processed: int = 0
     operators_run: int = 0
+    memo_hits: int = 0
     io_weight: float = DEFAULT_IO_WEIGHT
     cpu_weight: float = DEFAULT_CPU_WEIGHT
     per_operator: list = field(default_factory=list)
@@ -44,6 +45,10 @@ class IOStats:
 
     def charge_hit(self, pages: int = 1) -> None:
         self.buffer_hits += pages
+
+    def charge_memo_hit(self) -> None:
+        """A shared subplan's result was reused from the runtime memo."""
+        self.memo_hits += 1
 
     def charge_cpu(self, tuples: int) -> None:
         self.tuples_processed += int(tuples)
@@ -71,14 +76,44 @@ class IOStats:
             buffer_hits=self.buffer_hits + other.buffer_hits,
             tuples_processed=self.tuples_processed + other.tuples_processed,
             operators_run=self.operators_run + other.operators_run,
+            memo_hits=self.memo_hits + other.memo_hits,
             io_weight=self.io_weight,
             cpu_weight=self.cpu_weight,
             per_operator=self.per_operator + other.per_operator,
         )
 
-    def summary(self) -> str:
+    def snapshot(self) -> tuple:
+        """Counter snapshot for later :meth:`since` deltas."""
         return (
+            self.page_reads,
+            self.page_writes,
+            self.buffer_hits,
+            self.tuples_processed,
+            self.operators_run,
+            self.memo_hits,
+            len(self.per_operator),
+        )
+
+    def since(self, snapshot: tuple) -> "IOStats":
+        """New stats holding the increments since ``snapshot``."""
+        return IOStats(
+            page_reads=self.page_reads - snapshot[0],
+            page_writes=self.page_writes - snapshot[1],
+            buffer_hits=self.buffer_hits - snapshot[2],
+            tuples_processed=self.tuples_processed - snapshot[3],
+            operators_run=self.operators_run - snapshot[4],
+            memo_hits=self.memo_hits - snapshot[5],
+            io_weight=self.io_weight,
+            cpu_weight=self.cpu_weight,
+            per_operator=self.per_operator[snapshot[6]:],
+        )
+
+    def summary(self) -> str:
+        text = (
             f"reads={self.page_reads} writes={self.page_writes} "
             f"hits={self.buffer_hits} tuples={self.tuples_processed} "
             f"ops={self.operators_run} elapsed={self.elapsed():.1f}"
         )
+        if self.memo_hits:
+            text += f" memo={self.memo_hits}"
+        return text

@@ -40,10 +40,12 @@ import networkx as nx
 
 from repro.algebra.aggregate import marginalize
 from repro.algebra.join import product_join
-from repro.algebra.semijoin import product_semijoin, update_semijoin
 from repro.data.relation import FunctionalRelation
 from repro.errors import AcyclicityError, SemiringError, WorkloadError
+from repro.plans.nodes import Scan, SemiJoin
+from repro.plans.runtime import ExecutionContext, evaluate
 from repro.semiring.base import Semiring
+from repro.storage.iostats import IOStats
 from repro.workload.graphs import junction_tree_of_schema
 
 __all__ = [
@@ -75,6 +77,8 @@ class BPResult:
     tables: dict[str, FunctionalRelation]
     program: list[BPStep] = field(default_factory=list)
     tree: nx.Graph | None = None
+    stats: IOStats | None = None
+    """Simulated IO of running the program through the runtime."""
 
     def program_listing(self) -> str:
         """Figure 11-style listing, one numbered step per line."""
@@ -96,20 +100,30 @@ def _as_dict(
     return out
 
 
-def _backward_reduce(
-    target: FunctionalRelation,
-    source: FunctionalRelation,
-    semiring: Semiring,
-) -> FunctionalRelation:
-    """Update semijoin, with the idempotent-times fallback."""
+def _backward_kind(semiring: Semiring) -> str:
+    """SemiJoin kind of the backward pass (idempotent-times fallback)."""
     if semiring.supports_division:
-        return update_semijoin(target, source, semiring)
+        return "update"
     if semiring.idempotent_times:
-        return product_semijoin(target, source, semiring)
+        return "product"
     raise SemiringError(
         f"semiring {semiring.name!r} supports neither division nor "
         "idempotent multiplication; BP's backward pass is undefined"
     )
+
+
+def _run_step(
+    ctx: ExecutionContext,
+    tables: dict[str, FunctionalRelation],
+    step: BPStep,
+    kind: str,
+) -> None:
+    """Execute one semijoin step through the runtime and rebind."""
+    result = evaluate(
+        SemiJoin(Scan(step.target), Scan(step.source), kind), ctx
+    ).with_name(step.target)
+    tables[step.target] = result
+    ctx.bind(step.target, result)
 
 
 def belief_propagation(
@@ -117,6 +131,7 @@ def belief_propagation(
     semiring: Semiring,
     tree: nx.Graph | None = None,
     root: str | None = None,
+    context: ExecutionContext | None = None,
 ) -> BPResult:
     """Collect/distribute BP over a junction tree of the schema.
 
@@ -142,6 +157,10 @@ def belief_propagation(
     if root not in tables:
         raise WorkloadError(f"unknown root table {root!r}")
 
+    ctx = context or ExecutionContext({}, semiring)
+    for name, rel in tables.items():
+        ctx.bind(name, rel)
+    backward = _backward_kind(semiring)
     program: list[BPStep] = []
 
     for component in nx.connected_components(tree):
@@ -156,29 +175,28 @@ def belief_propagation(
         for node in ordered:
             if node == component_root:
                 continue
-            parent = parent_of[node]
-            tables[parent] = product_semijoin(
-                tables[parent], tables[node], semiring
-            )
-            program.append(BPStep(target=parent, source=node, kind="product"))
+            step = BPStep(target=parent_of[node], source=node, kind="product")
+            _run_step(ctx, tables, step, "product")
+            program.append(step)
 
         # Distribute: parents before children; child absorbs parent.
         for node in nx.dfs_preorder_nodes(tree, source=component_root):
             if node == component_root:
                 continue
-            parent = parent_of[node]
-            tables[node] = _backward_reduce(
-                tables[node], tables[parent], semiring
-            )
-            program.append(BPStep(target=node, source=parent, kind="update"))
+            step = BPStep(target=node, source=parent_of[node], kind="update")
+            _run_step(ctx, tables, step, backward)
+            program.append(step)
 
-    return BPResult(tables=tables, program=program, tree=tree)
+    return BPResult(
+        tables=tables, program=program, tree=tree, stats=ctx.stats
+    )
 
 
 def bp_program_literal(
     relations: Sequence[FunctionalRelation] | Mapping[str, FunctionalRelation],
     semiring: Semiring,
     order: Sequence[str],
+    context: ExecutionContext | None = None,
 ) -> BPResult:
     """Algorithm 4 verbatim: all sharing pairs, given table order.
 
@@ -195,18 +213,19 @@ def bp_program_literal(
             f"order {order} must be a permutation of {sorted(tables)}"
         )
     scopes = {name: frozenset(rel.var_names) for name, rel in tables.items()}
+    ctx = context or ExecutionContext({}, semiring)
+    for name, rel in tables.items():
+        ctx.bind(name, rel)
+    backward = _backward_kind(semiring)
     program: list[BPStep] = []
 
     # Forward pass: each table absorbs every earlier sharing table.
     for j, name_j in enumerate(order):
         for name_i in order[:j]:
             if scopes[name_i] & scopes[name_j]:
-                tables[name_j] = product_semijoin(
-                    tables[name_j], tables[name_i], semiring
-                )
-                program.append(
-                    BPStep(target=name_j, source=name_i, kind="product")
-                )
+                step = BPStep(target=name_j, source=name_i, kind="product")
+                _run_step(ctx, tables, step, "product")
+                program.append(step)
 
     # Backward pass: reverse order, each earlier table absorbs later.
     for j in range(len(order) - 1, -1, -1):
@@ -214,14 +233,13 @@ def bp_program_literal(
         for i in range(j - 1, -1, -1):
             name_i = order[i]
             if scopes[name_i] & scopes[name_j]:
-                tables[name_i] = _backward_reduce(
-                    tables[name_i], tables[name_j], semiring
-                )
-                program.append(
-                    BPStep(target=name_i, source=name_j, kind="update")
-                )
+                step = BPStep(target=name_i, source=name_j, kind="update")
+                _run_step(ctx, tables, step, backward)
+                program.append(step)
 
-    return BPResult(tables=tables, program=program, tree=None)
+    return BPResult(
+        tables=tables, program=program, tree=None, stats=ctx.stats
+    )
 
 
 def satisfies_workload_invariant(

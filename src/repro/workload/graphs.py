@@ -22,7 +22,7 @@ creates the chordless 5-cycle of Figure 13/14 and breaks it.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 import networkx as nx
 

@@ -20,17 +20,18 @@ Belief Propagation runs correctly on the result (Theorem 10).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import reduce
 from typing import Sequence
 
 import networkx as nx
 
-from repro.algebra.join import product_join
 from repro.data.builders import identity_relation
 from repro.data.domain import VariableSet
 from repro.data.relation import FunctionalRelation
 from repro.errors import WorkloadError
+from repro.plans.nodes import PlanNode, ProductJoin, Scan
+from repro.plans.runtime import ExecutionContext, evaluate
 from repro.semiring.base import Semiring
+from repro.storage.iostats import IOStats
 from repro.workload.graphs import (
     has_running_intersection,
     maximum_weight_spanning_tree,
@@ -52,6 +53,8 @@ class JunctionTree:
     assignment: dict[str, str]
     """Original relation name → clique name it was folded into."""
     triangulation: TriangulationResult
+    stats: IOStats | None = None
+    """Simulated IO of materializing the clique potentials."""
 
     @property
     def schema(self) -> dict[str, tuple[str, ...]]:
@@ -79,12 +82,18 @@ def build_junction_tree(
     semiring: Semiring,
     order: Sequence[str] | None = None,
     heuristic: str = "min_fill",
+    context: ExecutionContext | None = None,
 ) -> JunctionTree:
     """Algorithm 5 over materialized functional relations.
 
     ``order`` optionally fixes (a prefix of) the triangulation order —
     Figure 14 triangulates the cyclic supply-chain schema with
     ``tid, sid``.
+
+    Clique potentials are materialized by running product-join plans
+    through the physical runtime (step 5), so construction pays
+    simulated IO; ``context`` lets the caller share a buffer pool and
+    stats clock across junction-tree construction and later BP passes.
     """
     if not relations:
         raise WorkloadError("junction tree over an empty schema")
@@ -117,7 +126,11 @@ def build_junction_tree(
             candidates, key=lambda c: (len(scope_of[c]), c)
         )
 
-    # Step 5: materialize clique potentials.
+    # Step 5: materialize clique potentials through the runtime.
+    ctx = context or ExecutionContext({}, semiring)
+    for name, rel in by_name.items():
+        ctx.bind(name, rel)
+
     variables_by_name = {}
     for rel in by_name.values():
         for v in rel.variables:
@@ -125,33 +138,40 @@ def build_junction_tree(
 
     cliques: dict[str, FunctionalRelation] = {}
     for clique_name in clique_names:
-        members = [
-            by_name[r] for r, c in assignment.items() if c == clique_name
+        member_names = [
+            r for r, c in assignment.items() if c == clique_name
         ]
         scope_vars = VariableSet.of(
             [variables_by_name[v] for v in sorted(scope_of[clique_name])]
         )
-        if members:
-            potential = reduce(
-                lambda a, b: product_join(a, b, semiring), members
-            )
-        else:
-            potential = identity_relation(
-                list(scope_vars), semiring.one, dtype=semiring.dtype
-            )
+        member_scope = frozenset(
+            v.name
+            for r in member_names
+            for v in by_name[r].variables
+        )
         # The assigned members may not mention every clique variable
         # (e.g. a clique {pid, sid, cid} whose only member is
         # contracts(pid, sid)); pad with the identity over the missing
         # variables so messages on any separator can flow through.
         missing = [
-            variables_by_name[v]
-            for v in sorted(scope_of[clique_name])
-            if v not in potential.variables
+            v for v in scope_vars if v.name not in member_scope
         ]
+        inputs = list(member_names)
         if missing:
-            pad = identity_relation(missing, semiring.one, dtype=semiring.dtype)
-            potential = product_join(potential, pad, semiring)
-        cliques[clique_name] = potential.with_name(clique_name)
+            pad_name = f"{clique_name}.pad"
+            ctx.bind(
+                pad_name,
+                identity_relation(
+                    missing, semiring.one, dtype=semiring.dtype
+                ).with_name(pad_name),
+            )
+            inputs.append(pad_name)
+        plan: PlanNode = Scan(inputs[0])
+        for name in inputs[1:]:
+            plan = ProductJoin(plan, Scan(name))
+        potential = evaluate(plan, ctx).with_name(clique_name)
+        ctx.bind(clique_name, potential)
+        cliques[clique_name] = potential
 
     # Junction tree over the cliques.
     clique_graph = nx.Graph()
@@ -171,6 +191,7 @@ def build_junction_tree(
         tree=tree,
         assignment=assignment,
         triangulation=triangulation,
+        stats=ctx.stats,
     )
     result.validate()
     return result

@@ -33,20 +33,17 @@ table (:meth:`VECache.absorb_evidence`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import reduce
 from typing import Mapping, Sequence
 
 import networkx as nx
 
-from repro.algebra.aggregate import marginalize
-from repro.algebra.join import product_join
-from repro.algebra.select import restrict
-from repro.algebra.semijoin import product_semijoin, update_semijoin
 from repro.catalog.catalog import Catalog
 from repro.data.relation import FunctionalRelation
 from repro.errors import SemiringError, WorkloadError
 from repro.optimizer.base import QuerySpec
 from repro.optimizer.ve import VariableElimination
+from repro.plans.nodes import GroupBy, PlanNode, ProductJoin, Scan, Select, SemiJoin
+from repro.plans.runtime import ExecutionContext, evaluate
 from repro.semiring.base import Semiring
 from repro.storage.page import PageGeometry
 from repro.workload.graphs import variable_graph
@@ -55,19 +52,24 @@ from repro.workload.triangulate import triangulate
 __all__ = ["VECache", "build_ve_cache"]
 
 
-def _backward_reduce(
-    target: FunctionalRelation,
-    source: FunctionalRelation,
-    semiring: Semiring,
-) -> FunctionalRelation:
+def _reduce_kind(semiring: Semiring) -> str:
+    """SemiJoin kind for the backward (calibration) message."""
     if semiring.supports_division:
-        return update_semijoin(target, source, semiring)
+        return "update"
     if semiring.idempotent_times:
-        return product_semijoin(target, source, semiring)
+        return "product"
     raise SemiringError(
         f"semiring {semiring.name!r} supports neither division nor "
         "idempotent multiplication; VE-cache calibration is undefined"
     )
+
+
+def _join_chain(names: Sequence[str]) -> PlanNode:
+    """Left-deep ProductJoin plan over named (bound) relations."""
+    plan: PlanNode = Scan(names[0])
+    for name in names[1:]:
+        plan = ProductJoin(plan, Scan(name))
+    return plan
 
 
 @dataclass
@@ -89,6 +91,35 @@ class VECache:
     """Base-relation name → the cached table that absorbed it."""
     base_relations: dict[str, FunctionalRelation] = field(default_factory=dict)
     """Current (possibly hypothetically updated) base relations."""
+    context: ExecutionContext | None = None
+    """Runtime context the cache executes through; its ``stats`` hold
+    the simulated IO of building and serving this cache."""
+
+    # ------------------------------------------------------------------
+    # Runtime plumbing
+    # ------------------------------------------------------------------
+    def runtime(self) -> ExecutionContext:
+        """The cache's execution context, with all tables bound."""
+        if self.context is None:
+            self.context = ExecutionContext(
+                dict(self.tables), self.semiring
+            )
+        for name, rel in self.tables.items():
+            if self.context.env.get(name) is not rel:
+                self.context.bind(name, rel)
+        return self.context
+
+    @property
+    def io_stats(self):
+        """Cumulative simulated IO of this cache's runtime context."""
+        return self.runtime().stats
+
+    def _derived_context(
+        self, tables: Mapping[str, FunctionalRelation]
+    ) -> ExecutionContext:
+        """Fresh context over ``tables``, sharing the buffer pool."""
+        pool = self.context.pool if self.context is not None else None
+        return ExecutionContext(dict(tables), self.semiring, pool=pool)
 
     # ------------------------------------------------------------------
     # Query answering
@@ -122,11 +153,12 @@ class VECache:
                     f"selection on non-query variables {sorted(stray)}: use "
                     "absorb_evidence() (constrained-domain protocol) first"
                 )
-        table = self.tables[self.table_for(var_name)]
-        result = marginalize(table, [var_name], self.semiring)
+        plan: PlanNode = GroupBy(Scan(self.table_for(var_name)), [var_name])
         if selection:
-            result = restrict(result, selection)
-        return result
+            plan = Select(plan, dict(selection))
+        # Through the shared runtime: the aggregate pays a scan of the
+        # cached table, and exact repeats hit the context memo.
+        return evaluate(plan, self.runtime())
 
     def absorb_evidence(self, evidence: Mapping[str, object]) -> "VECache":
         """Constrained-domain protocol (Theorem 5): returns a new cache.
@@ -137,6 +169,8 @@ class VECache:
         constrained domain.
         """
         tables = dict(self.tables)
+        ctx = self._derived_context(tables)
+        kind = _reduce_kind(self.semiring)
         for var_name, value in evidence.items():
             start = min(
                 (
@@ -152,11 +186,15 @@ class VECache:
                     f"no cached table contains evidence variable {var_name!r}"
                 )
             old_total = self.semiring.reduce(tables[start].measure)
-            tables[start] = restrict(tables[start], {var_name: value})
+            tables[start] = evaluate(
+                Select(Scan(start), {var_name: value}), ctx
+            )
+            ctx.bind(start, tables[start])
             for parent, child in nx.bfs_edges(self.forest, source=start):
-                tables[child] = _backward_reduce(
-                    tables[child], tables[parent], self.semiring
+                tables[child] = evaluate(
+                    SemiJoin(Scan(child), Scan(parent), kind), ctx
                 )
+                ctx.bind(child, tables[child])
             # Tables in *other* connected components never see the
             # message flow, yet Definition 5 against the restricted
             # view requires their mass to scale by the evidence
@@ -174,9 +212,11 @@ class VECache:
                     factor = new_total
                 for name in outside:
                     rel = tables[name]
+                    ctx.stats.charge_cpu(rel.ntuples)
                     tables[name] = rel.with_measure(
                         self.semiring.times(rel.measure, factor)
                     )
+                    ctx.bind(name, tables[name])
         return VECache(
             tables=tables,
             forest=self.forest,
@@ -185,6 +225,7 @@ class VECache:
             eliminated_by=self.eliminated_by,
             base_step=self.base_step,
             base_relations=self.base_relations,
+            context=ctx,
         )
 
     # ------------------------------------------------------------------
@@ -222,11 +263,16 @@ class VECache:
         )
         step = self.base_step[base_table]
         tables = dict(self.tables)
+        ctx = self._derived_context(tables)
+        kind = _reduce_kind(self.semiring)
+        ctx.stats.charge_cpu(tables[step].ntuples)
         tables[step] = apply_patch(tables[step], patch, self.semiring)
+        ctx.bind(step, tables[step])
         for parent, child in nx.bfs_edges(self.forest, source=step):
-            tables[child] = _backward_reduce(
-                tables[child], tables[parent], self.semiring
+            tables[child] = evaluate(
+                SemiJoin(Scan(child), Scan(parent), kind), ctx
             )
+            ctx.bind(child, tables[child])
         base_relations = dict(self.base_relations)
         base_relations[base_table] = alter_measure(
             base, assignment, new_value
@@ -239,6 +285,7 @@ class VECache:
             eliminated_by=self.eliminated_by,
             base_step=self.base_step,
             base_relations=base_relations,
+            context=ctx,
         )
 
     def refresh(
@@ -306,7 +353,6 @@ class VECache:
 @dataclass
 class _Step:
     name: str
-    table: FunctionalRelation
     children: list[str]
     variable: str
 
@@ -316,14 +362,22 @@ def build_ve_cache(
     semiring: Semiring,
     heuristic: str = "degree",
     order: Sequence[str] | None = None,
+    context: ExecutionContext | None = None,
 ) -> VECache:
-    """Algorithm 3 end to end.
+    """Algorithm 3 end to end, executed through the physical runtime.
 
     ``order`` overrides step 1 with an explicit (possibly partial)
     elimination order — the triangulation min-fill heuristic completes
     it; otherwise a no-query-variable VE pass with ``heuristic``
     derives it.  Works on cyclic schemas too: executing VE *is* the
     Junction Tree transformation (Theorem 10.1-2).
+
+    ``context`` supplies the execution environment (buffer pool, stats
+    clock); the engine passes its catalog-backed context so base-table
+    scans go through the shared buffer pool.  The materialization runs
+    as small plans — each elimination's pre-aggregation join, then a
+    GroupBy over it whose join input comes from the runtime memo — so
+    cache construction pays simulated IO like any query.
     """
     relations = list(relations)
     if not relations:
@@ -342,39 +396,48 @@ def build_ve_cache(
     # Complete a partial order over all variables via triangulation.
     full_order = triangulate(variable_graph(schema), order=order).order
 
+    ctx = context or ExecutionContext({}, semiring)
+    base_names = {id(rel): (rel.name or f"s{i}")
+                  for i, rel in enumerate(relations)}
+    for rel in relations:
+        ctx.bind(base_names[id(rel)], rel)
+    reserved = set(schema)
+
+    def step_name(i: int) -> str:
+        name = f"t{i}"
+        return name if name not in reserved else f"vecache_t{i}"
+
     # ------------------------------------------------------------------
     # Line 2: execute the no-query-variable VE plan, caching the table
     # preceding each GroupBy, and recording message edges.
     # ------------------------------------------------------------------
-    work: list[tuple[FunctionalRelation, str | None]] = [
-        (rel, None) for rel in relations
+    work: list[tuple[str, str | None]] = [
+        (base_names[id(rel)], None) for rel in relations
     ]
     steps: list[_Step] = []
-    base_names = {id(rel): (rel.name or f"s{i}")
-                  for i, rel in enumerate(relations)}
     base_step: dict[str, str] = {}
 
     for v in full_order:
-        chosen = [(rel, src) for rel, src in work if v in rel.variables]
+        chosen = [(n, src) for n, src in work if v in ctx.env[n].variables]
         if not chosen:
             continue
-        rest = [(rel, src) for rel, src in work if v not in rel.variables]
-        joined = reduce(
-            lambda a, b: product_join(a, b, semiring),
-            [rel for rel, _ in chosen],
-        )
-        name = f"t{len(steps) + 1}"
-        children = [src for _, src in chosen if src is not None]
-        for rel, src in chosen:
-            if src is None:
-                base_step[base_names[id(rel)]] = name
-        steps.append(
-            _Step(name=name, table=joined.with_name(name),
-                  children=children, variable=v)
-        )
+        rest = [(n, src) for n, src in work if v not in ctx.env[n].variables]
+        name = step_name(len(steps) + 1)
+        join_plan = _join_chain([n for n, _ in chosen])
+        joined = evaluate(join_plan, ctx)
         keep = [x for x in joined.var_names if x != v]
-        message = marginalize(joined, keep, semiring)
-        work = rest + [(message, name)]
+        # The GroupBy's join input is served from the runtime memo —
+        # the materialized cached table is not recomputed.
+        message = evaluate(GroupBy(join_plan, keep), ctx)
+
+        children = [src for _, src in chosen if src is not None]
+        for n, src in chosen:
+            if src is None:
+                base_step[n] = name
+        ctx.bind(name, joined.with_name(name))
+        ctx.bind(f"{name}.msg", message)
+        steps.append(_Step(name=name, children=children, variable=v))
+        work = rest + [(f"{name}.msg", name)]
 
     if not steps:
         raise WorkloadError("view has no variables to cache over")
@@ -382,44 +445,46 @@ def build_ve_cache(
     # Leftover zero-variable messages hold the total mass of finished
     # connected components; their info must reach the other components
     # for the invariant to hold against the *full* view.
-    component_of = {s.name: s.name for s in steps}
     forest = nx.Graph()
-    forest.add_nodes_from(component_of)
+    forest.add_nodes_from(s.name for s in steps)
     for step in steps:
         for child in step.children:
             forest.add_edge(step.name, child)
     components = list(nx.connected_components(forest))
     if len(components) > 1:
-        scalars: dict[frozenset, FunctionalRelation] = {}
-        for rel, src in work:
-            if rel.arity == 0 and src is not None:
+        scalars: dict[frozenset, str] = {}
+        for n, src in work:
+            if ctx.env[n].arity == 0 and src is not None:
                 component = frozenset(
                     next(c for c in components if src in c)
                 )
-                scalars[component] = rel
+                scalars[component] = n
         for step in steps:
             component = frozenset(
                 next(c for c in components if step.name in c)
             )
-            for other, scalar in scalars.items():
+            for other, scalar_name in scalars.items():
                 if other != component:
-                    step.table = product_join(
-                        step.table, scalar, semiring
-                    ).with_name(step.name)
+                    patched = evaluate(
+                        ProductJoin(Scan(step.name), Scan(scalar_name)),
+                        ctx,
+                    )
+                    ctx.bind(step.name, patched.with_name(step.name))
 
     # ------------------------------------------------------------------
     # Lines 3-7: backward update-semijoin pass, last created first.
     # ------------------------------------------------------------------
-    table_of = {s.name: s.table for s in steps}
+    kind = _reduce_kind(semiring)
     for step in reversed(steps):
         for child in step.children:
-            table_of[child] = _backward_reduce(
-                table_of[child], table_of[step.name], semiring
-            ).with_name(child)
+            updated = evaluate(
+                SemiJoin(Scan(child), Scan(step.name), kind), ctx
+            )
+            ctx.bind(child, updated.with_name(child))
 
     eliminated_by = {s.name: s.variable for s in steps}
     return VECache(
-        tables=table_of,
+        tables={s.name: ctx.env[s.name] for s in steps},
         forest=forest,
         semiring=semiring,
         elimination_order=tuple(full_order),
@@ -428,4 +493,5 @@ def build_ve_cache(
         base_relations={
             base_names[id(rel)]: rel for rel in relations
         },
+        context=ctx,
     )

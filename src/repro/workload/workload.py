@@ -17,7 +17,6 @@ every query from base tables).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 

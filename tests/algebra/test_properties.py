@@ -5,8 +5,6 @@ product join.  Hypothesis drives random sparse relations over random
 small schemas and checks the rewrite identities the optimizers rely on.
 """
 
-from functools import reduce
-
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -14,7 +14,6 @@ from repro.bayes import (
 )
 from repro.data import FunctionalRelation, var
 from repro.errors import SchemaError
-from repro.semiring import COUNTING, SUM_PRODUCT
 
 
 @pytest.fixture

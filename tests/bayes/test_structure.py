@@ -13,7 +13,6 @@ from repro.bayes import (
     sprinkler_network,
 )
 from repro.errors import SchemaError
-from repro.semiring import SUM_PRODUCT
 
 
 def _data(bn, n, seed=0):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.catalog import Catalog, TableStats
-from repro.data import FunctionalRelation, complete_relation, random_relation, var
+from repro.data import complete_relation, random_relation, var
 from repro.errors import CatalogError, SchemaError
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.domain import Domain, Variable, VariableSet, domain_product, var
+from repro.data.domain import Domain, VariableSet, domain_product, var
 from repro.errors import SchemaError
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algebra import marginalize, product_join, restrict
+from repro.algebra import marginalize, product_join
 from repro.catalog import Catalog
 from repro.data import FunctionalRelation, complete_relation, var
 from repro.optimizer import CSPlusNonlinear, QuerySpec, VariableElimination

@@ -1,11 +1,8 @@
 """Unit tests for the Eq. 1 plan-linearity test (Section 5.1)."""
 
-import pytest
-
 from repro.catalog import Catalog
 from repro.data import complete_relation, var
 from repro.optimizer import linearity_test
-from repro.datagen import supply_chain
 
 
 class TestEquationOne:
@@ -27,7 +24,6 @@ class TestEquationOne:
     def test_full_scale_catalog_directions(self):
         """At Table 1 scale the catalog-driven test reproduces the
         paper's verdicts without generating the data."""
-        from repro.catalog import TableStats
         from repro.optimizer.linearity import LinearityTest
 
         q1 = LinearityTest("cid", sigma=1000, sigma_hat=5000,

@@ -22,7 +22,7 @@ from repro.optimizer import (
     QuerySpec,
     VariableElimination,
 )
-from repro.plans import GroupBy, Scan, execute
+from repro.plans import GroupBy, execute
 from repro.semiring import SUM_PRODUCT
 
 

@@ -1,0 +1,92 @@
+"""Structural keys and plan-DAG lowering (CSE)."""
+
+from repro.plans import (
+    GroupBy,
+    IndexScan,
+    ProductJoin,
+    Scan,
+    Select,
+    SemiJoin,
+    lower,
+)
+
+
+def _shared_join():
+    return ProductJoin(Scan("s1"), Scan("s2"))
+
+
+class TestStructuralKeys:
+    def test_equal_for_identical_structure(self):
+        a = GroupBy(_shared_join(), ["a"])
+        b = GroupBy(_shared_join(), ["a"])
+        assert a.structural_key() == b.structural_key()
+
+    def test_physical_method_is_part_of_the_key(self):
+        hash_join = ProductJoin(Scan("s1"), Scan("s2"), method="hash")
+        merge_join = ProductJoin(Scan("s1"), Scan("s2"), method="sort_merge")
+        assert hash_join.structural_key() != merge_join.structural_key()
+        sort_gb = GroupBy(Scan("s1"), ["a"], method="sort")
+        hash_gb = GroupBy(Scan("s1"), ["a"], method="hash")
+        assert sort_gb.structural_key() != hash_gb.structural_key()
+
+    def test_predicate_order_is_canonical(self):
+        a = Select(Scan("s1"), {"x": 1, "y": 2})
+        b = Select(Scan("s1"), {"y": 2, "x": 1})
+        assert a.structural_key() == b.structural_key()
+
+    def test_distinct_nodes_distinct_keys(self):
+        keys = {
+            Scan("s1").structural_key(),
+            IndexScan("s1", {"x": 1}).structural_key(),
+            Select(Scan("s1"), {"x": 1}).structural_key(),
+            SemiJoin(Scan("s1"), Scan("s2"), "product").structural_key(),
+            SemiJoin(Scan("s1"), Scan("s2"), "update").structural_key(),
+        }
+        assert len(keys) == 5
+
+    def test_key_is_cached(self):
+        plan = GroupBy(_shared_join(), ["a"])
+        assert plan.structural_key() is plan.structural_key()
+
+
+class TestLower:
+    def test_repeated_scan_dedupes_within_one_tree(self):
+        # s1 ⋈ s1: two tree occurrences of Scan(s1), one DAG node.
+        plan = ProductJoin(Scan("s1"), Scan("s1"))
+        dag = lower(plan)
+        assert dag.tree_nodes == 3
+        assert dag.unique_nodes == 2
+        assert dag.shared_nodes == 1
+
+    def test_shared_subplan_across_batch(self):
+        q1 = GroupBy(_shared_join(), ["a"])
+        q2 = GroupBy(_shared_join(), ["b"])
+        dag = lower([q1, q2])
+        # Join + both scans shared; only the two GroupBys are distinct.
+        assert dag.unique_nodes == 5
+        assert dag.shared_nodes == 3
+        assert len(dag.roots) == 2
+        assert dag.roots[0] == q1.structural_key()
+
+    def test_duplicate_roots_preserved(self):
+        q = GroupBy(_shared_join(), ["a"])
+        dag = lower([q, q])
+        assert dag.roots == (q.structural_key(), q.structural_key())
+        assert dag.unique_nodes == 4
+
+    def test_topological_order_children_first(self):
+        plan = GroupBy(Select(_shared_join(), {"a": 0}), ["a"])
+        dag = lower(plan)
+        seen = set()
+        for key in dag.topological():
+            assert all(c in seen for c in dag.children[key])
+            seen.add(key)
+        assert seen == set(dag.nodes)
+
+    def test_base_table_dependencies(self):
+        q1 = GroupBy(_shared_join(), ["a"])
+        q2 = GroupBy(Scan("s3"), ["c"])
+        dag = lower([q1, q2])
+        assert dag.base_tables(q1.structural_key()) == {"s1", "s2"}
+        assert dag.base_tables(q2.structural_key()) == {"s3"}
+        assert dag.base_tables(Scan("s1").structural_key()) == {"s1"}

@@ -10,6 +10,7 @@ from repro.plans import (
     ProductJoin,
     Scan,
     Select,
+    SemiJoin,
     execute,
     explain,
     plan_from_dict,
@@ -57,6 +58,40 @@ class TestRoundTrip:
         del data["method"]
         rebuilt = plan_from_dict(data)
         assert rebuilt.method == "hash"
+
+    def test_index_scan_fields(self):
+        rebuilt = _roundtrip(IndexScan("contracts", {"pid": 3}))
+        assert isinstance(rebuilt, IndexScan)
+        assert rebuilt.table == "contracts"
+        assert dict(rebuilt.predicate) == {"pid": 3}
+
+    @pytest.mark.parametrize("method", ["hash", "sort_merge"])
+    def test_product_join_method(self, method):
+        plan = ProductJoin(Scan("a"), Scan("b"), method=method)
+        rebuilt = _roundtrip(plan)
+        assert rebuilt.method == method
+        assert rebuilt.structural_key() == plan.structural_key()
+
+    @pytest.mark.parametrize("method", ["sort", "hash"])
+    def test_group_by_method(self, method):
+        plan = GroupBy(Scan("a"), ["x", "y"], method=method)
+        rebuilt = _roundtrip(plan)
+        assert rebuilt.method == method
+        assert rebuilt.group_names == ("x", "y")
+        assert rebuilt.structural_key() == plan.structural_key()
+
+    @pytest.mark.parametrize("kind", ["product", "update"])
+    def test_semijoin_kind(self, kind):
+        plan = SemiJoin(Scan("a"), Scan("b"), kind)
+        rebuilt = _roundtrip(plan)
+        assert isinstance(rebuilt, SemiJoin)
+        assert rebuilt.kind == kind
+        assert rebuilt.structural_key() == plan.structural_key()
+
+    def test_semijoin_kind_defaults_to_product(self):
+        data = plan_to_dict(SemiJoin(Scan("a"), Scan("b"), "update"))
+        del data["kind"]
+        assert plan_from_dict(data).kind == "product"
 
     def test_prepared_statement_workflow(self, tiny_supply_chain):
         """Persist a plan as JSON, reload in a 'new session', run it."""

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import QueryError
 from repro.query import HavingClause, MPFQuery, MPFView
-from repro.semiring import MIN_SUM, SUM_PRODUCT
+from repro.semiring import SUM_PRODUCT
 
 
 @pytest.fixture

@@ -10,7 +10,6 @@ from repro.semiring import (
     COUNTING,
     MAX_PRODUCT,
     MAX_SUM,
-    MIN_PRODUCT,
     MIN_SUM,
     SUM_PRODUCT,
     by_name,

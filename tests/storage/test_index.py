@@ -1,6 +1,5 @@
 """Tests for hash indexes and index-based access paths."""
 
-import numpy as np
 import pytest
 
 from repro.catalog import Catalog

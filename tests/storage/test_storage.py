@@ -40,6 +40,13 @@ class TestPageGeometry:
 
 
 class TestBufferPool:
+    def test_empty_pool_is_truthy(self):
+        # `pool or BufferPool()` must honor a caller's (still empty)
+        # pool instead of silently replacing it.
+        pool = BufferPool(capacity_pages=4)
+        assert len(pool) == 0
+        assert bool(pool)
+
     def test_miss_then_hit(self):
         pool = BufferPool(capacity_pages=4)
         stats = IOStats()
@@ -159,3 +166,25 @@ class TestIOStats:
         stats = IOStats()
         stats.charge_read()
         assert "reads=1" in stats.summary()
+
+    def test_memo_hits_in_summary_only_when_nonzero(self):
+        stats = IOStats()
+        assert "memo=" not in stats.summary()
+        stats.charge_memo_hit()
+        assert "memo=1" in stats.summary()
+
+    def test_snapshot_since_delta(self):
+        stats = IOStats()
+        stats.charge_read(2)
+        stats.record_operator("before", 3)
+        snapshot = stats.snapshot()
+        stats.charge_read(1)
+        stats.charge_write(4)
+        stats.charge_memo_hit()
+        stats.record_operator("after", 7)
+        delta = stats.since(snapshot)
+        assert delta.page_reads == 1
+        assert delta.page_writes == 4
+        assert delta.memo_hits == 1
+        assert delta.operators_run == 1
+        assert delta.per_operator == [("after", 7)]

@@ -249,3 +249,66 @@ class TestPlanCache:
         db.run_query(query)
         db.run_query(query)
         assert db.plan_cache_hits == 0
+
+
+class TestRunBatch:
+    def _query(self, db, *group_by, **selections):
+        from repro.query import MPFQuery, MPFView
+
+        view = MPFView("invest", db._views["invest"].view_tables,
+                       SUM_PRODUCT)
+        return MPFQuery(view, tuple(group_by), selections=selections)
+
+    def test_matches_individual_runs(self, db):
+        queries = [
+            self._query(db, "wid"),
+            self._query(db, "cid"),
+            self._query(db, "cid", tid=0),
+        ]
+        batch = db.run_batch(queries)
+        assert len(batch.reports) == 3
+        for query, report in zip(queries, batch.reports):
+            solo = db.run_query(query)
+            assert report.result.equals(solo.result, SUM_PRODUCT)
+
+    def test_repeated_query_served_from_memo(self, db):
+        query = self._query(db, "wid")
+        batch = db.run_batch([query, query])
+        first, second = batch.reports
+        assert second.result.equals(first.result, SUM_PRODUCT)
+        assert batch.memo_hits >= 1
+        # The repeat pays a memo hit, not IO or operator work.
+        assert second.exec_stats.page_reads == 0
+        assert second.exec_stats.operators_run == 0
+        assert second.exec_stats.elapsed() < first.exec_stats.elapsed()
+
+    def test_shared_scans_deduplicated(self, db):
+        batch = db.run_batch([
+            self._query(db, "wid"),
+            self._query(db, "cid"),
+        ])
+        # Both plans scan the same five base tables; CSE merges them.
+        assert batch.shared_subplans >= 4
+        assert "unique" in batch.summary()
+
+    def test_batch_reads_fewer_pages_than_solo_runs(self, db):
+        queries = [self._query(db, "wid"), self._query(db, "wid")]
+        solo = sum(
+            db.run_query(q).exec_stats.page_reads for q in queries
+        )
+        batch = db.run_batch(queries)
+        assert batch.stats.page_reads < solo
+
+    def test_empty_batch_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.run_batch([])
+
+    def test_mixed_semirings_rejected(self, db):
+        from repro.query import MPFQuery, MPFView
+        from repro.semiring import MAX_PRODUCT
+
+        tables = db._views["invest"].view_tables
+        q1 = self._query(db, "wid")
+        q2 = MPFQuery(MPFView("invest", tables, MAX_PRODUCT), ("wid",))
+        with pytest.raises(QueryError):
+            db.run_batch([q1, q2])

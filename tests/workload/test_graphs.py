@@ -1,7 +1,6 @@
 """Unit tests for schema graphs and acyclicity (Theorems 7 & 8)."""
 
 import networkx as nx
-import pytest
 
 from repro.workload import (
     gyo_reduction,

@@ -8,7 +8,6 @@ paper leaves as future work; we implement both the naive rewrite path
 
 from functools import reduce
 
-import numpy as np
 import pytest
 
 from repro.algebra import (

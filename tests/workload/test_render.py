@@ -1,7 +1,5 @@
 """DOT rendering tests (Figures 13-15 as text artifacts)."""
 
-import pytest
-
 from repro.semiring import SUM_PRODUCT
 from repro.workload import (
     build_junction_tree,

@@ -1,0 +1,99 @@
+"""Workload execution goes through the runtime and reports real IO."""
+
+from repro.plans import ExecutionContext
+from repro.semiring import SUM_PRODUCT
+from repro.workload import (
+    belief_propagation,
+    bp_program_literal,
+    build_junction_tree,
+    build_ve_cache,
+)
+
+
+def _relations(sc):
+    return [sc.catalog.relation(t) for t in sc.tables]
+
+
+class TestVECacheIO:
+    def test_build_reports_io(self, tiny_supply_chain):
+        cache = build_ve_cache(_relations(tiny_supply_chain), SUM_PRODUCT)
+        stats = cache.io_stats
+        assert stats.page_reads > 0
+        assert stats.operators_run > 0
+        assert stats.elapsed() > 0
+
+    def test_answers_accumulate_io(self, tiny_supply_chain):
+        cache = build_ve_cache(_relations(tiny_supply_chain), SUM_PRODUCT)
+        before = cache.io_stats.elapsed()
+        cache.answer("wid")
+        assert cache.io_stats.elapsed() > before
+
+    def test_repeated_answer_hits_memo(self, tiny_supply_chain):
+        cache = build_ve_cache(_relations(tiny_supply_chain), SUM_PRODUCT)
+        first = cache.answer("wid")
+        reads = cache.io_stats.page_reads
+        hits = cache.io_stats.memo_hits
+        again = cache.answer("wid")
+        assert again.equals(first, SUM_PRODUCT)
+        assert cache.io_stats.memo_hits > hits
+        assert cache.io_stats.page_reads == reads
+
+    def test_shared_context(self, tiny_supply_chain):
+        ctx = ExecutionContext({}, SUM_PRODUCT)
+        cache = build_ve_cache(
+            _relations(tiny_supply_chain), SUM_PRODUCT, context=ctx
+        )
+        assert cache.io_stats is ctx.stats
+
+    def test_evidence_absorption_charges_io(self, tiny_supply_chain):
+        cache = build_ve_cache(_relations(tiny_supply_chain), SUM_PRODUCT)
+        reduced = cache.absorb_evidence({"tid": 0})
+        assert reduced.io_stats.operators_run > 0
+
+
+class TestBPIO:
+    def test_tree_bp_reports_io(self, tiny_supply_chain):
+        result = belief_propagation(
+            _relations(tiny_supply_chain), SUM_PRODUCT
+        )
+        assert result.stats is not None
+        assert result.stats.operators_run > 0
+        assert result.stats.elapsed() > 0
+
+    def test_literal_bp_reports_io(self, tiny_supply_chain):
+        sc = tiny_supply_chain
+        result = bp_program_literal(
+            _relations(sc), SUM_PRODUCT, order=list(sc.tables)
+        )
+        assert result.stats is not None
+        assert result.stats.operators_run > 0
+
+    def test_shared_context(self, tiny_supply_chain):
+        ctx = ExecutionContext({}, SUM_PRODUCT)
+        result = belief_propagation(
+            _relations(tiny_supply_chain), SUM_PRODUCT, context=ctx
+        )
+        assert result.stats is ctx.stats
+
+
+class TestJunctionTreeIO:
+    def test_build_reports_io(self, cyclic_supply_chain):
+        tree = build_junction_tree(
+            _relations(cyclic_supply_chain), SUM_PRODUCT
+        )
+        assert tree.stats is not None
+        assert tree.stats.page_reads > 0
+        assert tree.stats.operators_run > 0
+
+    def test_jt_then_bp_one_context(self, cyclic_supply_chain):
+        """Junction tree + BP over it share one stats clock."""
+        ctx = ExecutionContext({}, SUM_PRODUCT)
+        tree = build_junction_tree(
+            _relations(cyclic_supply_chain), SUM_PRODUCT, context=ctx
+        )
+        after_build = ctx.stats.elapsed()
+        result = belief_propagation(
+            tree.cliques, SUM_PRODUCT, tree=tree.tree, context=ctx
+        )
+        assert result.stats is ctx.stats
+        assert ctx.stats.elapsed() > after_build
