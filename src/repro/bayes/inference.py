@@ -31,6 +31,7 @@ from repro.errors import QueryError
 from repro.optimizer.base import Optimizer, QuerySpec
 from repro.optimizer.ve import VariableElimination
 from repro.plans.executor import Executor
+from repro.plans.guard import QueryGuard
 from repro.plans.runtime import ExecutionContext
 from repro.semiring.builtins import LOG_PROB, MAX_PRODUCT, MAX_SUM, SUM_PRODUCT
 from repro.workload.vecache import VECache, build_ve_cache
@@ -84,11 +85,13 @@ class MPFInference:
         variables: Sequence[str] | str,
         evidence: Mapping[str, object] | None = None,
         normalized: bool = True,
+        guard: QueryGuard | None = None,
     ) -> FunctionalRelation:
         """``Pr(variables | evidence)`` via an MPF query.
 
         ``evidence`` becomes the constrained-domain ``where`` clause;
         the optimizer plans the marginalization, the executor runs it.
+        ``guard`` bounds the execution (deadline, memory, retries).
         """
         if isinstance(variables, str):
             variables = (variables,)
@@ -98,7 +101,7 @@ class MPFInference:
             selections=dict(evidence or {}),
         )
         result = self.optimizer.optimize(spec, self.catalog)
-        answer, _stats = self._executor.run(result.plan)
+        answer, _stats = self._executor.run(result.plan, guard=guard)
         if self.log_space:
             answer = answer.with_measure(np.exp(answer.measure))
         return normalize(answer) if normalized else answer
@@ -107,6 +110,7 @@ class MPFInference:
         self,
         variables: Sequence[str] | str,
         evidence: Mapping[str, object] | None = None,
+        guard: QueryGuard | None = None,
     ) -> FunctionalRelation:
         """Max-marginals over ``variables`` (max-product semiring).
 
@@ -128,7 +132,7 @@ class MPFInference:
             MAX_SUM if self.log_space else MAX_PRODUCT,
             pool=self._executor.pool,
         )
-        answer, _stats = executor.run(result.plan)
+        answer, _stats = executor.run(result.plan, guard=guard)
         if self.log_space:
             answer = answer.with_measure(np.exp(answer.measure))
         return answer

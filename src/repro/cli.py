@@ -19,7 +19,43 @@ import math
 import sys
 
 from repro.engine import Database
-from repro.errors import MPFError
+from repro.errors import (
+    CatalogError,
+    MPFError,
+    OptimizationError,
+    PlanError,
+    QueryError,
+    ResourceError,
+    StorageError,
+    WorkloadError,
+)
+
+# Exit-code families: scripts driving the CLI can tell *why* a run
+# failed without parsing stderr.  2 is reserved for usage errors
+# (argparse's own convention).
+EXIT_OK = 0
+EXIT_ERROR = 1        # any other MPFError
+EXIT_USAGE = 2
+EXIT_QUERY = 3        # malformed query / parse / unknown view
+EXIT_RESOURCE = 4     # timeout, memory ceiling, cancellation
+EXIT_STORAGE = 5      # storage faults (retry budget exhausted, bad block)
+EXIT_WORKLOAD = 6     # workload-layer precondition failures
+EXIT_PLAN = 7         # planning / optimization failures
+
+
+def exit_code_for(exc: MPFError) -> int:
+    """Map an error to its family's exit code (most specific first)."""
+    if isinstance(exc, ResourceError):
+        return EXIT_RESOURCE
+    if isinstance(exc, StorageError):
+        return EXIT_STORAGE
+    if isinstance(exc, WorkloadError):
+        return EXIT_WORKLOAD
+    if isinstance(exc, (PlanError, OptimizationError)):
+        return EXIT_PLAN
+    if isinstance(exc, (QueryError, CatalogError)):
+        return EXIT_QUERY
+    return EXIT_ERROR
 
 CREATE_INVEST = """
 create mpfview invest as
@@ -89,8 +125,25 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _guard_from_args(args: argparse.Namespace):
+    """A QueryGuard from the CLI resource flags, or None when unset."""
+    timeout = getattr(args, "timeout", None)
+    memory_limit = getattr(args, "memory_limit", None)
+    cost_budget = getattr(args, "cost_budget", None)
+    if timeout is None and memory_limit is None and cost_budget is None:
+        return None
+    from repro.plans.guard import QueryGuard
+
+    return QueryGuard(
+        deadline_seconds=timeout,
+        cost_budget=cost_budget,
+        memory_limit_pages=memory_limit,
+    )
+
+
 def cmd_sql(args: argparse.Namespace) -> int:
     db = _build_database(args.scale, args.seed)
+    guard = _guard_from_args(args)
     statements: list[str] = []
     if args.command:
         statements.extend(args.command)
@@ -105,14 +158,14 @@ def cmd_sql(args: argparse.Namespace) -> int:
             "no statements; pass -c 'select ...' (repeatable) or -f file.sql",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     for sql in statements:
         print(f"mpf> {sql}")
         try:
-            outcome = db.execute(sql, strategy=args.strategy)
+            outcome = db.execute(sql, strategy=args.strategy, guard=guard)
         except MPFError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 1
+            return exit_code_for(exc)
         if isinstance(outcome, str):
             print(f"view {outcome!r} created\n")
             continue
@@ -246,6 +299,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rows to print per result")
     sql.add_argument("--explain", action="store_true",
                      help="print the chosen plan")
+    sql.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock deadline per statement")
+    sql.add_argument("--cost-budget", type=float, default=None,
+                     metavar="UNITS",
+                     help="simulated-IO cost budget per statement")
+    sql.add_argument("--memory-limit", type=int, default=None,
+                     metavar="PAGES",
+                     help="hard ceiling on materialized intermediate pages")
     sql.set_defaults(fn=cmd_sql)
 
     t2 = sub.add_parser("table2", help="regenerate paper Table 2")
@@ -267,7 +329,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except MPFError as exc:
+        # Last-resort boundary: no MPFError escapes as a traceback, and
+        # the exit code identifies the error family.
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

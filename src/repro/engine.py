@@ -25,13 +25,14 @@ from typing import Mapping, Sequence
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, SimpleCostModel
 from repro.data.relation import FunctionalRelation
-from repro.errors import QueryError
+from repro.errors import MPFError, QueryError
 from repro.optimizer.base import OptimizationResult, Optimizer
 from repro.optimizer.cs import CSOptimizer
 from repro.optimizer.csplus import CSPlusLinear, CSPlusNonlinear
 from repro.optimizer.linearity import LinearityTest, linearity_test
 from repro.optimizer.ve import VariableElimination
 from repro.plans.executor import Executor
+from repro.plans.guard import QueryGuard
 from repro.plans.lower import PlanDAG, lower
 from repro.plans.printer import explain
 from repro.plans.runtime import ExecutionContext, evaluate_dag
@@ -73,29 +74,44 @@ _SEMIRINGS: dict[tuple[str, str], Semiring] = {
 
 @dataclass
 class QueryReport:
-    """Everything a query execution produced."""
+    """Everything a query execution produced.
 
-    result: FunctionalRelation
+    A failed query (inside a partial-failure-safe batch) carries its
+    ``error`` and a ``None`` result; ``ok`` distinguishes the cases.
+    """
+
+    result: FunctionalRelation | None
     query: MPFQuery
-    optimization: OptimizationResult
+    optimization: OptimizationResult | None
     exec_stats: IOStats
     semiring: Semiring
     linearity: LinearityTest | None = None
+    error: MPFError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def plan_text(self) -> str:
+        if self.optimization is None:
+            raise QueryError("query failed before a plan was chosen")
         return explain(self.optimization.plan)
 
     def summary(self) -> str:
-        lines = [
-            f"query: {self.query!r}",
-            f"algorithm: {self.optimization.algorithm} "
-            f"(est cost {self.optimization.cost:.4g}, "
-            f"{self.optimization.plans_considered} plans, "
-            f"{self.optimization.planning_seconds * 1e3:.2f} ms planning)",
-            f"execution: {self.exec_stats.summary()}",
-            f"rows: {self.result.ntuples}",
-        ]
+        lines = [f"query: {self.query!r}"]
+        if self.optimization is not None:
+            lines.append(
+                f"algorithm: {self.optimization.algorithm} "
+                f"(est cost {self.optimization.cost:.4g}, "
+                f"{self.optimization.plans_considered} plans, "
+                f"{self.optimization.planning_seconds * 1e3:.2f} ms planning)"
+            )
+        lines.append(f"execution: {self.exec_stats.summary()}")
+        if self.error is not None:
+            lines.append(f"error: {type(self.error).__name__}: {self.error}")
+        else:
+            lines.append(f"rows: {self.result.ntuples}")
         if self.linearity is not None:
             lines.append(f"linearity: {self.linearity}")
         return "\n".join(lines)
@@ -125,14 +141,30 @@ class BatchReport:
     def memo_hits(self) -> int:
         return self.stats.memo_hits
 
+    @property
+    def succeeded(self) -> list[QueryReport]:
+        return [r for r in self.reports if r.ok]
+
+    @property
+    def failed(self) -> list[QueryReport]:
+        return [r for r in self.reports if not r.ok]
+
+    @property
+    def errors(self) -> list[MPFError | None]:
+        """Per-query errors, aligned with the submitted queries."""
+        return [r.error for r in self.reports]
+
     def summary(self) -> str:
-        return (
+        text = (
             f"batch of {len(self.reports)} queries: "
             f"{self.dag.tree_nodes} plan nodes → "
             f"{self.dag.unique_nodes} unique "
             f"({self.shared_subplans} shared), "
             f"{self.stats.summary()}"
         )
+        if self.failed:
+            text += f", {len(self.failed)} failed"
+        return text
 
 
 @dataclass
@@ -348,6 +380,7 @@ class Database:
         heuristic: str = "degree",
         seed: int | None = None,
         use_plan_cache: bool = False,
+        guard: QueryGuard | None = None,
     ) -> QueryReport:
         """Optimize and execute one MPF query.
 
@@ -357,12 +390,17 @@ class Database:
         constants (plans embed constants in pushed-down Select /
         IndexScan predicates, so the constants are part of the plan's
         identity) — plus strategy, so exact repeats skip optimization.
+
+        ``guard`` bounds the execution (deadline, simulated cost
+        budget, memory ceiling, cancellation, fault-retry budget); a
+        violation raises the corresponding
+        :class:`~repro.errors.ResourceError`.
         """
         optimization = self._optimize_query(
             query, strategy, heuristic, seed, use_plan_cache
         )
         executor = Executor(self.catalog, query.view.semiring, pool=self.pool)
-        result, stats = executor.run(optimization.plan)
+        result, stats = executor.run(optimization.plan, guard=guard)
         return self._finish_report(query, optimization, result, stats)
 
     def run_batch(
@@ -372,6 +410,8 @@ class Database:
         heuristic: str = "degree",
         seed: int | None = None,
         use_plan_cache: bool = False,
+        guard: QueryGuard | None = None,
+        stop_on_error: bool = False,
     ) -> BatchReport:
         """Optimize and execute a batch of queries with shared subplans.
 
@@ -384,6 +424,17 @@ class Database:
         served to later queries from the runtime memo.  All queries
         must agree on the semiring (one view, or views with the same
         operator pair).
+
+        The batch is **partial-failure-safe**: a query that fails
+        (storage fault, guard violation, planning error) poisons only
+        its own DAG nodes — its report carries the ``error``, later
+        queries keep running, and because the runtime memo only admits
+        results of *completed* operators, a failed or cancelled
+        subplan's partial work is never served to a later query.
+        ``stop_on_error=True`` restores fail-fast behavior: the first
+        error propagates.  ``guard`` applies per
+        query — its window (deadline, memory quota, retry budget)
+        restarts before each query in the batch.
         """
         queries = list(queries)
         if not queries:
@@ -397,17 +448,65 @@ class Database:
                     "split it into per-semiring batches"
                 )
 
-        optimizations = [
-            self._optimize_query(q, strategy, heuristic, seed, use_plan_cache)
-            for q in queries
-        ]
-        dag = lower([opt.plan for opt in optimizations])
-        ctx = ExecutionContext(self.catalog, semiring, pool=self.pool)
+        optimizations: list[OptimizationResult | None] = []
+        plan_errors: list[MPFError | None] = []
+        for q in queries:
+            try:
+                optimizations.append(
+                    self._optimize_query(
+                        q, strategy, heuristic, seed, use_plan_cache
+                    )
+                )
+                plan_errors.append(None)
+            except MPFError as exc:
+                if stop_on_error:
+                    raise
+                optimizations.append(None)
+                plan_errors.append(exc)
+        dag = lower(
+            [opt.plan for opt in optimizations if opt is not None]
+        )
+        ctx = ExecutionContext(
+            self.catalog, semiring, pool=self.pool, guard=guard
+        )
 
         reports = []
-        for query, optimization, root in zip(queries, optimizations, dag.roots):
+        roots = iter(dag.roots)
+        for query, optimization, plan_error in zip(
+            queries, optimizations, plan_errors
+        ):
+            if optimization is None:
+                reports.append(
+                    QueryReport(
+                        result=None,
+                        query=query,
+                        optimization=None,
+                        exec_stats=IOStats(),
+                        semiring=semiring,
+                        error=plan_error,
+                    )
+                )
+                continue
+            root = next(roots)
             snapshot = ctx.stats.snapshot()
-            (result,) = evaluate_dag(dag, ctx, roots=[root])
+            if guard is not None:
+                guard.restart(ctx.stats)
+            try:
+                (result,) = evaluate_dag(dag, ctx, roots=[root])
+            except MPFError as exc:
+                if stop_on_error:
+                    raise
+                reports.append(
+                    QueryReport(
+                        result=None,
+                        query=query,
+                        optimization=optimization,
+                        exec_stats=ctx.stats.since(snapshot),
+                        semiring=semiring,
+                        error=exc,
+                    )
+                )
+                continue
             stats = ctx.stats.since(snapshot)
             reports.append(
                 self._finish_report(query, optimization, result, stats)
@@ -415,12 +514,15 @@ class Database:
         return BatchReport(reports=reports, stats=ctx.stats, dag=dag)
 
     def profile(
-        self, sql: str, strategy: str = "auto", **options
+        self, sql: str, strategy: str = "auto",
+        guard: QueryGuard | None = None, **options
     ):
         """EXPLAIN ANALYZE: plan, execute, and break down per operator.
 
         Returns an :class:`~repro.plans.profile.ExecutionProfile`; its
-        ``formatted()`` is the human-readable table.
+        ``formatted()`` is the human-readable table.  With a ``guard``,
+        resource limits apply and any hash→sort degradations the guard
+        forces are visible in the breakdown.
         """
         from repro.plans.profile import profile_execution
 
@@ -439,7 +541,8 @@ class Database:
         optimizer = self.make_optimizer(strategy, **options)
         optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
         return profile_execution(
-            optimization.plan, self.catalog, semiring, pool=self.pool
+            optimization.plan, self.catalog, semiring, pool=self.pool,
+            guard=guard,
         )
 
     def explain_query(

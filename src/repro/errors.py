@@ -8,7 +8,27 @@ from __future__ import annotations
 
 
 class MPFError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Errors may carry a ``context`` string naming the unit of work that
+    failed (a BP message, a VE-cache elimination step, a junction-tree
+    clique); layers attach it with :meth:`add_context` so a resource or
+    storage fault deep inside a propagation surfaces as "which message
+    died", not an opaque crash.
+    """
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.context: str | None = None
+
+    def add_context(self, text: str) -> "MPFError":
+        """Prepend a work-unit description; returns self for re-raise."""
+        self.context = text if self.context is None else f"{text}: {self.context}"
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return f"[{self.context}] {base}" if self.context else base
 
 
 class SchemaError(MPFError):
@@ -69,4 +89,38 @@ class CatalogError(MPFError):
 
 
 class StorageError(MPFError):
-    """The simulated storage layer was misused."""
+    """The simulated storage layer was misused or failed."""
+
+
+class TransientStorageError(StorageError):
+    """A page read failed in a retryable way (simulated flaky IO).
+
+    The runtime retries these with capped exponential backoff, within
+    the :class:`~repro.plans.guard.QueryGuard`'s retry budget; only
+    when the budget is exhausted does the error escape to the caller.
+    """
+
+
+class PermanentStorageError(StorageError):
+    """A page is unreadable and retrying cannot help (bad block)."""
+
+
+class ResourceError(MPFError):
+    """A query exceeded a resource bound set by its QueryGuard.
+
+    Raised cooperatively at operator / row-batch granularity, so the
+    failing query stops within one batch of crossing the limit and
+    never publishes partial results to the runtime memo.
+    """
+
+
+class QueryTimeout(ResourceError):
+    """The guard's wall-clock deadline or simulated cost budget passed."""
+
+
+class MemoryLimitExceeded(ResourceError):
+    """Materialized intermediates crossed the guard's hard page ceiling."""
+
+
+class QueryCancelled(ResourceError):
+    """The guard's cooperative cancellation token was triggered."""

@@ -2,6 +2,7 @@
 
 from repro.plans.annotate import annotate, plan_cost
 from repro.plans.executor import Executor, execute
+from repro.plans.guard import QueryGuard
 from repro.plans.lower import PlanDAG, lower
 from repro.plans.nodes import (
     GroupBy,
@@ -52,6 +53,7 @@ __all__ = [
     "lower",
     "ExecutionContext",
     "PhysicalOperator",
+    "QueryGuard",
     "Tracer",
     "evaluate",
     "evaluate_dag",

@@ -20,6 +20,7 @@ from typing import Mapping
 from repro.catalog.catalog import Catalog
 from repro.data.relation import FunctionalRelation
 from repro.plans.nodes import PlanNode
+from repro.plans.guard import QueryGuard
 from repro.plans.runtime import (
     DEFAULT_WORKMEM_PAGES,
     ExecutionContext,
@@ -60,17 +61,31 @@ class Executor:
         return self.context.workmem_pages
 
     # ------------------------------------------------------------------
-    def run(self, plan: PlanNode, stats: IOStats | None = None):
-        """Execute ``plan``; returns ``(relation, stats)``."""
+    def run(
+        self,
+        plan: PlanNode,
+        stats: IOStats | None = None,
+        guard: QueryGuard | None = None,
+    ):
+        """Execute ``plan``; returns ``(relation, stats)``.
+
+        ``guard``, when given, governs just this run (deadline, memory
+        ceiling, cancellation, retry budget); its window restarts here.
+        """
         stats = stats or IOStats()
         ctx = self.context
         ctx.reset_memo()
-        previous = ctx.stats
+        previous_stats, previous_guard = ctx.stats, ctx.guard
         ctx.stats = stats
+        if guard is not None:
+            ctx.guard = guard
+        if ctx.guard is not None:
+            ctx.guard.restart(stats)
         try:
             result = evaluate(plan, ctx)
         finally:
-            ctx.stats = previous
+            ctx.stats = previous_stats
+            ctx.guard = previous_guard
         return result, stats
 
 
@@ -80,7 +95,8 @@ def execute(
     semiring: Semiring,
     pool: BufferPool | None = None,
     workmem_pages: int = DEFAULT_WORKMEM_PAGES,
+    guard: QueryGuard | None = None,
 ):
     """One-shot convenience wrapper around :class:`Executor`."""
     executor = Executor(catalog, semiring, pool=pool, workmem_pages=workmem_pages)
-    return executor.run(plan)
+    return executor.run(plan, guard=guard)

@@ -1,0 +1,192 @@
+"""Query guards: deadlines, memory ceilings, cancellation, retry budgets.
+
+Section 7 of the paper shows MPF plans whose costs differ by orders of
+magnitude — an unguarded runtime will happily execute an exponential
+CS plan until the process dies.  A :class:`QueryGuard` is the
+resource-governance contract one query (or one query window inside a
+batch) runs under:
+
+* a **deadline** — wall-clock seconds, and/or a *simulated-cost
+  budget* in :meth:`IOStats.elapsed` units (deterministic, so tests
+  and CI can exercise timeouts without real clocks);
+* a hard **memory ceiling** in pages on materialized intermediates —
+  the exponential-intermediate killer;
+* a cooperative **cancellation token** (:meth:`cancel`);
+* a **retry budget** and :class:`~repro.storage.faults.RetryPolicy`
+  for transient storage faults.
+
+The runtime checks the guard at operator and row-batch granularity
+(:func:`repro.plans.runtime.evaluate_dag`,
+:meth:`repro.storage.heapfile.HeapFile.scan`), so a violation raises
+within one batch of crossing the limit and never publishes a partial
+result to the memo.  Under memory pressure the guard can *degrade*
+hash joins/aggregations to their sort-based spill path instead of
+aborting (``allow_degrade``); the runtime records each downgrade with
+the tracer so EXPLAIN ANALYZE shows it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import (
+    MemoryLimitExceeded,
+    QueryCancelled,
+    QueryTimeout,
+)
+from repro.storage.faults import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.storage.iostats import IOStats
+
+__all__ = ["QueryGuard"]
+
+
+class QueryGuard:
+    """Resource bounds for one query window.
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Wall-clock budget per query window (``restart`` opens a new
+        window; a batch restarts the guard before each query).
+    cost_budget:
+        Simulated-cost budget per window, in ``IOStats.elapsed()``
+        units.  Deterministic alternative (or complement) to the
+        wall clock.
+    memory_limit_pages:
+        Hard ceiling on pages of intermediates materialized within the
+        window.  ``None`` disables the ceiling.
+    retry_budget:
+        Total transient-fault retries one window may consume.
+    retry_policy:
+        Per-page backoff schedule for transient faults.
+    allow_degrade:
+        Permit downgrading hash join/aggregation to the sort/spill
+        path when the build side does not fit, instead of raising
+        :class:`MemoryLimitExceeded`.
+    clock:
+        Injectable monotonic clock (tests freeze it).
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: float | None = None,
+        cost_budget: float | None = None,
+        memory_limit_pages: int | None = None,
+        retry_budget: int = 64,
+        retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+        allow_degrade: bool = True,
+        clock=time.monotonic,
+    ):
+        self.deadline_seconds = deadline_seconds
+        self.cost_budget = cost_budget
+        self.memory_limit_pages = memory_limit_pages
+        self.retry_budget = retry_budget
+        self.retry_policy = retry_policy
+        self.allow_degrade = allow_degrade
+        self._clock = clock
+        self._cancelled = False
+        self._started = False
+        self._t0 = 0.0
+        self._cost0 = 0.0
+        self.retries_used = 0
+        self.pages_admitted = 0
+        self.degradations: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Window management
+    # ------------------------------------------------------------------
+    def restart(self, stats: IOStats | None = None) -> None:
+        """Open a new query window: deadline, quota, retries reset.
+
+        Cancellation is *not* reset — a cancelled guard stays
+        cancelled until :meth:`uncancel`.
+        """
+        self._started = True
+        self._t0 = self._clock()
+        self._cost0 = stats.elapsed() if stats is not None else 0.0
+        self.retries_used = 0
+        self.pages_admitted = 0
+        self.degradations = []
+
+    def ensure_started(self, stats: IOStats | None = None) -> None:
+        if not self._started:
+            self.restart(stats)
+
+    # ------------------------------------------------------------------
+    # Cancellation token
+    # ------------------------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation of the guarded query."""
+        self._cancelled = True
+
+    def uncancel(self) -> None:
+        self._cancelled = False
+
+    # ------------------------------------------------------------------
+    # Checks (called by the runtime per operator / row batch)
+    # ------------------------------------------------------------------
+    def check(self, stats: IOStats) -> None:
+        """Raise if cancelled or past the deadline / cost budget."""
+        if self._cancelled:
+            raise QueryCancelled("query cancelled by its guard")
+        self.ensure_started(stats)
+        if self.deadline_seconds is not None:
+            elapsed = self._clock() - self._t0
+            if elapsed > self.deadline_seconds:
+                raise QueryTimeout(
+                    f"deadline exceeded: {elapsed:.3f}s > "
+                    f"{self.deadline_seconds:.3f}s"
+                )
+        if self.cost_budget is not None:
+            spent = stats.elapsed() - self._cost0
+            if spent > self.cost_budget:
+                raise QueryTimeout(
+                    f"simulated cost budget exceeded: {spent:.0f} > "
+                    f"{self.cost_budget:.0f} cost units"
+                )
+
+    def admit_pages(self, pages: int) -> None:
+        """Account a materialized intermediate against the ceiling."""
+        if self.memory_limit_pages is None:
+            return
+        self.pages_admitted += int(pages)
+        if self.pages_admitted > self.memory_limit_pages:
+            raise MemoryLimitExceeded(
+                f"materialized {self.pages_admitted} pages of "
+                f"intermediates, over the {self.memory_limit_pages}-page "
+                "ceiling"
+            )
+
+    def build_side_fits(self, pages: int, workmem_pages: int) -> bool:
+        """Whether a hash build of ``pages`` pages may stay in memory."""
+        limit = workmem_pages
+        if self.memory_limit_pages is not None:
+            limit = min(limit, self.memory_limit_pages - self.pages_admitted)
+        return pages <= limit
+
+    def note_degradation(self, description: str) -> None:
+        self.degradations.append(description)
+
+    # ------------------------------------------------------------------
+    # Retry budget (consumed by the storage retry loop)
+    # ------------------------------------------------------------------
+    def consume_retry(self) -> bool:
+        """Spend one retry; ``False`` when the window's budget is dry."""
+        self.retries_used += 1
+        return self.retries_used <= self.retry_budget
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = []
+        if self.deadline_seconds is not None:
+            parts.append(f"deadline={self.deadline_seconds}s")
+        if self.cost_budget is not None:
+            parts.append(f"cost={self.cost_budget:g}")
+        if self.memory_limit_pages is not None:
+            parts.append(f"mem={self.memory_limit_pages}p")
+        if self._cancelled:
+            parts.append("cancelled")
+        return f"QueryGuard({', '.join(parts)})"

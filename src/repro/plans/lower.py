@@ -81,10 +81,24 @@ def lower(plans: PlanNode | Sequence[PlanNode]) -> PlanDAG:
     depends_on: dict[tuple, frozenset[str]] = {}
     order: list[tuple] = []
 
-    def visit(node: PlanNode) -> tuple:
-        key = node.structural_key()
-        if key not in nodes:
-            child_keys = tuple(visit(c) for c in node.children())
+    def visit(root: PlanNode) -> tuple:
+        # Iterative post-order: lowering must survive plans far deeper
+        # than the interpreter recursion limit (long operator chains).
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            key = node.structural_key()
+            if key in nodes:
+                stack.pop()
+                continue
+            pending = [
+                c for c in node.children()
+                if c.structural_key() not in nodes
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            child_keys = tuple(c.structural_key() for c in node.children())
             nodes[key] = node
             children[key] = child_keys
             tables = set()
@@ -94,7 +108,8 @@ def lower(plans: PlanNode | Sequence[PlanNode]) -> PlanDAG:
                 tables |= depends_on[child_key]
             depends_on[key] = frozenset(tables)
             order.append(key)  # post-order ⇒ children first
-        return key
+            stack.pop()
+        return root.structural_key()
 
     roots = tuple(visit(plan) for plan in plans)
     tree_nodes = sum(plan.count_nodes() for plan in plans)

@@ -28,6 +28,14 @@ __all__ = [
 ]
 
 
+# Structural keys are interned: equal keys are the *same* tuple
+# object.  Nested-tuple equality recurses per level, so comparing two
+# independently built deep keys (thousands of operators) would blow
+# the C stack; with interning every shared child compares by identity
+# and deep-plan CSE across separately built trees stays flat.
+_KEY_CACHE: dict[tuple, tuple] = {}
+
+
 class PlanNode:
     """Base plan node with optimizer annotations."""
 
@@ -59,7 +67,27 @@ class PlanNode:
         computation — plan trees must not be mutated afterwards.
         """
         if self._structural_key is None:
-            self._structural_key = self._key()
+            # Fill caches bottom-up with an explicit stack: a deep
+            # plan (a long Select/GroupBy chain) must not hit the
+            # interpreter recursion limit.  ``_key`` may call
+            # ``child.structural_key()`` freely — every child is
+            # cached by the time its parent is keyed.
+            stack = [self]
+            while stack:
+                node = stack[-1]
+                if node._structural_key is not None:
+                    stack.pop()
+                    continue
+                pending = [
+                    c for c in node.children()
+                    if c._structural_key is None
+                ]
+                if pending:
+                    stack.extend(pending)
+                else:
+                    key = node._key()
+                    node._structural_key = _KEY_CACHE.setdefault(key, key)
+                    stack.pop()
         return self._structural_key
 
     def _key(self) -> tuple:
@@ -69,10 +97,12 @@ class PlanNode:
     # Tree utilities
     # ------------------------------------------------------------------
     def walk(self) -> Iterator["PlanNode"]:
-        """Pre-order traversal."""
-        yield self
-        for child in self.children():
-            yield from child.walk()
+        """Pre-order traversal (iterative: safe on deep trees)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
 
     def base_tables(self) -> tuple[str, ...]:
         """Names of all scanned base tables, left to right."""

@@ -46,6 +46,8 @@ class OperatorProfile:
     page_writes: int
     elapsed: float
     memoized: bool = False
+    degraded: str | None = None
+    """Guard downgrade note (hash → sort spill path), if any."""
 
 
 @dataclass
@@ -64,6 +66,8 @@ class ExecutionProfile:
         lines = [header, "-" * len(header)]
         for op in self.operators:
             label = f"{op.label} [memo]" if op.memoized else op.label
+            if op.degraded is not None:
+                label = f"{label} [degraded]"
             lines.append(
                 f"{label:40s} {op.out_rows:>9,} {op.tuples:>10,} "
                 f"{op.page_reads:>7} {op.page_writes:>7} "
@@ -76,6 +80,9 @@ class ExecutionProfile:
             f"{self.total.page_reads:>7} {self.total.page_writes:>7} "
             f"{self.total.elapsed():>12,.0f}"
         )
+        for op in self.operators:
+            if op.degraded is not None:
+                lines.append(f"degraded: {op.degraded}")
         return "\n".join(lines)
 
 
@@ -84,10 +91,17 @@ class ProfilingTracer:
 
     def __init__(self):
         self.operators: list[OperatorProfile] = []
+        self._pending_degrade: str | None = None
+
+    def on_degrade(self, node: PlanNode, description: str) -> None:
+        # Fires from inside the operator, before its on_execute;
+        # remember it and attach it to the next executed row.
+        self._pending_degrade = description
 
     def on_execute(
         self, node: PlanNode, result: FunctionalRelation, delta: IOStats
     ) -> None:
+        degraded, self._pending_degrade = self._pending_degrade, None
         self.operators.append(
             OperatorProfile(
                 label=node.label(),
@@ -96,6 +110,7 @@ class ProfilingTracer:
                 page_reads=delta.page_reads,
                 page_writes=delta.page_writes,
                 elapsed=delta.elapsed(),
+                degraded=degraded,
             )
         )
 
@@ -121,8 +136,13 @@ def profile_execution(
     semiring: Semiring,
     pool: BufferPool | None = None,
     workmem_pages: int = DEFAULT_WORKMEM_PAGES,
+    guard=None,
 ) -> ExecutionProfile:
-    """Run the plan and return the per-operator breakdown."""
+    """Run the plan and return the per-operator breakdown.
+
+    With a ``guard``, resource checks apply to the profiled run and
+    any hash→sort degradations it forces appear in the breakdown.
+    """
     tracer = ProfilingTracer()
     ctx = ExecutionContext(
         catalog,
@@ -130,6 +150,7 @@ def profile_execution(
         pool=pool,
         workmem_pages=workmem_pages,
         tracer=tracer,
+        guard=guard,
     )
     (result,) = evaluate_dag(lower(plan), ctx)
     return ExecutionProfile(

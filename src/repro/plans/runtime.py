@@ -41,7 +41,8 @@ from repro.algebra.select import restrict
 from repro.algebra.semijoin import product_semijoin, update_semijoin
 from repro.catalog.catalog import Catalog
 from repro.data.relation import FunctionalRelation
-from repro.errors import PlanError
+from repro.errors import MemoryLimitExceeded, PlanError
+from repro.plans.guard import QueryGuard
 from repro.plans.lower import PlanDAG, lower
 from repro.plans.nodes import (
     GroupBy,
@@ -61,6 +62,7 @@ from repro.storage.page import PageGeometry
 __all__ = [
     "DEFAULT_WORKMEM_PAGES",
     "ExecutionContext",
+    "QueryGuard",
     "Tracer",
     "PhysicalOperator",
     "ScanOperator",
@@ -91,6 +93,12 @@ class Tracer(Protocol):
     ) -> None:
         """A node's result was served from the context memo."""
 
+    def on_degrade(self, node: PlanNode, description: str) -> None:
+        """The guard downgraded a hash operator to its spill path.
+
+        Optional — the runtime tolerates tracers without this hook.
+        """
+
 
 class ExecutionContext:
     """Shared state for one evaluation environment.
@@ -100,6 +108,14 @@ class ExecutionContext:
     (everything is ad-hoc).  Intermediates produced by workload code
     are added with :meth:`bind`, which also invalidates memo entries
     that read the rebound name.
+
+    ``guard`` optionally attaches a :class:`QueryGuard`: operators
+    check it per node and per row batch (deadline, cost budget,
+    cancellation), materialized intermediates are admitted against its
+    memory ceiling, and transient storage faults draw on its retry
+    budget.  Results only reach the memo after an operator completes,
+    so a guard violation (or storage fault) mid-query never leaves a
+    partial result to be served to a later query.
     """
 
     def __init__(
@@ -110,6 +126,7 @@ class ExecutionContext:
         workmem_pages: int = DEFAULT_WORKMEM_PAGES,
         stats: IOStats | None = None,
         tracer: Tracer | None = None,
+        guard: QueryGuard | None = None,
     ):
         self.catalog = catalog if isinstance(catalog, Catalog) else None
         self.env: dict[str, FunctionalRelation] = dict(
@@ -120,6 +137,7 @@ class ExecutionContext:
         self.workmem_pages = workmem_pages
         self.stats = stats if stats is not None else IOStats()
         self.tracer = tracer
+        self.guard = guard
         self.memo: dict[tuple, FunctionalRelation] = {}
         self._memo_reads: dict[tuple, frozenset[str]] = {}
         self._temp = TempFileAllocator()
@@ -174,12 +192,29 @@ class ExecutionContext:
         return self._adhoc_files[table]
 
     def maybe_spill(self, relation: FunctionalRelation) -> None:
-        """Charge a materialization write when a result exceeds work-mem."""
+        """Charge a materialization write when a result exceeds work-mem.
+
+        With a guard attached, the materialized pages are also admitted
+        against its hard memory ceiling — this is where a runaway
+        (e.g. exponential CS) intermediate raises
+        :class:`~repro.errors.MemoryLimitExceeded`.
+        """
         geometry = PageGeometry(relation.arity)
         pages = geometry.pages_for(relation.ntuples)
+        if self.guard is not None:
+            self.guard.admit_pages(pages)
         if pages > self.workmem_pages:
             temp = self._temp.allocate(relation.ntuples, relation.arity)
-            temp.write_out(self.pool, self.stats)
+            temp.write_out(self.pool, self.stats, guard=self.guard)
+
+    def record_degradation(self, node: PlanNode, description: str) -> None:
+        """Note a guard-driven hash→sort downgrade (guard + tracer)."""
+        if self.guard is not None:
+            self.guard.note_degradation(description)
+        if self.tracer is not None:
+            hook = getattr(self.tracer, "on_degrade", None)
+            if hook is not None:
+                hook(node, description)
 
 
 # ----------------------------------------------------------------------
@@ -205,7 +240,7 @@ class ScanOperator(PhysicalOperator):
     def execute(self, ctx, inputs):
         relation = ctx.relation(self.node.table)
         heapfile = ctx.heapfile_for(self.node.table, relation)
-        heapfile.scan(ctx.pool, ctx.stats)
+        heapfile.scan(ctx.pool, ctx.stats, guard=ctx.guard)
         return relation
 
 
@@ -225,7 +260,7 @@ class IndexScanOperator(PhysicalOperator):
             )
         value = self.node.predicate[self.node.variable]
         code = relation.variables[self.node.variable].domain.code_of(value)
-        rows = index.lookup(code, ctx.pool, ctx.stats)
+        rows = index.lookup(code, ctx.pool, ctx.stats, guard=ctx.guard)
         return relation.take(rows)
 
 
@@ -241,14 +276,38 @@ class SelectOperator(PhysicalOperator):
 
 
 class ProductJoinOperator(PhysicalOperator):
-    """Hash (or sort-merge) product join with spill accounting."""
+    """Hash (or sort-merge) product join with spill accounting.
+
+    A hash join needs its build side (the left input) resident in
+    memory.  Under a guard, a build side that does not fit in work-mem
+    (or the guard's remaining memory allowance) *degrades* to the
+    sort-merge spill path rather than aborting — unless the guard
+    forbids degradation, in which case it raises
+    :class:`~repro.errors.MemoryLimitExceeded`.
+    """
 
     node: ProductJoin
 
     def execute(self, ctx, inputs):
         left, right = inputs
+        method = self.node.method
+        if method == "hash" and ctx.guard is not None:
+            build_pages = PageGeometry(left.arity).pages_for(left.ntuples)
+            if not ctx.guard.build_side_fits(build_pages, ctx.workmem_pages):
+                if not ctx.guard.allow_degrade:
+                    raise MemoryLimitExceeded(
+                        f"hash-join build side needs {build_pages} pages, "
+                        "over the memory allowance, and degradation is "
+                        "disabled"
+                    )
+                method = "sort_merge"
+                ctx.record_degradation(
+                    self.node,
+                    f"hash join degraded to sort-merge: build side "
+                    f"({build_pages} pages) exceeds the memory allowance",
+                )
         result = product_join(left, right, ctx.semiring)
-        if self.node.method == "sort_merge":
+        if method == "sort_merge":
             nl, nr = max(left.ntuples, 2), max(right.ntuples, 2)
             ctx.stats.charge_cpu(
                 int(nl * math.log2(nl) + nr * math.log2(nr))
@@ -266,7 +325,24 @@ class GroupByOperator(PhysicalOperator):
     def execute(self, ctx, inputs):
         (child,) = inputs
         n = max(child.ntuples, 2)
-        if self.node.method == "sort":
+        method = self.node.method
+        if method == "hash" and ctx.guard is not None:
+            # Pessimistic: the hash table may hold every input group.
+            table_pages = PageGeometry(child.arity).pages_for(child.ntuples)
+            if not ctx.guard.build_side_fits(table_pages, ctx.workmem_pages):
+                if not ctx.guard.allow_degrade:
+                    raise MemoryLimitExceeded(
+                        f"hash aggregation table needs {table_pages} pages, "
+                        "over the memory allowance, and degradation is "
+                        "disabled"
+                    )
+                method = "sort"
+                ctx.record_degradation(
+                    self.node,
+                    f"hash aggregation degraded to sort: table "
+                    f"({table_pages} pages) exceeds the memory allowance",
+                )
+        if method == "sort":
             ctx.stats.charge_cpu(int(n * math.log2(n)))
         else:  # hash aggregation: one pass + group emission
             ctx.stats.charge_cpu(n)
@@ -330,6 +406,8 @@ def evaluate_dag(
     """
     if roots is None:
         roots = dag.roots
+    if ctx.guard is not None:
+        ctx.guard.ensure_started(ctx.stats)
 
     # Which nodes actually need executing: walk down from the requested
     # roots, stopping at memo boundaries.
@@ -360,6 +438,12 @@ def evaluate_dag(
     for key in dag.topological():
         if key not in needed:
             continue
+        # Guard check per operator: a deadline / cancellation fires
+        # within one operator batch of the limit, and — because memo
+        # insertion below only happens after success — a violated
+        # query never publishes a partial result to later queries.
+        if ctx.guard is not None:
+            ctx.guard.check(ctx.stats)
         node = dag.nodes[key]
         inputs = tuple(fetch(k) for k in dag.children[key])
         snapshot = ctx.stats.snapshot()

@@ -1,6 +1,12 @@
 """Simulated paged storage: the disk-resident substrate of the paper."""
 
 from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultInjector,
+    RetryPolicy,
+    read_with_retry,
+)
 from repro.storage.heapfile import HeapFile, TempFileAllocator
 from repro.storage.iostats import IOStats
 from repro.storage.page import DEFAULT_PAGE_SIZE, PageGeometry, PageId
@@ -14,4 +20,8 @@ __all__ = [
     "PageGeometry",
     "PageId",
     "DEFAULT_PAGE_SIZE",
+    "FaultInjector",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "read_with_retry",
 ]

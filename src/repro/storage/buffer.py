@@ -21,12 +21,25 @@ DEFAULT_POOL_PAGES = 8192
 
 
 class BufferPool:
-    """Fixed-capacity LRU cache of :class:`PageId` entries."""
+    """Fixed-capacity LRU cache of :class:`PageId` entries.
 
-    def __init__(self, capacity_pages: int = DEFAULT_POOL_PAGES):
+    ``injector`` optionally attaches a
+    :class:`~repro.storage.faults.FaultInjector`: every *disk* read of
+    a page (a buffer miss) first consults it and may raise a transient
+    or permanent storage error.  Buffer hits never fault — a resident
+    page needs no IO — which mirrors how a real pool masks flaky disks
+    for hot data.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int = DEFAULT_POOL_PAGES,
+        injector=None,
+    ):
         if capacity_pages <= 0:
             raise StorageError("buffer pool capacity must be positive")
         self.capacity_pages = capacity_pages
+        self.injector = injector
         self._pages: OrderedDict[PageId, None] = OrderedDict()
 
     def __len__(self) -> int:
@@ -46,6 +59,8 @@ class BufferPool:
             self._pages.move_to_end(page)
             stats.charge_hit()
             return
+        if self.injector is not None:
+            self.injector.before_read(page)
         stats.charge_read()
         self._admit(page)
 

@@ -13,10 +13,15 @@ import itertools
 
 from repro.data.relation import FunctionalRelation
 from repro.storage.buffer import BufferPool
+from repro.storage.faults import read_with_retry
 from repro.storage.iostats import IOStats
 from repro.storage.page import DEFAULT_PAGE_SIZE, PageGeometry, PageId
 
-__all__ = ["HeapFile", "TempFileAllocator"]
+__all__ = ["HeapFile", "TempFileAllocator", "GUARD_CHECK_INTERVAL_PAGES"]
+
+# A scan re-checks its QueryGuard every this many pages — the "row
+# batch" granularity of cooperative cancellation and deadlines.
+GUARD_CHECK_INTERVAL_PAGES = 64
 
 
 class HeapFile:
@@ -43,15 +48,30 @@ class HeapFile:
     ) -> "HeapFile":
         return cls(file_id, relation.ntuples, relation.arity, page_size)
 
-    def scan(self, pool: BufferPool, stats: IOStats) -> None:
-        """Charge a full sequential scan."""
+    def scan(
+        self, pool: BufferPool, stats: IOStats, guard=None
+    ) -> None:
+        """Charge a full sequential scan.
+
+        Transient page faults (see :mod:`repro.storage.faults`) are
+        retried with backoff; ``guard`` supplies the retry budget and
+        is re-checked every :data:`GUARD_CHECK_INTERVAL_PAGES` pages so
+        deadline / cancellation fire mid-scan, not only between
+        operators.
+        """
         for page_no in range(self.n_pages):
-            pool.read(PageId(self.file_id, page_no), stats)
+            if guard is not None and page_no % GUARD_CHECK_INTERVAL_PAGES == 0:
+                guard.check(stats)
+            read_with_retry(
+                pool, PageId(self.file_id, page_no), stats, guard=guard
+            )
         stats.charge_cpu(self.ntuples)
 
-    def write_out(self, pool: BufferPool, stats: IOStats) -> None:
+    def write_out(self, pool: BufferPool, stats: IOStats, guard=None) -> None:
         """Charge a bulk write of the whole file."""
         for page_no in range(self.n_pages):
+            if guard is not None and page_no % GUARD_CHECK_INTERVAL_PAGES == 0:
+                guard.check(stats)
             pool.write(PageId(self.file_id, page_no), stats)
         stats.charge_cpu(self.ntuples)
 

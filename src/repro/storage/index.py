@@ -65,27 +65,36 @@ class HashIndex:
 
     # ------------------------------------------------------------------
     def lookup(
-        self, code: int, pool: BufferPool, stats: IOStats
+        self, code: int, pool: BufferPool, stats: IOStats, guard=None
     ) -> np.ndarray:
         """Row positions with ``variable == code``; charges index IO.
 
         One bucket-page access plus one heap-page access per distinct
         page holding a matching row (clustered-pessimistic: each match
-        may live on its own page, capped by the file size).
+        may live on its own page, capped by the file size).  Page reads
+        retry transient injected faults under the guard's budget.
         """
+        from repro.storage.faults import read_with_retry
+
         lo = int(np.searchsorted(self._sorted_keys, code, side="left"))
         hi = int(np.searchsorted(self._sorted_keys, code, side="right"))
         rows = self._order[lo:hi]
         bucket = hash(int(code)) % self.n_pages
-        pool.read(PageId(self.file_id, bucket), stats)
+        if guard is not None:
+            guard.check(stats)
+        read_with_retry(pool, PageId(self.file_id, bucket), stats, guard=guard)
         heap_pages = min(
             len(rows), self._heap_geometry.pages_for(max(len(rows), 1))
         )
         # Heap pages are fetched through the pool against the *index's*
         # shadow file id offset so repeated probes of the same key hit.
         for i in range(heap_pages):
-            pool.read(PageId(self.file_id, self.n_pages + bucket * 131 + i),
-                      stats)
+            read_with_retry(
+                pool,
+                PageId(self.file_id, self.n_pages + bucket * 131 + i),
+                stats,
+                guard=guard,
+            )
         stats.charge_cpu(len(rows))
         return rows
 

@@ -33,6 +33,8 @@ class IOStats:
     tuples_processed: int = 0
     operators_run: int = 0
     memo_hits: int = 0
+    retries: int = 0
+    retry_wait: float = 0.0
     io_weight: float = DEFAULT_IO_WEIGHT
     cpu_weight: float = DEFAULT_CPU_WEIGHT
     per_operator: list = field(default_factory=list)
@@ -53,6 +55,11 @@ class IOStats:
     def charge_cpu(self, tuples: int) -> None:
         self.tuples_processed += int(tuples)
 
+    def charge_retry(self, wait: float) -> None:
+        """A transient page fault was retried after simulated backoff."""
+        self.retries += 1
+        self.retry_wait += float(wait)
+
     def record_operator(self, label: str, out_tuples: int) -> None:
         self.operators_run += 1
         self.per_operator.append((label, int(out_tuples)))
@@ -66,6 +73,7 @@ class IOStats:
         return (
             self.io_weight * self.page_io
             + self.cpu_weight * self.tuples_processed
+            + self.retry_wait
         )
 
     def merged_with(self, other: "IOStats") -> "IOStats":
@@ -77,6 +85,8 @@ class IOStats:
             tuples_processed=self.tuples_processed + other.tuples_processed,
             operators_run=self.operators_run + other.operators_run,
             memo_hits=self.memo_hits + other.memo_hits,
+            retries=self.retries + other.retries,
+            retry_wait=self.retry_wait + other.retry_wait,
             io_weight=self.io_weight,
             cpu_weight=self.cpu_weight,
             per_operator=self.per_operator + other.per_operator,
@@ -92,6 +102,8 @@ class IOStats:
             self.operators_run,
             self.memo_hits,
             len(self.per_operator),
+            self.retries,
+            self.retry_wait,
         )
 
     def since(self, snapshot: tuple) -> "IOStats":
@@ -103,6 +115,8 @@ class IOStats:
             tuples_processed=self.tuples_processed - snapshot[3],
             operators_run=self.operators_run - snapshot[4],
             memo_hits=self.memo_hits - snapshot[5],
+            retries=self.retries - snapshot[7],
+            retry_wait=self.retry_wait - snapshot[8],
             io_weight=self.io_weight,
             cpu_weight=self.cpu_weight,
             per_operator=self.per_operator[snapshot[6]:],
@@ -116,4 +130,6 @@ class IOStats:
         )
         if self.memo_hits:
             text += f" memo={self.memo_hits}"
+        if self.retries:
+            text += f" retries={self.retries}"
         return text

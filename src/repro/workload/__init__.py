@@ -2,6 +2,7 @@
 
 from repro.workload.advisor import CacheCandidate, advise_cache
 from repro.workload.bp import (
+    BPFailure,
     BPResult,
     BPStep,
     belief_propagation,
@@ -52,6 +53,7 @@ __all__ = [
     "JunctionTree",
     "build_junction_tree",
     "BPStep",
+    "BPFailure",
     "BPResult",
     "belief_propagation",
     "bp_program_literal",

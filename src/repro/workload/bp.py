@@ -41,7 +41,7 @@ import networkx as nx
 from repro.algebra.aggregate import marginalize
 from repro.algebra.join import product_join
 from repro.data.relation import FunctionalRelation
-from repro.errors import AcyclicityError, SemiringError, WorkloadError
+from repro.errors import AcyclicityError, MPFError, SemiringError, WorkloadError
 from repro.plans.nodes import Scan, SemiJoin
 from repro.plans.runtime import ExecutionContext, evaluate
 from repro.semiring.base import Semiring
@@ -50,6 +50,7 @@ from repro.workload.graphs import junction_tree_of_schema
 
 __all__ = [
     "BPStep",
+    "BPFailure",
     "BPResult",
     "belief_propagation",
     "bp_program_literal",
@@ -70,6 +71,17 @@ class BPStep:
         return f"{self.target} {symbol} {self.source}"
 
 
+@dataclass(frozen=True)
+class BPFailure:
+    """One message that could not be delivered (``keep_going`` mode)."""
+
+    step: BPStep
+    error: MPFError
+
+    def __str__(self) -> str:
+        return f"{self.step}: {self.error}"
+
+
 @dataclass
 class BPResult:
     """Updated relations plus the program that produced them."""
@@ -79,6 +91,17 @@ class BPResult:
     tree: nx.Graph | None = None
     stats: IOStats | None = None
     """Simulated IO of running the program through the runtime."""
+    failures: list[BPFailure] = field(default_factory=list)
+    """Messages skipped under ``keep_going=True``; empty on a clean run.
+
+    A non-empty list means the workload invariant (Definition 5) is NOT
+    restored for tables downstream of the failed messages — callers
+    must check :attr:`ok` before trusting local answers.
+    """
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def program_listing(self) -> str:
         """Figure 11-style listing, one numbered step per line."""
@@ -117,13 +140,32 @@ def _run_step(
     tables: dict[str, FunctionalRelation],
     step: BPStep,
     kind: str,
-) -> None:
-    """Execute one semijoin step through the runtime and rebind."""
-    result = evaluate(
-        SemiJoin(Scan(step.target), Scan(step.source), kind), ctx
-    ).with_name(step.target)
+    failures: list[BPFailure] | None = None,
+) -> bool:
+    """Execute one semijoin step through the runtime and rebind.
+
+    Any :class:`MPFError` is attributed to the message (``step``) it
+    interrupted.  With a ``failures`` list the error is recorded there
+    and the step skipped (the target keeps its pre-message table) —
+    except :class:`ResourceError`, which always propagates: once the
+    query's deadline is blown or it is cancelled, every later message
+    would fail the same way.
+    """
+    from repro.errors import ResourceError
+
+    try:
+        result = evaluate(
+            SemiJoin(Scan(step.target), Scan(step.source), kind), ctx
+        ).with_name(step.target)
+    except MPFError as exc:
+        exc.add_context(f"BP message {step}")
+        if failures is None or isinstance(exc, ResourceError):
+            raise
+        failures.append(BPFailure(step=step, error=exc))
+        return False
     tables[step.target] = result
     ctx.bind(step.target, result)
+    return True
 
 
 def belief_propagation(
@@ -132,6 +174,7 @@ def belief_propagation(
     tree: nx.Graph | None = None,
     root: str | None = None,
     context: ExecutionContext | None = None,
+    keep_going: bool = False,
 ) -> BPResult:
     """Collect/distribute BP over a junction tree of the schema.
 
@@ -141,6 +184,13 @@ def belief_propagation(
     algorithm first).  ``root`` defaults to the last relation, which on
     the supply-chain schema with its natural order reproduces the
     Figure 11 program exactly.
+
+    Failures are attributed per message: an error raised while running
+    step ``ct ⋉* t`` carries that step in its context.  With
+    ``keep_going=True`` storage/query failures skip the affected
+    message and are collected on :attr:`BPResult.failures` instead of
+    aborting the program (resource errors — timeout, cancellation —
+    still abort: they would fail every remaining message too).
     """
     tables = _as_dict(relations)
     schema = {name: rel.var_names for name, rel in tables.items()}
@@ -162,6 +212,8 @@ def belief_propagation(
         ctx.bind(name, rel)
     backward = _backward_kind(semiring)
     program: list[BPStep] = []
+    failures: list[BPFailure] = []
+    failure_sink = failures if keep_going else None
 
     for component in nx.connected_components(tree):
         component_root = root if root in component else sorted(component)[0]
@@ -176,7 +228,7 @@ def belief_propagation(
             if node == component_root:
                 continue
             step = BPStep(target=parent_of[node], source=node, kind="product")
-            _run_step(ctx, tables, step, "product")
+            _run_step(ctx, tables, step, "product", failure_sink)
             program.append(step)
 
         # Distribute: parents before children; child absorbs parent.
@@ -184,11 +236,12 @@ def belief_propagation(
             if node == component_root:
                 continue
             step = BPStep(target=node, source=parent_of[node], kind="update")
-            _run_step(ctx, tables, step, backward)
+            _run_step(ctx, tables, step, backward, failure_sink)
             program.append(step)
 
     return BPResult(
-        tables=tables, program=program, tree=tree, stats=ctx.stats
+        tables=tables, program=program, tree=tree, stats=ctx.stats,
+        failures=failures,
     )
 
 
@@ -197,6 +250,7 @@ def bp_program_literal(
     semiring: Semiring,
     order: Sequence[str],
     context: ExecutionContext | None = None,
+    keep_going: bool = False,
 ) -> BPResult:
     """Algorithm 4 verbatim: all sharing pairs, given table order.
 
@@ -218,13 +272,15 @@ def bp_program_literal(
         ctx.bind(name, rel)
     backward = _backward_kind(semiring)
     program: list[BPStep] = []
+    failures: list[BPFailure] = []
+    failure_sink = failures if keep_going else None
 
     # Forward pass: each table absorbs every earlier sharing table.
     for j, name_j in enumerate(order):
         for name_i in order[:j]:
             if scopes[name_i] & scopes[name_j]:
                 step = BPStep(target=name_j, source=name_i, kind="product")
-                _run_step(ctx, tables, step, "product")
+                _run_step(ctx, tables, step, "product", failure_sink)
                 program.append(step)
 
     # Backward pass: reverse order, each earlier table absorbs later.
@@ -234,11 +290,12 @@ def bp_program_literal(
             name_i = order[i]
             if scopes[name_i] & scopes[name_j]:
                 step = BPStep(target=name_i, source=name_j, kind="update")
-                _run_step(ctx, tables, step, backward)
+                _run_step(ctx, tables, step, backward, failure_sink)
                 program.append(step)
 
     return BPResult(
-        tables=tables, program=program, tree=None, stats=ctx.stats
+        tables=tables, program=program, tree=None, stats=ctx.stats,
+        failures=failures,
     )
 
 

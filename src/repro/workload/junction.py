@@ -27,7 +27,7 @@ import networkx as nx
 from repro.data.builders import identity_relation
 from repro.data.domain import VariableSet
 from repro.data.relation import FunctionalRelation
-from repro.errors import WorkloadError
+from repro.errors import MPFError, WorkloadError
 from repro.plans.nodes import PlanNode, ProductJoin, Scan
 from repro.plans.runtime import ExecutionContext, evaluate
 from repro.semiring.base import Semiring
@@ -169,7 +169,15 @@ def build_junction_tree(
         plan: PlanNode = Scan(inputs[0])
         for name in inputs[1:]:
             plan = ProductJoin(plan, Scan(name))
-        potential = evaluate(plan, ctx).with_name(clique_name)
+        try:
+            potential = evaluate(plan, ctx).with_name(clique_name)
+        except MPFError as exc:
+            exc.add_context(
+                f"materializing clique {clique_name} "
+                f"({', '.join(sorted(scope_of[clique_name]))}) "
+                f"from {sorted(member_names)}"
+            )
+            raise
         ctx.bind(clique_name, potential)
         cliques[clique_name] = potential
 

@@ -39,7 +39,7 @@ import networkx as nx
 
 from repro.catalog.catalog import Catalog
 from repro.data.relation import FunctionalRelation
-from repro.errors import SemiringError, WorkloadError
+from repro.errors import MPFError, SemiringError, WorkloadError
 from repro.optimizer.base import QuerySpec
 from repro.optimizer.ve import VariableElimination
 from repro.plans.nodes import GroupBy, PlanNode, ProductJoin, Scan, Select, SemiJoin
@@ -186,14 +186,27 @@ class VECache:
                     f"no cached table contains evidence variable {var_name!r}"
                 )
             old_total = self.semiring.reduce(tables[start].measure)
-            tables[start] = evaluate(
-                Select(Scan(start), {var_name: value}), ctx
-            )
+            try:
+                tables[start] = evaluate(
+                    Select(Scan(start), {var_name: value}), ctx
+                )
+            except MPFError as exc:
+                exc.add_context(
+                    f"evidence selection {var_name}={value!r} on {start}"
+                )
+                raise
             ctx.bind(start, tables[start])
             for parent, child in nx.bfs_edges(self.forest, source=start):
-                tables[child] = evaluate(
-                    SemiJoin(Scan(child), Scan(parent), kind), ctx
-                )
+                try:
+                    tables[child] = evaluate(
+                        SemiJoin(Scan(child), Scan(parent), kind), ctx
+                    )
+                except MPFError as exc:
+                    exc.add_context(
+                        f"evidence message {parent} → {child} "
+                        f"(variable {var_name!r})"
+                    )
+                    raise
                 ctx.bind(child, tables[child])
             # Tables in *other* connected components never see the
             # message flow, yet Definition 5 against the restricted
@@ -424,11 +437,17 @@ def build_ve_cache(
         rest = [(n, src) for n, src in work if v not in ctx.env[n].variables]
         name = step_name(len(steps) + 1)
         join_plan = _join_chain([n for n, _ in chosen])
-        joined = evaluate(join_plan, ctx)
-        keep = [x for x in joined.var_names if x != v]
-        # The GroupBy's join input is served from the runtime memo —
-        # the materialized cached table is not recomputed.
-        message = evaluate(GroupBy(join_plan, keep), ctx)
+        try:
+            joined = evaluate(join_plan, ctx)
+            keep = [x for x in joined.var_names if x != v]
+            # The GroupBy's join input is served from the runtime memo —
+            # the materialized cached table is not recomputed.
+            message = evaluate(GroupBy(join_plan, keep), ctx)
+        except MPFError as exc:
+            exc.add_context(
+                f"VE-cache step {name} (eliminating {v!r})"
+            )
+            raise
 
         children = [src for _, src in chosen if src is not None]
         for n, src in chosen:
@@ -477,9 +496,15 @@ def build_ve_cache(
     kind = _reduce_kind(semiring)
     for step in reversed(steps):
         for child in step.children:
-            updated = evaluate(
-                SemiJoin(Scan(child), Scan(step.name), kind), ctx
-            )
+            try:
+                updated = evaluate(
+                    SemiJoin(Scan(child), Scan(step.name), kind), ctx
+                )
+            except MPFError as exc:
+                exc.add_context(
+                    f"VE-cache calibration message {step.name} → {child}"
+                )
+                raise
             ctx.bind(child, updated.with_name(child))
 
     eliminated_by = {s.name: s.variable for s in steps}

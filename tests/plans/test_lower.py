@@ -90,3 +90,36 @@ class TestLower:
         assert dag.base_tables(q1.structural_key()) == {"s1", "s2"}
         assert dag.base_tables(q2.structural_key()) == {"s3"}
         assert dag.base_tables(Scan("s1").structural_key()) == {"s1"}
+
+
+class TestDeepPlans:
+    """Structural keys, traversal, and lowering on very deep trees.
+
+    All three are iterative; plans thousands of operators deep must
+    not hit the interpreter recursion limit.
+    """
+
+    DEPTH = 5000
+
+    def _deep_chain(self):
+        plan = Scan("s1")
+        for _ in range(self.DEPTH):
+            plan = GroupBy(plan, ["a"])
+        return plan
+
+    def test_structural_key_on_deep_chain(self):
+        plan = self._deep_chain()
+        # Interning makes equal keys the same object, so comparing
+        # independently built deep keys is identity, not recursion.
+        assert plan.structural_key() is self._deep_chain().structural_key()
+
+    def test_walk_and_count_on_deep_chain(self):
+        plan = self._deep_chain()
+        assert plan.count_nodes() == self.DEPTH + 1
+
+    def test_lower_deep_chain(self):
+        dag = lower(self._deep_chain())
+        assert dag.unique_nodes == self.DEPTH + 1
+        assert dag.shared_nodes == 0
+        order = list(dag.topological())
+        assert order[0] == Scan("s1").structural_key()

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import (
+    EXIT_QUERY,
+    EXIT_RESOURCE,
+    EXIT_USAGE,
+    exit_code_for,
+    main,
+)
 
 
 class TestDemo:
@@ -49,11 +55,32 @@ class TestSql:
         assert out.count("mpf>") == 2
 
     def test_no_statements_is_usage_error(self, capsys):
-        assert main(["sql"]) == 2
+        assert main(["sql"]) == EXIT_USAGE
+
+    def test_cost_budget_exceeded_exits_resource(self, capsys):
+        rc = main(
+            [
+                "sql", "--scale", "0.005", "--cost-budget", "1",
+                "-c", "select wid, sum(inv) from invest group by wid",
+            ]
+        )
+        assert rc == EXIT_RESOURCE
+        assert "error:" in capsys.readouterr().err
+
+    def test_generous_guard_flags_still_succeed(self, capsys):
+        rc = main(
+            [
+                "sql", "--scale", "0.005",
+                "--timeout", "3600", "--memory-limit", "100000",
+                "-c", "select wid, sum(inv) from invest group by wid",
+            ]
+        )
+        assert rc == 0
+        assert "rows]" in capsys.readouterr().out
 
     def test_bad_sql_reports_error(self, capsys):
         rc = main(["sql", "--scale", "0.005", "-c", "select banana"])
-        assert rc == 1
+        assert rc == EXIT_QUERY
         assert "error:" in capsys.readouterr().err
 
     def test_create_view_statement(self, capsys):
@@ -97,3 +124,34 @@ class TestInference:
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+class TestExitCodeFamilies:
+    def test_distinct_nonzero_codes_per_family(self):
+        from repro import errors as E
+        from repro.cli import (
+            EXIT_PLAN,
+            EXIT_STORAGE,
+            EXIT_WORKLOAD,
+        )
+
+        cases = {
+            E.QueryTimeout("t"): EXIT_RESOURCE,
+            E.MemoryLimitExceeded("m"): EXIT_RESOURCE,
+            E.QueryCancelled("c"): EXIT_RESOURCE,
+            E.TransientStorageError("s"): EXIT_STORAGE,
+            E.PermanentStorageError("p"): EXIT_STORAGE,
+            E.StorageError("s"): EXIT_STORAGE,
+            E.WorkloadError("w"): EXIT_WORKLOAD,
+            E.AcyclicityError("a"): EXIT_WORKLOAD,
+            E.PlanError("p"): EXIT_PLAN,
+            E.OptimizationError("o"): EXIT_PLAN,
+            E.QueryError("q"): EXIT_QUERY,
+            E.ParseError("p"): EXIT_QUERY,
+            E.CatalogError("c"): EXIT_QUERY,
+            E.MPFError("base"): 1,
+            E.SemiringError("s"): 1,
+        }
+        for exc, expected in cases.items():
+            assert exit_code_for(exc) == expected, type(exc).__name__
+        assert all(code != 0 for code in cases.values())
