@@ -3,15 +3,19 @@
 Each benchmark regenerates one paper table/figure.  Besides the
 pytest-benchmark timings, every bench row (the series the paper plots)
 is collected into a :class:`TableReporter` which writes an aligned text
-table and a CSV under ``benchmarks/out/`` at interpreter exit — so
-``pytest benchmarks/ --benchmark-only`` leaves the reproduced
-tables/figures on disk regardless of output capturing.
+table, a CSV, and a schema-tagged JSON bench document (the
+``repro.bench.v1`` shape of :mod:`repro.obs.export`, embedding the
+reporter's metrics registry) under ``benchmarks/out/`` at interpreter
+exit — so ``pytest benchmarks/ --benchmark-only`` leaves the
+reproduced tables/figures on disk regardless of output capturing, and
+CI can validate every ``*.json`` with ``python -m repro.obs.validate``.
 """
 
 from __future__ import annotations
 
 import atexit
 import csv
+import json
 import os
 from pathlib import Path
 
@@ -28,6 +32,16 @@ class TableReporter:
         self.title = title
         self.columns = columns
         self.rows: list[list] = []
+        self._metrics = None
+
+    @property
+    def metrics(self):
+        """Lazily created registry for benchmark-local ``bench.*`` metrics."""
+        if self._metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            self._metrics = MetricsRegistry()
+        return self._metrics
 
     def add(self, *values) -> None:
         if len(values) != len(self.columns):
@@ -76,6 +90,15 @@ class TableReporter:
             writer = csv.writer(fh)
             writer.writerow(self.columns)
             writer.writerows(self.rows)
+        from repro.obs.export import bench_document
+
+        doc = bench_document(
+            self.name, self.title, self.columns, self.rows,
+            metrics=self._metrics,
+        )
+        (OUT_DIR / f"{self.name}.json").write_text(
+            json.dumps(doc, sort_keys=True, indent=2, default=float) + "\n"
+        )
 
 
 def reporter(name: str, title: str, columns: list[str]) -> TableReporter:

@@ -85,6 +85,8 @@ def test_batch_sharing(benchmark, batch_size):
     benchmark.extra_info.update(
         indep_elapsed=indep_elapsed, batch_elapsed=batch_elapsed
     )
+    _REPORT.metrics.counter("bench.batch_runs").inc()
+    _REPORT.metrics.counter("bench.memo_hits").inc(batch.memo_hits)
     _REPORT.add(
         batch_size, indep_reads, batch_reads, indep_elapsed,
         batch_elapsed, batch.shared_subplans, batch.memo_hits,

@@ -64,10 +64,12 @@ class MPFInference:
         network: BayesianNetwork,
         optimizer: Optimizer | None = None,
         log_space: bool = False,
+        metrics=None,
     ):
         self.network = network
         self.optimizer = optimizer or VariableElimination("degree", extended=True)
         self.log_space = log_space
+        self.metrics = metrics
         self.catalog = Catalog()
         relations = network.to_relations()
         if log_space:
@@ -77,7 +79,9 @@ class MPFInference:
                 ]
         self.tables = tuple(self.catalog.register_all(relations))
         self._semiring = LOG_PROB if log_space else SUM_PRODUCT
-        self._executor = Executor(self.catalog, self._semiring)
+        self._executor = Executor(
+            self.catalog, self._semiring, metrics=metrics
+        )
 
     # ------------------------------------------------------------------
     def query(
@@ -131,6 +135,7 @@ class MPFInference:
             self.catalog,
             MAX_SUM if self.log_space else MAX_PRODUCT,
             pool=self._executor.pool,
+            metrics=self.metrics,
         )
         answer, _stats = executor.run(result.plan, guard=guard)
         if self.log_space:
@@ -149,7 +154,8 @@ class MPFInference:
         """
         relations = [self.catalog.relation(t) for t in self.tables]
         context = ExecutionContext(
-            self.catalog, self._semiring, pool=self._executor.pool
+            self.catalog, self._semiring, pool=self._executor.pool,
+            metrics=self.metrics,
         )
         return build_ve_cache(
             relations, self._semiring, heuristic=heuristic, context=context

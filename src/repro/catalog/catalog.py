@@ -37,6 +37,18 @@ class Catalog:
         self._variables: dict[str, Variable] = {}
         self._page_size = page_size
         self._next_file_id = 1
+        self._epoch = 0
+
+    @property
+    def stats_epoch(self) -> int:
+        """Version counter for catalog statistics.
+
+        Bumped whenever plan-relevant catalog state changes — a table
+        registered, reloaded (:meth:`replace`), or indexed.  Plan
+        caches key on it so a plan chosen against stale statistics is
+        never served after the catalog moves on.
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Registration
@@ -67,6 +79,52 @@ class Catalog:
         self._next_file_id += 1
         for v in relation.variables:
             self._variables.setdefault(v.name, v)
+        self._epoch += 1
+        return name
+
+    def replace(self, relation: FunctionalRelation, name: str | None = None) -> str:
+        """Reload a registered table: new data, fresh statistics.
+
+        The heap file is rebuilt under a fresh file id (stale buffered
+        pages of the old file simply age out of the pool), indexes on
+        the table are dropped (they describe the old rows), and the
+        statistics epoch advances so stats-keyed plan caches stop
+        serving plans costed against the old data.
+        """
+        name = name or relation.name
+        if name not in self._relations:
+            raise CatalogError(
+                f"cannot replace unregistered table {name!r}"
+            )
+        for v in relation.variables:
+            known = self._variables.get(v.name)
+            if known is None or (
+                known.domain.name == v.domain.name
+                and known.domain.size == v.domain.size
+            ):
+                continue
+            shared = any(
+                v.name in rel.variables
+                for other, rel in self._relations.items()
+                if other != name
+            )
+            if shared:
+                raise SchemaError(
+                    f"variable {v.name!r} in table {name!r} conflicts with "
+                    f"existing domain {known.domain!r}"
+                )
+        relation = relation.with_name(name)
+        self._relations[name] = relation
+        self._stats[name] = TableStats.from_relation(relation)
+        self._heapfiles[name] = HeapFile.for_relation(
+            self._next_file_id, relation, self._page_size
+        )
+        self._next_file_id += 1
+        for key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[key]
+        for v in relation.variables:
+            self._variables[v.name] = v
+        self._epoch += 1
         return name
 
     def register_all(self, relations: Iterable[FunctionalRelation]) -> list[str]:
@@ -86,6 +144,7 @@ class Catalog:
         index = HashIndex(self._next_file_id, relation, variable)
         self._next_file_id += 1
         self._indexes[key] = index
+        self._epoch += 1
         return index
 
     def index_on(self, table: str, variable: str) -> HashIndex | None:

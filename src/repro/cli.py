@@ -15,6 +15,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 
@@ -172,8 +173,15 @@ def cmd_sql(args: argparse.Namespace) -> int:
         print(outcome.result.head(args.limit))
         if args.explain:
             print(outcome.plan_text)
+        if args.explain_json:
+            print(json.dumps(outcome.to_explain_dict(), sort_keys=True))
         print(f"[{outcome.optimization.algorithm}; "
               f"{outcome.result.ntuples} rows]\n")
+    if args.metrics_json:
+        # Last line of stdout: one schema-tagged metrics document for
+        # the whole session (pipe into `python -m repro.obs.validate -`).
+        print(json.dumps(db.metrics_document(name="cli.sql"),
+                         sort_keys=True))
     return 0
 
 
@@ -299,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rows to print per result")
     sql.add_argument("--explain", action="store_true",
                      help="print the chosen plan")
+    sql.add_argument("--explain-json", action="store_true",
+                     help="print each query's EXPLAIN (FORMAT JSON) "
+                          "document on one line")
+    sql.add_argument("--metrics-json", action="store_true",
+                     help="after all statements, print the session's "
+                          "metrics document on one line")
     sql.add_argument("--timeout", type=float, default=None,
                      metavar="SECONDS",
                      help="wall-clock deadline per statement")

@@ -26,6 +26,8 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, SimpleCostModel
 from repro.data.relation import FunctionalRelation
 from repro.errors import MPFError, QueryError
+from repro.obs.export import explain_document, metrics_document
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.base import OptimizationResult, Optimizer
 from repro.optimizer.cs import CSOptimizer
 from repro.optimizer.csplus import CSPlusLinear, CSPlusNonlinear
@@ -97,6 +99,14 @@ class QueryReport:
         if self.optimization is None:
             raise QueryError("query failed before a plan was chosen")
         return explain(self.optimization.plan)
+
+    def to_explain_dict(self) -> dict:
+        """``EXPLAIN (FORMAT JSON)``-style document with executed stats."""
+        if self.optimization is None:
+            raise QueryError("query failed before a plan was chosen")
+        return explain_document(
+            self.optimization, query=self.query, execution=self.exec_stats
+        )
 
     def summary(self) -> str:
         lines = [f"query: {self.query!r}"]
@@ -180,14 +190,28 @@ class Database:
         self,
         cost_model: CostModel | None = None,
         pool: BufferPool | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.catalog = Catalog()
         self.cost_model = cost_model or SimpleCostModel()
         self.pool = pool or BufferPool()
+        self.metrics = metrics or MetricsRegistry()
+        """The engine-wide registry every layer reports into; see
+        ``docs/observability.md`` for the metric catalog."""
+        if self.pool.metrics is None:
+            self.pool.metrics = self.metrics
         self._views: dict[str, _ViewEntry] = {}
         self._caches: dict[str, VECache] = {}
         self._plan_cache: dict[tuple, dict] = {}
         self.plan_cache_hits = 0
+
+    def metrics_snapshot(self):
+        """Deterministic snapshot of the engine-wide registry."""
+        return self.metrics.snapshot()
+
+    def metrics_document(self, name: str | None = None) -> dict:
+        """Schema-tagged flat metrics JSON document."""
+        return metrics_document(self.metrics.snapshot(), name=name)
 
     # ------------------------------------------------------------------
     # DDL
@@ -195,6 +219,28 @@ class Database:
     def register(self, relation: FunctionalRelation, name: str | None = None) -> str:
         """Register a base functional relation."""
         return self.catalog.register(relation, name)
+
+    def reload_table(
+        self, relation: FunctionalRelation, name: str | None = None
+    ) -> str:
+        """Reload a base table's data (a bulk refresh / re-ANALYZE).
+
+        Replaces the relation, its statistics, and its heap file in the
+        catalog, and drops the now-stale plan-cache entries: cache keys
+        are versioned by :attr:`Catalog.stats_epoch`, so a plan costed
+        against the old statistics can never be served as ``+cached``
+        against the new data.
+        """
+        name = self.catalog.replace(relation, name)
+        stale = [
+            key for key in self._plan_cache
+            if key[-1] != self.catalog.stats_epoch
+        ]
+        for key in stale:
+            del self._plan_cache[key]
+        if stale:
+            self.metrics.counter("plan_cache.invalidations").inc(len(stale))
+        return name
 
     def create_view(
         self,
@@ -320,19 +366,25 @@ class Database:
             # Constants matter to the plan (pushed-down Select /
             # IndexScan leaves embed them), so the key is the full
             # selection mapping — two queries differing only in a
-            # constant get distinct cache entries.
+            # constant get distinct cache entries.  The catalog's
+            # stats epoch (kept last: reload_table prunes on it)
+            # versions the key, so reloading a table or changing
+            # statistics retires every previously cached plan instead
+            # of serving a stale plan with a stale cost forever.
             cache_key = (
                 spec.tables,
                 spec.query_vars,
                 tuple(sorted(spec.selections.items())),
                 strategy,
                 heuristic,
+                self.catalog.stats_epoch,
             )
         cached = self._plan_cache.get(cache_key) if cache_key else None
         if cached is not None:
             from repro.plans.serialize import plan_from_dict
 
             self.plan_cache_hits += 1
+            self.metrics.counter("plan_cache.hits").inc()
             return OptimizationResult(
                 plan=plan_from_dict(cached["plan"]),
                 cost=cached["cost"],
@@ -341,8 +393,13 @@ class Database:
                 plans_considered=0,
             )
 
+        if cache_key is not None:
+            self.metrics.counter("plan_cache.misses").inc()
         optimizer = self.make_optimizer(strategy, heuristic, seed)
         optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
+        self.metrics.counter("optimizer.plans_considered").inc(
+            optimization.plans_considered
+        )
         if cache_key is not None:
             from repro.plans.serialize import plan_to_dict
 
@@ -399,9 +456,29 @@ class Database:
         optimization = self._optimize_query(
             query, strategy, heuristic, seed, use_plan_cache
         )
-        executor = Executor(self.catalog, query.view.semiring, pool=self.pool)
-        result, stats = executor.run(optimization.plan, guard=guard)
+        executor = Executor(
+            self.catalog, query.view.semiring, pool=self.pool,
+            metrics=self.metrics,
+        )
+        try:
+            result, stats = executor.run(optimization.plan, guard=guard)
+        except MPFError:
+            self.metrics.counter("queries.total", status="error").inc()
+            raise
+        self.metrics.counter("queries.total", status="ok").inc()
+        self._publish_guard(guard, stats)
         return self._finish_report(query, optimization, result, stats)
+
+    def _publish_guard(
+        self, guard: QueryGuard | None, stats: IOStats | None = None
+    ) -> None:
+        """Expose the guard's last query window as gauges."""
+        if guard is None:
+            return
+        self.metrics.gauge("guard.pages_admitted").set(guard.pages_admitted)
+        self.metrics.gauge("guard.retries_used").set(guard.retries_used)
+        if stats is not None:
+            self.metrics.gauge("guard.budget_consumed").set(stats.elapsed())
 
     def run_batch(
         self,
@@ -467,8 +544,11 @@ class Database:
             [opt.plan for opt in optimizations if opt is not None]
         )
         ctx = ExecutionContext(
-            self.catalog, semiring, pool=self.pool, guard=guard
+            self.catalog, semiring, pool=self.pool, guard=guard,
+            metrics=self.metrics,
         )
+        self.metrics.counter("batches.total").inc()
+        self.metrics.counter("batch.shared_subplans").inc(dag.shared_nodes)
 
         reports = []
         roots = iter(dag.roots)
@@ -476,6 +556,7 @@ class Database:
             queries, optimizations, plan_errors
         ):
             if optimization is None:
+                self.metrics.counter("queries.total", status="error").inc()
                 reports.append(
                     QueryReport(
                         result=None,
@@ -495,7 +576,11 @@ class Database:
                 (result,) = evaluate_dag(dag, ctx, roots=[root])
             except MPFError as exc:
                 if stop_on_error:
+                    self.metrics.counter(
+                        "queries.total", status="error"
+                    ).inc()
                     raise
+                self.metrics.counter("queries.total", status="error").inc()
                 reports.append(
                     QueryReport(
                         result=None,
@@ -508,9 +593,11 @@ class Database:
                 )
                 continue
             stats = ctx.stats.since(snapshot)
+            self.metrics.counter("queries.total", status="ok").inc()
             reports.append(
                 self._finish_report(query, optimization, result, stats)
             )
+        self._publish_guard(guard, ctx.stats)
         return BatchReport(reports=reports, stats=ctx.stats, dag=dag)
 
     def profile(
@@ -542,7 +629,7 @@ class Database:
         optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
         return profile_execution(
             optimization.plan, self.catalog, semiring, pool=self.pool,
-            guard=guard,
+            guard=guard, metrics=self.metrics,
         )
 
     def explain_query(
@@ -641,7 +728,9 @@ class Database:
         if semiring is None:
             semiring = SUM_PRODUCT
         relations = [self.catalog.relation(t) for t in entry.view_tables]
-        context = ExecutionContext(self.catalog, semiring, pool=self.pool)
+        context = ExecutionContext(
+            self.catalog, semiring, pool=self.pool, metrics=self.metrics
+        )
         cache = build_ve_cache(
             relations, semiring, heuristic=heuristic, context=context
         )

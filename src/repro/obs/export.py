@@ -1,0 +1,458 @@
+"""Structured exporters and their schemas.
+
+Three JSON document shapes, each carrying an explicit ``schema`` tag
+and validated strictly (unknown or missing keys fail — the CI
+benchmark-smoke job depends on that):
+
+* **metrics document** (:data:`METRICS_SCHEMA`) — a flat map of
+  canonical metric keys (``name`` or ``name{label=value,...}``) to
+  instrument dumps.  Metric names must appear in
+  :data:`METRIC_CATALOG` (the documented catalog, mirrored in
+  ``docs/observability.md``); the ``bench.`` prefix is reserved for
+  benchmark-local metrics.
+
+* **explain document** (:data:`EXPLAIN_SCHEMA`) — ``EXPLAIN (FORMAT
+  JSON)`` for this engine: the chosen plan as a nested node tree with
+  per-node estimated cardinality/cost, the optimizer verdict, and
+  (for ``EXPLAIN ANALYZE``) executed totals plus the per-operator
+  breakdown.
+
+* **bench document** (:data:`BENCH_SCHEMA`) — one reproduced paper
+  table/figure with its rows *and* an embedded metrics document, so
+  ``benchmarks/out/*.json`` trajectories are self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, base_name
+from repro.obs.trace import OperatorProfile
+from repro.storage.iostats import IOStats
+
+# NOTE: this module must not import repro.plans — repro.plans.profile
+# imports repro.obs.trace, so a module-level dependency here would be
+# a circular import.  Plan nodes are dispatched by class name.
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "EXPLAIN_SCHEMA",
+    "BENCH_SCHEMA",
+    "METRIC_CATALOG",
+    "iostats_dict",
+    "plan_explain_dict",
+    "explain_document",
+    "metrics_document",
+    "bench_document",
+    "validate_metrics_document",
+    "validate_explain_document",
+    "validate_bench_document",
+]
+
+METRICS_SCHEMA = "repro.metrics.v1"
+EXPLAIN_SCHEMA = "repro.explain.v1"
+BENCH_SCHEMA = "repro.bench.v1"
+
+# The documented metric catalog: base instrument name -> kind.  Every
+# name a registry may contain must be listed here (or carry the
+# ``bench.`` prefix); validation fails on anything else so the catalog
+# in docs/observability.md cannot silently drift from the code.
+METRIC_CATALOG: dict[str, str] = {
+    # storage substrate
+    "bufferpool.reads": "counter",
+    "bufferpool.writes": "counter",
+    "bufferpool.hits": "counter",
+    "faults.transient": "counter",
+    "faults.permanent": "counter",
+    # runtime, per evaluated operator (labels: operator=<node type>)
+    "query.operator_runs": "counter",
+    "query.page_reads": "counter",
+    "query.page_writes": "counter",
+    "query.buffer_hits": "counter",
+    "query.tuples": "counter",
+    "query.memo_hits": "counter",
+    "query.retries": "counter",
+    "query.retry_wait": "counter",
+    "query.degradations": "counter",
+    "query.operator_elapsed": "histogram",
+    # guard accounting for the most recent guarded window
+    "guard.pages_admitted": "gauge",
+    "guard.retries_used": "gauge",
+    "guard.budget_consumed": "gauge",
+    # engine facade (labels on queries.total: status=ok|error)
+    "plan_cache.hits": "counter",
+    "plan_cache.misses": "counter",
+    "plan_cache.invalidations": "counter",
+    "optimizer.plans_considered": "counter",
+    "queries.total": "counter",
+    "batches.total": "counter",
+    "batch.shared_subplans": "counter",
+    # workload layer (labels on bp.messages: kind=product|update)
+    "bp.messages": "counter",
+    "bp.failures": "counter",
+    "vecache.steps": "counter",
+    "vecache.evidence_absorptions": "counter",
+    "vecache.tables": "gauge",
+    "junction.cliques": "counter",
+}
+
+_IOSTATS_KEYS = (
+    "page_reads",
+    "page_writes",
+    "buffer_hits",
+    "tuples",
+    "operators_run",
+    "memo_hits",
+    "retries",
+    "retry_wait",
+    "elapsed",
+)
+
+_OPERATOR_KEYS = frozenset(
+    OperatorProfile(
+        label="", out_rows=0, tuples=0, page_reads=0, page_writes=0,
+        elapsed=0.0,
+    ).to_dict()
+)
+
+_ENTRY_KEYS = {
+    "counter": frozenset({"kind", "value"}),
+    "gauge": frozenset({"kind", "value"}),
+    "histogram": frozenset({"kind", "count", "sum", "bounds", "counts"}),
+}
+
+
+def iostats_dict(stats: IOStats) -> dict:
+    """Flat JSON view of one :class:`IOStats` clock."""
+    return {
+        "page_reads": stats.page_reads,
+        "page_writes": stats.page_writes,
+        "buffer_hits": stats.buffer_hits,
+        "tuples": stats.tuples_processed,
+        "operators_run": stats.operators_run,
+        "memo_hits": stats.memo_hits,
+        "retries": stats.retries,
+        "retry_wait": stats.retry_wait,
+        "elapsed": stats.elapsed(),
+    }
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN (FORMAT JSON)
+# ----------------------------------------------------------------------
+def plan_explain_dict(plan) -> dict:
+    """Nested plan-node document with per-node estimates when annotated.
+
+    Iterative post-order build: deep plans (long Select/GroupBy
+    chains) must not hit the recursion limit.
+    """
+    done: dict[int, dict] = {}
+    stack: list = [plan]
+    while stack:
+        node = stack[-1]
+        pending = [c for c in node.children() if id(c) not in done]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if id(node) in done:
+            continue
+        done[id(node)] = _node_dict(
+            node, [done[id(c)] for c in node.children()]
+        )
+    return done[id(plan)]
+
+
+def _node_dict(node, inputs: list[dict]) -> dict:
+    op = _OP_NAMES.get(type(node).__name__)
+    if op is None:
+        raise ValueError(f"unknown plan node {type(node).__name__}")
+    out: dict = {"op": op, "label": node.label()}
+    if op in ("scan", "index_scan"):
+        out["table"] = node.table
+    if op in ("index_scan", "select"):
+        out["predicate"] = dict(node.predicate)
+    if op in ("product_join", "group_by"):
+        out["method"] = node.method
+    if op == "group_by":
+        out["group_names"] = list(node.group_names)
+    if op == "semijoin":
+        out["semijoin_kind"] = node.kind
+    if node.stats is not None:
+        estimated: dict = {"cardinality": node.stats.cardinality}
+        if node.op_cost is not None:
+            estimated["op_cost"] = node.op_cost
+        if node.total_cost is not None:
+            estimated["cost"] = node.total_cost
+        out["estimated"] = estimated
+    if inputs:
+        out["inputs"] = inputs
+    return out
+
+
+_OP_NAMES: dict[str, str] = {
+    "Scan": "scan",
+    "IndexScan": "index_scan",
+    "Select": "select",
+    "ProductJoin": "product_join",
+    "GroupBy": "group_by",
+    "SemiJoin": "semijoin",
+}
+
+_NODE_REQUIRED: dict[str, frozenset] = {
+    "scan": frozenset({"table"}),
+    "index_scan": frozenset({"table", "predicate"}),
+    "select": frozenset({"predicate", "inputs"}),
+    "product_join": frozenset({"method", "inputs"}),
+    "group_by": frozenset({"method", "group_names", "inputs"}),
+    "semijoin": frozenset({"semijoin_kind", "inputs"}),
+}
+_NODE_CHILDREN: dict[str, int] = {
+    "scan": 0,
+    "index_scan": 0,
+    "select": 1,
+    "product_join": 2,
+    "group_by": 1,
+    "semijoin": 2,
+}
+
+
+def explain_document(
+    optimization,
+    query=None,
+    execution: IOStats | None = None,
+    operators: Sequence[OperatorProfile] | None = None,
+) -> dict:
+    """The full EXPLAIN (FORMAT JSON) document for one planned query.
+
+    ``optimization`` is an
+    :class:`~repro.optimizer.base.OptimizationResult`; pass
+    ``execution`` (and optionally the per-operator ``operators``
+    breakdown from a :class:`~repro.obs.trace.QueryTracer`) to produce
+    the ANALYZE form.
+    """
+    doc: dict = {
+        "schema": EXPLAIN_SCHEMA,
+        "query": None if query is None else str(query),
+        "algorithm": optimization.algorithm,
+        "estimated_cost": optimization.cost,
+        "plans_considered": optimization.plans_considered,
+        "planning_seconds": optimization.planning_seconds,
+        "plan": plan_explain_dict(optimization.plan),
+        "execution": None,
+    }
+    if execution is not None or operators is not None:
+        doc["execution"] = {
+            "totals": None if execution is None else iostats_dict(execution),
+            "operators": [
+                op.to_dict() for op in (operators or [])
+            ],
+        }
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Metrics / bench documents
+# ----------------------------------------------------------------------
+def metrics_document(
+    metrics: MetricsRegistry | MetricsSnapshot,
+    name: str | None = None,
+) -> dict:
+    """Flat metrics document from a registry or snapshot."""
+    snapshot = (
+        metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    )
+    return {
+        "schema": METRICS_SCHEMA,
+        "name": name,
+        "metrics": snapshot.to_dict(),
+    }
+
+
+def bench_document(
+    name: str,
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence],
+    metrics: MetricsRegistry | MetricsSnapshot | None = None,
+) -> dict:
+    """Self-describing benchmark table with embedded metrics."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "title": title,
+        "columns": list(columns),
+        "rows": [list(r) for r in rows],
+        "metrics": metrics_document(
+            metrics if metrics is not None else MetricsSnapshot({}),
+            name=name,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Strict validation
+# ----------------------------------------------------------------------
+def _fail(problems: list[str]) -> None:
+    if problems:
+        raise ValueError("; ".join(problems))
+
+
+def _check_keys(
+    what: str, data, required: frozenset, problems: list[str],
+    optional: frozenset = frozenset(),
+) -> bool:
+    if not isinstance(data, Mapping):
+        problems.append(f"{what}: expected an object, got {type(data).__name__}")
+        return False
+    keys = set(data)
+    missing = sorted(required - keys)
+    unknown = sorted(keys - required - optional)
+    if missing:
+        problems.append(f"{what}: missing keys {missing}")
+    if unknown:
+        problems.append(f"{what}: unknown keys {unknown}")
+    return not missing and not unknown
+
+
+def validate_metrics_document(doc) -> None:
+    """Raise :class:`ValueError` unless ``doc`` matches the schema."""
+    problems: list[str] = []
+    if _check_keys(
+        "metrics document", doc, frozenset({"schema", "name", "metrics"}),
+        problems,
+    ):
+        if doc["schema"] != METRICS_SCHEMA:
+            problems.append(
+                f"metrics document: schema {doc['schema']!r} != "
+                f"{METRICS_SCHEMA!r}"
+            )
+        _validate_metrics_map(doc["metrics"], problems)
+    _fail(problems)
+
+
+def _validate_metrics_map(metrics, problems: list[str]) -> None:
+    if not isinstance(metrics, Mapping):
+        problems.append("metrics: expected an object")
+        return
+    for key in sorted(metrics):
+        entry = metrics[key]
+        name = base_name(key)
+        expected_kind = METRIC_CATALOG.get(name)
+        if expected_kind is None and not name.startswith("bench."):
+            problems.append(f"metric {key!r}: name not in the catalog")
+            continue
+        if not isinstance(entry, Mapping) or "kind" not in entry:
+            problems.append(f"metric {key!r}: malformed entry")
+            continue
+        kind = entry["kind"]
+        if expected_kind is not None and kind != expected_kind:
+            problems.append(
+                f"metric {key!r}: kind {kind!r}, catalog says "
+                f"{expected_kind!r}"
+            )
+            continue
+        allowed = _ENTRY_KEYS.get(kind)
+        if allowed is None:
+            problems.append(f"metric {key!r}: unknown kind {kind!r}")
+            continue
+        _check_keys(f"metric {key!r}", entry, allowed, problems)
+        if kind == "histogram" and set(entry) == set(allowed):
+            if len(entry["counts"]) != len(entry["bounds"]) + 1:
+                problems.append(
+                    f"metric {key!r}: counts/bounds length mismatch"
+                )
+
+
+def validate_explain_document(doc) -> None:
+    """Raise :class:`ValueError` unless ``doc`` matches the schema."""
+    problems: list[str] = []
+    top = frozenset({
+        "schema", "query", "algorithm", "estimated_cost",
+        "plans_considered", "planning_seconds", "plan", "execution",
+    })
+    if _check_keys("explain document", doc, top, problems):
+        if doc["schema"] != EXPLAIN_SCHEMA:
+            problems.append(
+                f"explain document: schema {doc['schema']!r} != "
+                f"{EXPLAIN_SCHEMA!r}"
+            )
+        _validate_plan_node(doc["plan"], problems, path="plan")
+        execution = doc["execution"]
+        if execution is not None and _check_keys(
+            "execution", execution, frozenset({"totals", "operators"}),
+            problems,
+        ):
+            if execution["totals"] is not None:
+                _check_keys(
+                    "execution.totals", execution["totals"],
+                    frozenset(_IOSTATS_KEYS), problems,
+                )
+            if isinstance(execution["operators"], list):
+                for i, op in enumerate(execution["operators"]):
+                    _check_keys(
+                        f"execution.operators[{i}]", op, _OPERATOR_KEYS,
+                        problems,
+                    )
+            else:
+                problems.append("execution.operators: expected a list")
+    _fail(problems)
+
+
+def _validate_plan_node(node, problems: list[str], path: str) -> None:
+    pending = [(node, path)]
+    while pending:
+        node, path = pending.pop()
+        if not isinstance(node, Mapping):
+            problems.append(f"{path}: expected an object")
+            continue
+        op = node.get("op")
+        if op not in _NODE_REQUIRED:
+            problems.append(f"{path}: unknown op {op!r}")
+            continue
+        required = _NODE_REQUIRED[op] | {"op", "label"}
+        _check_keys(
+            path, node, required, problems,
+            optional=frozenset({"estimated"}),
+        )
+        estimated = node.get("estimated")
+        if estimated is not None:
+            _check_keys(
+                f"{path}.estimated", estimated,
+                frozenset({"cardinality"}), problems,
+                optional=frozenset({"cost", "op_cost"}),
+            )
+        inputs = node.get("inputs", [])
+        if len(inputs) != _NODE_CHILDREN[op]:
+            problems.append(
+                f"{path}: op {op!r} expects {_NODE_CHILDREN[op]} inputs, "
+                f"got {len(inputs)}"
+            )
+        for i, child in enumerate(inputs):
+            pending.append((child, f"{path}.inputs[{i}]"))
+
+
+def validate_bench_document(doc) -> None:
+    """Raise :class:`ValueError` unless ``doc`` matches the schema."""
+    problems: list[str] = []
+    top = frozenset({"schema", "name", "title", "columns", "rows", "metrics"})
+    if _check_keys("bench document", doc, top, problems):
+        if doc["schema"] != BENCH_SCHEMA:
+            problems.append(
+                f"bench document: schema {doc['schema']!r} != "
+                f"{BENCH_SCHEMA!r}"
+            )
+        if not isinstance(doc["columns"], list):
+            problems.append("bench document: columns must be a list")
+        elif not isinstance(doc["rows"], list) or any(
+            not isinstance(r, list) or len(r) != len(doc["columns"])
+            for r in doc["rows"]
+        ):
+            problems.append(
+                "bench document: rows must be lists matching columns"
+            )
+        try:
+            validate_metrics_document(doc["metrics"])
+        except ValueError as exc:
+            problems.append(f"bench document metrics: {exc}")
+    _fail(problems)

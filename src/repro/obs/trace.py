@@ -1,0 +1,234 @@
+"""Span-based query-lifecycle tracing.
+
+A :class:`QueryTracer` observes one query (or batch) end to end:
+lifecycle phases — parse → optimize → lower/CSE → execute — are opened
+as nested :class:`Span`\\ s, and within an execute span the runtime's
+tracer hooks record one operator span per evaluated plan node (plus
+memo hits, guard degradations, and retries).  The tracer doubles as
+the profiling collector: its ``operators`` list is the per-operator
+breakdown ``EXPLAIN ANALYZE`` prints, which is why
+:class:`~repro.plans.profile.ProfilingTracer` is this class.
+
+All span timing uses the simulated cost clock
+(:meth:`~repro.storage.iostats.IOStats.elapsed`), never the wall
+clock, so traces are deterministic and byte-identical across repeated
+seeded runs.
+
+Degradation notes are keyed by plan-node identity: ``on_degrade``
+fires from *inside* an operator (before its ``on_execute``), and an
+earlier implementation kept a single pending slot — a degrade note
+could leak onto the wrong profile row when the degraded operator was
+followed by a memo hit, or raised before completing.  Keying by node
+makes the note attach to exactly the operator that degraded, or to
+nothing at all.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.storage.iostats import IOStats
+
+if TYPE_CHECKING:  # plans imports obs back; keep this one-way at runtime
+    from repro.plans.nodes import PlanNode
+
+__all__ = ["OperatorProfile", "Span", "QueryTracer"]
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """One operator's share of the run."""
+
+    label: str
+    out_rows: int
+    tuples: int
+    page_reads: int
+    page_writes: int
+    elapsed: float
+    buffer_hits: int = 0
+    retries: int = 0
+    retry_wait: float = 0.0
+    memoized: bool = False
+    degraded: str | None = None
+    """Guard downgrade note (hash → sort spill path), if any."""
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "out_rows": self.out_rows,
+            "tuples": self.tuples,
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "buffer_hits": self.buffer_hits,
+            "retries": self.retries,
+            "retry_wait": self.retry_wait,
+            "elapsed": self.elapsed,
+            "memoized": self.memoized,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass
+class Span:
+    """One traced interval, timed on the simulated cost clock."""
+
+    name: str
+    kind: str = "phase"
+    start: float = 0.0
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def cost(self) -> float:
+        """Cost units spent inside this span (0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "cost": self.cost,
+            "attributes": dict(self.attributes),
+            "events": [dict(e) for e in self.events],
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class QueryTracer:
+    """Lifecycle spans plus the runtime's per-operator hooks.
+
+    Implements the :class:`~repro.plans.runtime.Tracer` protocol
+    (``on_execute`` / ``on_memo_hit`` / ``on_degrade``) and adds a span
+    API for the phases around execution::
+
+        tracer = QueryTracer()
+        with tracer.span("optimize", algorithm="ve+"):
+            ...
+        ctx = ExecutionContext(..., tracer=tracer)
+        tracer.bind_stats(ctx.stats)          # cost clock source
+        with tracer.span("execute"):
+            evaluate_dag(dag, ctx)
+
+    ``operators`` collects one :class:`OperatorProfile` row per
+    evaluated node — the ``EXPLAIN ANALYZE`` breakdown.
+    """
+
+    def __init__(self, stats: IOStats | None = None):
+        self.root = Span("query", kind="lifecycle")
+        self._stack: list[Span] = [self.root]
+        self.operators: list[OperatorProfile] = []
+        self._stats = stats
+        # Pending degradation notes keyed by plan-node identity; see
+        # the module docstring for why this must not be a single slot.
+        self._pending_degrade: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Cost clock
+    # ------------------------------------------------------------------
+    def bind_stats(self, stats: IOStats) -> None:
+        """Attach the stats clock that timestamps spans."""
+        self._stats = stats
+
+    def _now(self) -> float:
+        return self._stats.elapsed() if self._stats is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, kind: str = "phase", **attributes):
+        """Open a nested span; closes (cost-stamped) on exit."""
+        span = Span(
+            name, kind=kind, start=self._now(), attributes=dict(attributes)
+        )
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self._now()
+            self._stack.pop()
+
+    def event(self, name: str, **attributes) -> None:
+        """Record a point event on the innermost open span."""
+        self._stack[-1].events.append(
+            {"name": name, "at": self._now(), **attributes}
+        )
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def finish(self) -> Span:
+        """Close the root span and return it."""
+        if self.root.end is None:
+            self.root.end = self._now()
+        return self.root
+
+    # ------------------------------------------------------------------
+    # Runtime hooks (Tracer protocol)
+    # ------------------------------------------------------------------
+    def on_degrade(self, node: PlanNode, description: str) -> None:
+        # Fires from inside the operator, before its on_execute; key
+        # by the node so the note can only attach to *this* operator.
+        self._pending_degrade[id(node)] = description
+        self.event("degrade", operator=node.label(), description=description)
+
+    def on_execute(
+        self, node: PlanNode, result, delta: IOStats
+    ) -> None:
+        degraded = self._pending_degrade.pop(id(node), None)
+        row = OperatorProfile(
+            label=node.label(),
+            out_rows=result.ntuples,
+            tuples=delta.tuples_processed,
+            page_reads=delta.page_reads,
+            page_writes=delta.page_writes,
+            buffer_hits=delta.buffer_hits,
+            retries=delta.retries,
+            retry_wait=delta.retry_wait,
+            elapsed=delta.elapsed(),
+            degraded=degraded,
+        )
+        self.operators.append(row)
+        now = self._now()
+        span = Span(
+            node.label(),
+            kind="operator",
+            start=now - delta.elapsed(),
+            end=now,
+            attributes=row.to_dict(),
+        )
+        self._stack[-1].children.append(span)
+
+    def on_memo_hit(self, node: PlanNode, result) -> None:
+        row = OperatorProfile(
+            label=node.label(),
+            out_rows=result.ntuples,
+            tuples=0,
+            page_reads=0,
+            page_writes=0,
+            elapsed=0.0,
+            memoized=True,
+        )
+        self.operators.append(row)
+        now = self._now()
+        span = Span(
+            node.label(),
+            kind="operator",
+            start=now,
+            end=now,
+            attributes=row.to_dict(),
+        )
+        self._stack[-1].children.append(span)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The whole trace as one JSON-safe span tree."""
+        return self.finish().to_dict()

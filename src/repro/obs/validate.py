@@ -1,0 +1,65 @@
+"""Schema validation entry point: ``python -m repro.obs.validate``.
+
+Validates observability JSON documents (metrics, explain, bench —
+dispatched on their ``schema`` tag) read from file arguments or stdin
+(``-``).  Exits non-zero on the first malformed document; the CI
+benchmark-smoke job runs this over ``benchmarks/out/*.json`` and over
+the CLI's ``--metrics-json`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    EXPLAIN_SCHEMA,
+    METRICS_SCHEMA,
+    validate_bench_document,
+    validate_explain_document,
+    validate_metrics_document,
+)
+
+__all__ = ["validate_document", "main"]
+
+_VALIDATORS = {
+    METRICS_SCHEMA: validate_metrics_document,
+    EXPLAIN_SCHEMA: validate_explain_document,
+    BENCH_SCHEMA: validate_bench_document,
+}
+
+
+def validate_document(doc) -> str:
+    """Validate one document by its ``schema`` tag; returns the tag."""
+    if not isinstance(doc, dict) or "schema" not in doc:
+        raise ValueError("document has no 'schema' tag")
+    schema = doc["schema"]
+    validator = _VALIDATORS.get(schema)
+    if validator is None:
+        raise ValueError(f"unknown schema {schema!r}")
+    validator(doc)
+    return schema
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.obs.validate FILE [FILE...] | -",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            text = sys.stdin.read() if path == "-" else open(path).read()
+            schema = validate_document(json.loads(text))
+        except (OSError, ValueError) as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{path}: ok ({schema})")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -43,9 +43,11 @@ class Executor:
         pool: BufferPool | None = None,
         workmem_pages: int = DEFAULT_WORKMEM_PAGES,
         context: ExecutionContext | None = None,
+        metrics=None,
     ):
         self.context = context or ExecutionContext(
-            catalog, semiring, pool=pool, workmem_pages=workmem_pages
+            catalog, semiring, pool=pool, workmem_pages=workmem_pages,
+            metrics=metrics,
         )
 
     @property
@@ -96,7 +98,11 @@ def execute(
     pool: BufferPool | None = None,
     workmem_pages: int = DEFAULT_WORKMEM_PAGES,
     guard: QueryGuard | None = None,
+    metrics=None,
 ):
     """One-shot convenience wrapper around :class:`Executor`."""
-    executor = Executor(catalog, semiring, pool=pool, workmem_pages=workmem_pages)
+    executor = Executor(
+        catalog, semiring, pool=pool, workmem_pages=workmem_pages,
+        metrics=metrics,
+    )
     return executor.run(plan, guard=guard)

@@ -7,6 +7,11 @@ engine.  It is no longer a parallel execution path: profiling is a
 exactly the run the engine would do — same operators, same memo
 behavior — with each operator's incremental work captured from the
 stats deltas the runtime hands the tracer.
+
+The tracer itself lives in :mod:`repro.obs.trace`:
+:class:`~repro.obs.trace.QueryTracer` subsumes the old
+``ProfilingTracer`` (kept as an alias) and additionally records the
+query's lifecycle as a span tree.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Mapping
 
 from repro.catalog.catalog import Catalog
 from repro.data.relation import FunctionalRelation
+from repro.obs.trace import OperatorProfile, QueryTracer, Span
 from repro.plans.lower import lower
 from repro.plans.nodes import PlanNode
 from repro.plans.runtime import (
@@ -34,20 +40,9 @@ __all__ = [
     "profile_execution",
 ]
 
-
-@dataclass(frozen=True)
-class OperatorProfile:
-    """One operator's share of the run."""
-
-    label: str
-    out_rows: int
-    tuples: int
-    page_reads: int
-    page_writes: int
-    elapsed: float
-    memoized: bool = False
-    degraded: str | None = None
-    """Guard downgrade note (hash → sort spill path), if any."""
+# The span-based tracer subsumed the old profiling-only tracer; the
+# name survives for callers constructing one directly.
+ProfilingTracer = QueryTracer
 
 
 @dataclass
@@ -57,11 +52,14 @@ class ExecutionProfile:
     result: FunctionalRelation
     operators: list[OperatorProfile]
     total: IOStats
+    trace: Span | None = None
+    """Lifecycle span tree of the profiled run, when traced."""
 
     def formatted(self) -> str:
         header = (
             f"{'operator':40s} {'rows':>9s} {'tuples':>10s} "
-            f"{'reads':>7s} {'writes':>7s} {'elapsed':>12s}"
+            f"{'reads':>7s} {'hits':>7s} {'writes':>7s} "
+            f"{'retries':>7s} {'elapsed':>12s}"
         )
         lines = [header, "-" * len(header)]
         for op in self.operators:
@@ -70,64 +68,53 @@ class ExecutionProfile:
                 label = f"{label} [degraded]"
             lines.append(
                 f"{label:40s} {op.out_rows:>9,} {op.tuples:>10,} "
-                f"{op.page_reads:>7} {op.page_writes:>7} "
+                f"{op.page_reads:>7} {op.buffer_hits:>7} "
+                f"{op.page_writes:>7} {op.retries:>7} "
                 f"{op.elapsed:>12,.0f}"
             )
         lines.append("-" * len(header))
         lines.append(
             f"{'total':40s} {self.result.ntuples:>9,} "
             f"{self.total.tuples_processed:>10,} "
-            f"{self.total.page_reads:>7} {self.total.page_writes:>7} "
+            f"{self.total.page_reads:>7} {self.total.buffer_hits:>7} "
+            f"{self.total.page_writes:>7} {self.total.retries:>7} "
             f"{self.total.elapsed():>12,.0f}"
         )
+        memo_hits = sum(1 for op in self.operators if op.memoized)
+        if memo_hits:
+            lines.append(f"memo hits: {memo_hits}")
+        if self.total.retries:
+            lines.append(
+                f"retries: {self.total.retries} "
+                f"(waited {self.total.retry_wait:,.0f} cost units)"
+            )
         for op in self.operators:
             if op.degraded is not None:
                 lines.append(f"degraded: {op.degraded}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-safe breakdown (schema: the explain document's
 
-class ProfilingTracer:
-    """Runtime tracer that collects one profile row per operator."""
-
-    def __init__(self):
-        self.operators: list[OperatorProfile] = []
-        self._pending_degrade: str | None = None
-
-    def on_degrade(self, node: PlanNode, description: str) -> None:
-        # Fires from inside the operator, before its on_execute;
-        # remember it and attach it to the next executed row.
-        self._pending_degrade = description
-
-    def on_execute(
-        self, node: PlanNode, result: FunctionalRelation, delta: IOStats
-    ) -> None:
-        degraded, self._pending_degrade = self._pending_degrade, None
-        self.operators.append(
-            OperatorProfile(
-                label=node.label(),
-                out_rows=result.ntuples,
-                tuples=delta.tuples_processed,
-                page_reads=delta.page_reads,
-                page_writes=delta.page_writes,
-                elapsed=delta.elapsed(),
-                degraded=degraded,
-            )
-        )
-
-    def on_memo_hit(
-        self, node: PlanNode, result: FunctionalRelation
-    ) -> None:
-        self.operators.append(
-            OperatorProfile(
-                label=node.label(),
-                out_rows=result.ntuples,
-                tuples=0,
-                page_reads=0,
-                page_writes=0,
-                elapsed=0.0,
-                memoized=True,
-            )
-        )
+        ``operators`` array plus the run's IOStats totals and, when
+        traced, the lifecycle span tree)."""
+        out = {
+            "operators": [op.to_dict() for op in self.operators],
+            "total": {
+                "page_reads": self.total.page_reads,
+                "page_writes": self.total.page_writes,
+                "buffer_hits": self.total.buffer_hits,
+                "tuples": self.total.tuples_processed,
+                "memo_hits": self.total.memo_hits,
+                "retries": self.total.retries,
+                "retry_wait": self.total.retry_wait,
+                "elapsed": self.total.elapsed(),
+            },
+            "rows": self.result.ntuples,
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        return out
 
 
 def profile_execution(
@@ -137,13 +124,15 @@ def profile_execution(
     pool: BufferPool | None = None,
     workmem_pages: int = DEFAULT_WORKMEM_PAGES,
     guard=None,
+    metrics=None,
 ) -> ExecutionProfile:
     """Run the plan and return the per-operator breakdown.
 
     With a ``guard``, resource checks apply to the profiled run and
     any hash→sort degradations it forces appear in the breakdown.
+    ``metrics`` additionally publishes the run into a registry.
     """
-    tracer = ProfilingTracer()
+    tracer = QueryTracer()
     ctx = ExecutionContext(
         catalog,
         semiring,
@@ -151,10 +140,14 @@ def profile_execution(
         workmem_pages=workmem_pages,
         tracer=tracer,
         guard=guard,
+        metrics=metrics,
     )
-    (result,) = evaluate_dag(lower(plan), ctx)
+    tracer.bind_stats(ctx.stats)
+    with tracer.span("execute"):
+        (result,) = evaluate_dag(lower(plan), ctx)
     return ExecutionProfile(
         result=result,
         operators=tracer.operators,
         total=ctx.stats,
+        trace=tracer.finish(),
     )

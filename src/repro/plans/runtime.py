@@ -116,6 +116,13 @@ class ExecutionContext:
     budget.  Results only reach the memo after an operator completes,
     so a guard violation (or storage fault) mid-query never leaves a
     partial result to be served to a later query.
+
+    ``metrics`` optionally attaches a
+    :class:`~repro.obs.metrics.MetricsRegistry`: the runtime publishes
+    every operator's incremental work into it (the ``query.*``
+    counters of the metric catalog), so one registry shared across
+    contexts accumulates engine-wide totals that agree with the
+    summed :class:`IOStats` clocks.
     """
 
     def __init__(
@@ -127,6 +134,7 @@ class ExecutionContext:
         stats: IOStats | None = None,
         tracer: Tracer | None = None,
         guard: QueryGuard | None = None,
+        metrics=None,
     ):
         self.catalog = catalog if isinstance(catalog, Catalog) else None
         self.env: dict[str, FunctionalRelation] = dict(
@@ -138,6 +146,7 @@ class ExecutionContext:
         self.stats = stats if stats is not None else IOStats()
         self.tracer = tracer
         self.guard = guard
+        self.metrics = metrics
         self.memo: dict[tuple, FunctionalRelation] = {}
         self._memo_reads: dict[tuple, frozenset[str]] = {}
         self._temp = TempFileAllocator()
@@ -215,6 +224,38 @@ class ExecutionContext:
             hook = getattr(self.tracer, "on_degrade", None)
             if hook is not None:
                 hook(node, description)
+        self.count("query.degradations")
+
+    # ------------------------------------------------------------------
+    # Metrics publication
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1, **labels) -> None:
+        """Increment a registry counter; no-op without a registry."""
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc(amount)
+
+    def publish_operator(self, node: PlanNode, delta: IOStats) -> None:
+        """Publish one executed operator's incremental work.
+
+        The per-counter deltas sum to exactly the context's
+        :class:`IOStats` totals for work done inside operators, which
+        is everything the reads/writes/hits/retries clocks record —
+        the agreement the integration tests assert.
+        """
+        m = self.metrics
+        if m is None:
+            return
+        m.counter(
+            "query.operator_runs", operator=type(node).__name__
+        ).inc()
+        m.counter("query.page_reads").inc(delta.page_reads)
+        m.counter("query.page_writes").inc(delta.page_writes)
+        m.counter("query.buffer_hits").inc(delta.buffer_hits)
+        m.counter("query.tuples").inc(delta.tuples_processed)
+        if delta.retries:
+            m.counter("query.retries").inc(delta.retries)
+            m.counter("query.retry_wait").inc(delta.retry_wait)
+        m.histogram("query.operator_elapsed").observe(delta.elapsed())
 
 
 # ----------------------------------------------------------------------
@@ -430,6 +471,7 @@ def evaluate_dag(
         if key not in hits_counted and key not in executed:
             hits_counted.add(key)
             ctx.stats.charge_memo_hit()
+            ctx.count("query.memo_hits")
             if ctx.tracer is not None:
                 ctx.tracer.on_memo_hit(dag.nodes[key], result)
         return result
@@ -452,8 +494,11 @@ def evaluate_dag(
         ctx.memo[key] = result
         ctx._memo_reads[key] = dag.base_tables(key)
         executed.add(key)
-        if ctx.tracer is not None:
-            ctx.tracer.on_execute(node, result, ctx.stats.since(snapshot))
+        if ctx.tracer is not None or ctx.metrics is not None:
+            delta = ctx.stats.since(snapshot)
+            ctx.publish_operator(node, delta)
+            if ctx.tracer is not None:
+                ctx.tracer.on_execute(node, result, delta)
     return [fetch(key) for key in roots]
 
 

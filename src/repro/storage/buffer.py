@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.errors import StorageError
+from repro.errors import (
+    PermanentStorageError,
+    StorageError,
+    TransientStorageError,
+)
 from repro.storage.iostats import IOStats
 from repro.storage.page import PageId
 
@@ -35,12 +39,21 @@ class BufferPool:
         self,
         capacity_pages: int = DEFAULT_POOL_PAGES,
         injector=None,
+        metrics=None,
     ):
         if capacity_pages <= 0:
             raise StorageError("buffer pool capacity must be positive")
         self.capacity_pages = capacity_pages
         self.injector = injector
+        self.metrics = metrics
+        """Optional :class:`~repro.obs.metrics.MetricsRegistry`; the
+        pool publishes ``bufferpool.*`` and ``faults.*`` counters into
+        it (the hit rate is ``hits / (hits + reads)``)."""
         self._pages: OrderedDict[PageId, None] = OrderedDict()
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -58,15 +71,25 @@ class BufferPool:
         if page in self._pages:
             self._pages.move_to_end(page)
             stats.charge_hit()
+            self._count("bufferpool.hits")
             return
         if self.injector is not None:
-            self.injector.before_read(page)
+            try:
+                self.injector.before_read(page)
+            except TransientStorageError:
+                self._count("faults.transient")
+                raise
+            except PermanentStorageError:
+                self._count("faults.permanent")
+                raise
         stats.charge_read()
+        self._count("bufferpool.reads")
         self._admit(page)
 
     def write(self, page: PageId, stats: IOStats) -> None:
         """Write a freshly produced page (spill / materialization)."""
         stats.charge_write()
+        self._count("bufferpool.writes")
         self._admit(page)
 
     def invalidate_file(self, file_id: int) -> None:

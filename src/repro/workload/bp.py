@@ -159,10 +159,12 @@ def _run_step(
         ).with_name(step.target)
     except MPFError as exc:
         exc.add_context(f"BP message {step}")
+        ctx.count("bp.failures")
         if failures is None or isinstance(exc, ResourceError):
             raise
         failures.append(BPFailure(step=step, error=exc))
         return False
+    ctx.count("bp.messages", kind=step.kind)
     tables[step.target] = result
     ctx.bind(step.target, result)
     return True

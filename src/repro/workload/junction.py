@@ -179,6 +179,7 @@ def build_junction_tree(
             )
             raise
         ctx.bind(clique_name, potential)
+        ctx.count("junction.cliques")
         cliques[clique_name] = potential
 
     # Junction tree over the cliques.

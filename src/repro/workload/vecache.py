@@ -117,9 +117,12 @@ class VECache:
     def _derived_context(
         self, tables: Mapping[str, FunctionalRelation]
     ) -> ExecutionContext:
-        """Fresh context over ``tables``, sharing the buffer pool."""
+        """Fresh context over ``tables``, sharing pool and metrics."""
         pool = self.context.pool if self.context is not None else None
-        return ExecutionContext(dict(tables), self.semiring, pool=pool)
+        metrics = self.context.metrics if self.context is not None else None
+        return ExecutionContext(
+            dict(tables), self.semiring, pool=pool, metrics=metrics
+        )
 
     # ------------------------------------------------------------------
     # Query answering
@@ -172,6 +175,7 @@ class VECache:
         ctx = self._derived_context(tables)
         kind = _reduce_kind(self.semiring)
         for var_name, value in evidence.items():
+            ctx.count("vecache.evidence_absorptions")
             start = min(
                 (
                     name
@@ -455,11 +459,14 @@ def build_ve_cache(
                 base_step[n] = name
         ctx.bind(name, joined.with_name(name))
         ctx.bind(f"{name}.msg", message)
+        ctx.count("vecache.steps")
         steps.append(_Step(name=name, children=children, variable=v))
         work = rest + [(f"{name}.msg", name)]
 
     if not steps:
         raise WorkloadError("view has no variables to cache over")
+    if ctx.metrics is not None:
+        ctx.metrics.gauge("vecache.tables").set(len(steps))
 
     # Leftover zero-variable messages hold the total mass of finished
     # connected components; their info must reach the other components

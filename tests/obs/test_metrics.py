@@ -1,0 +1,188 @@
+"""Unit tests for the metrics registry and its snapshot algebra."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    base_name,
+    metric_key,
+)
+
+
+class TestKeys:
+    def test_plain_name(self):
+        assert metric_key("queries.total", {}) == "queries.total"
+
+    def test_labels_sorted(self):
+        key = metric_key("bp.messages", {"kind": "update", "a": "1"})
+        assert key == "bp.messages{a=1,kind=update}"
+
+    def test_base_name_roundtrip(self):
+        assert base_name("bp.messages{kind=update}") == "bp.messages"
+        assert base_name("queries.total") == "queries.total"
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("queries.total").inc()
+        reg.counter("queries.total").inc(4)
+        assert reg.snapshot().get("queries.total") == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("queries.total").inc(-1)
+
+    def test_labels_split_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("queries.total", status="ok").inc(2)
+        reg.counter("queries.total", status="error").inc()
+        snap = reg.snapshot()
+        assert snap.get("queries.total", status="ok") == 2
+        assert snap.get("queries.total", status="error") == 1
+        assert snap.get("queries.total") == 0  # unlabeled never written
+
+    def test_gauge_is_last_write(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("vecache.tables")
+        g.set(7)
+        g.set(3)
+        g.inc()
+        assert reg.snapshot().get("vecache.tables") == 4
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("query.operator_elapsed", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 5.0, 100.0):
+            h.observe(v)
+        dump = reg.snapshot().to_dict()["query.operator_elapsed"]
+        assert dump["count"] == 4
+        assert dump["sum"] == pytest.approx(110.5)
+        assert dump["bounds"] == [1.0, 10.0]
+        assert dump["counts"] == [1, 2, 1]
+
+    def test_histogram_bounds_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("query.operator_elapsed", buckets=(10.0, 1.0))
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("queries.total")
+        with pytest.raises(ValueError):
+            reg.gauge("queries.total")
+        with pytest.raises(ValueError):
+            reg.histogram("queries.total")
+
+    def test_scalar_get_rejects_histogram(self):
+        reg = MetricsRegistry()
+        reg.histogram("query.operator_elapsed").observe(1.0)
+        with pytest.raises(ValueError):
+            reg.snapshot().get("query.operator_elapsed")
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("query.page_reads").inc(10)
+    reg.counter("bp.messages", kind="product").inc(3)
+    reg.gauge("vecache.tables").set(4)
+    h = reg.histogram("query.operator_elapsed", buckets=DEFAULT_BUCKETS)
+    h.observe(5.0)
+    h.observe(5e6)
+    return reg
+
+
+class TestSnapshotAlgebra:
+    def test_snapshot_is_detached(self):
+        reg = _sample_registry()
+        before = reg.snapshot()
+        reg.counter("query.page_reads").inc(100)
+        assert before.get("query.page_reads") == 10
+
+    def test_json_is_sorted_and_stable(self):
+        snap = _sample_registry().snapshot()
+        text = snap.to_json()
+        assert text == snap.to_json()
+        assert json.loads(text) == snap.to_dict()
+        assert list(snap.to_dict()) == sorted(snap.to_dict())
+
+    def test_diff_counters_subtract(self):
+        reg = _sample_registry()
+        before = reg.snapshot()
+        reg.counter("query.page_reads").inc(7)
+        delta = reg.snapshot().diff(before)
+        assert delta.get("query.page_reads") == 7
+        assert delta.get("bp.messages", kind="product") == 0
+
+    def test_diff_gauges_keep_self(self):
+        reg = _sample_registry()
+        before = reg.snapshot()
+        reg.gauge("vecache.tables").set(9)
+        assert reg.snapshot().diff(before).get("vecache.tables") == 9
+
+    def test_diff_histograms_subtract(self):
+        reg = _sample_registry()
+        before = reg.snapshot()
+        reg.histogram("query.operator_elapsed").observe(5.0)
+        dump = reg.snapshot().diff(before).to_dict()[
+            "query.operator_elapsed"
+        ]
+        assert dump["count"] == 1
+        assert dump["sum"] == pytest.approx(5.0)
+        assert sum(dump["counts"]) == 1
+
+    def test_diff_of_new_entry_counts_from_zero(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.counter("queries.total").inc(2)
+        assert reg.snapshot().diff(before).get("queries.total") == 2
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = _sample_registry().snapshot()
+        b = _sample_registry().snapshot()
+        merged = a.merge(b)
+        assert merged.get("query.page_reads") == 20
+        dump = merged.to_dict()["query.operator_elapsed"]
+        assert dump["count"] == 4
+        assert dump["sum"] == pytest.approx(2 * (5.0 + 5e6))
+
+    def test_merge_gauges_left_biased(self):
+        a = MetricsRegistry()
+        a.gauge("vecache.tables").set(1)
+        b = MetricsRegistry()
+        b.gauge("vecache.tables").set(2)
+        assert a.snapshot().merge(b.snapshot()).get("vecache.tables") == 1
+        assert b.snapshot().merge(a.snapshot()).get("vecache.tables") == 2
+
+    def test_roundtrip_law(self):
+        """``b.diff(a).merge(a) == b`` for counters, gauges, histograms."""
+        reg = _sample_registry()
+        a = reg.snapshot()
+        reg.counter("query.page_reads").inc(5)
+        reg.counter("queries.total").inc()  # appears only in b
+        reg.gauge("vecache.tables").set(11)
+        reg.histogram("query.operator_elapsed").observe(2.0)
+        b = reg.snapshot()
+        assert b.diff(a).merge(a) == b
+
+    def test_incompatible_kinds_refuse_algebra(self):
+        a = MetricsSnapshot({"m": {"kind": "counter", "value": 1}})
+        b = MetricsSnapshot({"m": {"kind": "gauge", "value": 1}})
+        with pytest.raises(ValueError):
+            a.diff(b)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_mismatched_histogram_bounds_refuse_merge(self):
+        def snap(bounds):
+            reg = MetricsRegistry()
+            reg.histogram("h", buckets=bounds).observe(1.0)
+            return reg.snapshot()
+
+        with pytest.raises(ValueError):
+            snap((1.0, 2.0)).merge(snap((1.0, 3.0)))

@@ -1,0 +1,138 @@
+"""Tests for the span-based query tracer."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.data import complete_relation, var
+from repro.obs import QueryTracer
+from repro.plans import GroupBy, ProductJoin, Scan, lower
+from repro.plans.runtime import ExecutionContext, evaluate_dag
+from repro.semiring import SUM_PRODUCT
+from repro.storage.iostats import IOStats
+
+
+@pytest.fixture
+def setting(rng):
+    cat = Catalog()
+    cat.register(complete_relation([var("a", 6), var("b", 5)], rng=rng,
+                                   name="s1"))
+    cat.register(complete_relation([var("b", 5), var("c", 4)], rng=rng,
+                                   name="s2"))
+    plan = GroupBy(ProductJoin(Scan("s1"), Scan("s2")), ["a"])
+    return cat, plan
+
+
+class TestSpans:
+    def test_nesting_and_cost_clock(self, setting):
+        cat, plan = setting
+        tracer = QueryTracer()
+        ctx = ExecutionContext(cat, SUM_PRODUCT, tracer=tracer)
+        tracer.bind_stats(ctx.stats)
+        with tracer.span("optimize", algorithm="ve+"):
+            pass
+        with tracer.span("execute"):
+            evaluate_dag(lower(plan), ctx)
+        root = tracer.finish()
+        assert root.name == "query"
+        assert [c.name for c in root.children] == ["optimize", "execute"]
+        execute = root.children[1]
+        # Span timing runs on the simulated clock, so the execute span
+        # covers exactly the work the stats clock recorded.
+        assert execute.cost == pytest.approx(ctx.stats.elapsed())
+        assert root.children[0].attributes == {"algorithm": "ve+"}
+
+    def test_operator_spans_nest_under_execute(self, setting):
+        cat, plan = setting
+        tracer = QueryTracer()
+        ctx = ExecutionContext(cat, SUM_PRODUCT, tracer=tracer)
+        tracer.bind_stats(ctx.stats)
+        with tracer.span("execute"):
+            evaluate_dag(lower(plan), ctx)
+        execute = tracer.root.children[0]
+        kinds = {c.kind for c in execute.children}
+        assert kinds == {"operator"}
+        assert len(execute.children) == plan.count_nodes()
+        assert sum(c.cost for c in execute.children) == pytest.approx(
+            ctx.stats.elapsed()
+        )
+
+    def test_events_attach_to_open_span(self):
+        tracer = QueryTracer(stats=IOStats())
+        with tracer.span("phase"):
+            tracer.event("checkpoint", detail=1)
+        (span,) = tracer.root.children
+        assert span.events == [{"name": "checkpoint", "at": 0.0, "detail": 1}]
+
+    def test_to_dict_is_json_safe(self, setting):
+        import json
+
+        cat, plan = setting
+        tracer = QueryTracer()
+        ctx = ExecutionContext(cat, SUM_PRODUCT, tracer=tracer)
+        tracer.bind_stats(ctx.stats)
+        with tracer.span("execute"):
+            evaluate_dag(lower(plan), ctx)
+        doc = tracer.to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["kind"] == "lifecycle"
+
+
+class _Node:
+    """Stand-in plan node for direct hook-level tests."""
+
+    def __init__(self, name):
+        self._name = name
+
+    def label(self):
+        return self._name
+
+
+class _Rel:
+    ntuples = 3
+
+
+class TestDegradeAttribution:
+    def test_degrade_attaches_to_its_own_operator_only(self):
+        """Regression: a pending degrade note must not leak onto a
+        different operator's row (the old single-slot tracer attached
+        it to whichever operator executed next)."""
+        tracer = QueryTracer(stats=IOStats())
+        degraded_node, other_node = _Node("HashJoin"), _Node("Scan(s1)")
+        tracer.on_degrade(degraded_node, "hash join degraded to sort-merge")
+        # A *different* operator completes first (e.g. the degraded
+        # operator raised, or interleaved evaluation order).
+        tracer.on_execute(other_node, _Rel(), IOStats())
+        assert tracer.operators[0].degraded is None
+        tracer.on_execute(degraded_node, _Rel(), IOStats())
+        assert tracer.operators[1].degraded == (
+            "hash join degraded to sort-merge"
+        )
+
+    def test_degrade_not_consumed_by_memo_hit(self):
+        tracer = QueryTracer(stats=IOStats())
+        node = _Node("HashAgg")
+        tracer.on_degrade(node, "degraded")
+        tracer.on_memo_hit(_Node("Scan(s2)"), _Rel())
+        assert tracer.operators[0].degraded is None
+        tracer.on_execute(node, _Rel(), IOStats())
+        assert tracer.operators[1].degraded == "degraded"
+
+    def test_abandoned_degrade_never_surfaces(self):
+        """An operator that degraded then *failed* leaves no note to
+        pollute later rows."""
+        tracer = QueryTracer(stats=IOStats())
+        # Keep every node alive: pending degrades key on object identity,
+        # so letting one die could hand its id() to a later node.
+        nodes = [_Node("HashJoin"), _Node("Scan(s1)"), _Node("Scan(s2)")]
+        tracer.on_degrade(nodes[0], "degraded then raised")
+        tracer.on_execute(nodes[1], _Rel(), IOStats())
+        tracer.on_execute(nodes[2], _Rel(), IOStats())
+        assert all(op.degraded is None for op in tracer.operators)
+
+    def test_memo_hit_rows_are_zero_cost(self):
+        tracer = QueryTracer(stats=IOStats())
+        tracer.on_memo_hit(_Node("Scan(s1)"), _Rel())
+        (row,) = tracer.operators
+        assert row.memoized
+        assert row.elapsed == 0.0
+        assert row.out_rows == 3

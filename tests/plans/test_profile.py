@@ -68,3 +68,82 @@ class TestProfile:
         assert "operator" in text
         assert "total" in text
         assert "Scan(s1)" in text
+
+
+class TestProfileReporting:
+    """Regression: formatted() used to drop buffer hits, memo hits,
+    and retries even though IOStats tracked all three."""
+
+    def test_buffer_hits_column(self, setting):
+        from repro.storage import BufferPool
+
+        cat, plan = setting
+        pool = BufferPool(capacity_pages=1024)
+        profile_execution(plan, cat, SUM_PRODUCT, pool=pool)  # warm
+        profile = profile_execution(plan, cat, SUM_PRODUCT, pool=pool)
+        assert profile.total.buffer_hits > 0
+        assert "hits" in profile.formatted().splitlines()[0]
+        scans = [
+            op for op in profile.operators if op.label.startswith("Scan")
+        ]
+        assert sum(op.buffer_hits for op in scans) == (
+            profile.total.buffer_hits
+        )
+
+    def test_memo_hits_footer(self, setting):
+        from repro.obs import QueryTracer
+        from repro.plans import lower
+        from repro.plans.profile import ExecutionProfile
+        from repro.plans.runtime import ExecutionContext, evaluate_dag
+
+        cat, plan = setting
+        tracer = QueryTracer()
+        ctx = ExecutionContext(cat, SUM_PRODUCT, tracer=tracer)
+        tracer.bind_stats(ctx.stats)
+        evaluate_dag(lower(plan), ctx)
+        (result,) = evaluate_dag(lower(plan), ctx)  # served from memo
+        profile = ExecutionProfile(
+            result=result, operators=tracer.operators, total=ctx.stats
+        )
+        assert profile.total.memo_hits == 1
+        text = profile.formatted()
+        assert "memo hits: 1" in text
+        assert "[memo]" in text
+
+    def test_retries_column_and_footer(self, setting):
+        from repro.plans import QueryGuard
+        from repro.storage import BufferPool, FaultInjector, PageId
+
+        cat, plan = setting
+        injector = FaultInjector()
+        heapfile = cat.heapfile("s1")
+        for page_no in range(heapfile.n_pages):
+            injector.fail_page(PageId(heapfile.file_id, page_no), times=1)
+        profile = profile_execution(
+            plan, cat, SUM_PRODUCT,
+            pool=BufferPool(injector=injector),
+            guard=QueryGuard(retry_budget=1000),
+        )
+        assert profile.total.retries == heapfile.n_pages
+        text = profile.formatted()
+        assert f"retries: {heapfile.n_pages} (waited" in text
+        scan_rows = [
+            op for op in profile.operators if op.label == "Scan(s1)"
+        ]
+        assert scan_rows[0].retries == heapfile.n_pages
+
+    def test_to_dict_round_trips(self, setting):
+        import json
+
+        cat, plan = setting
+        doc = profile_execution(plan, cat, SUM_PRODUCT).to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert len(doc["operators"]) == plan.count_nodes()
+        assert doc["total"]["elapsed"] > 0
+        assert doc["trace"]["name"] == "query"
+
+    def test_profiling_tracer_is_the_query_tracer(self):
+        from repro.obs import QueryTracer
+        from repro.plans.profile import ProfilingTracer
+
+        assert ProfilingTracer is QueryTracer

@@ -83,6 +83,47 @@ class TestSql:
         assert rc == EXIT_QUERY
         assert "error:" in capsys.readouterr().err
 
+    def test_explain_json_flag(self, capsys):
+        import json
+
+        from repro.obs import validate_explain_document
+
+        rc = main(
+            [
+                "sql", "--scale", "0.005", "--explain-json",
+                "-c", "select cid, sum(inv) from invest group by cid",
+            ]
+        )
+        assert rc == 0
+        doc_lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith('{"')
+        ]
+        assert len(doc_lines) == 1
+        doc = json.loads(doc_lines[0])
+        validate_explain_document(doc)
+        assert doc["execution"]["totals"]["page_reads"] > 0
+
+    def test_metrics_json_flag(self, capsys):
+        import json
+
+        from repro.obs import validate_metrics_document
+
+        rc = main(
+            [
+                "sql", "--scale", "0.005", "--metrics-json",
+                "-c", "select cid, sum(inv) from invest group by cid",
+                "-c", "select wid, sum(inv) from invest group by wid",
+            ]
+        )
+        assert rc == 0
+        # The metrics document is the last stdout line, pipeable into
+        # ``python -m repro.obs.validate -``.
+        last = capsys.readouterr().out.splitlines()[-1]
+        doc = json.loads(last)
+        validate_metrics_document(doc)
+        assert doc["metrics"]["queries.total{status=ok}"]["value"] == 2
+
     def test_create_view_statement(self, capsys):
         rc = main(
             [

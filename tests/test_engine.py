@@ -250,6 +250,47 @@ class TestPlanCache:
         db.run_query(query)
         assert db.plan_cache_hits == 0
 
+    def test_reload_table_invalidates_cache(self, db):
+        """Regression: a reloaded table (new data, new statistics) used
+        to be served the plan costed against the old statistics as
+        ``+cached``."""
+        from repro.datagen import supply_chain
+        from repro.query import MPFQuery, MPFView
+
+        view = MPFView("invest", db._views["invest"].view_tables,
+                       SUM_PRODUCT)
+        query = MPFQuery(view, ("wid",))
+        db.run_query(query, use_plan_cache=True)
+        assert db.run_query(
+            query, use_plan_cache=True
+        ).optimization.algorithm.endswith("+cached")
+
+        reloaded = supply_chain(scale=0.004, seed=8)
+        db.reload_table(reloaded.catalog.relation("contracts"))
+
+        after = db.run_query(query, use_plan_cache=True)
+        assert not after.optimization.algorithm.endswith("+cached")
+        assert db.plan_cache_hits == 1  # unchanged: no stale hit
+        snap = db.metrics_snapshot()
+        assert snap.get("plan_cache.invalidations") >= 1
+
+        # The re-planned query answers against the *new* data.
+        fresh = db.run_query(query)
+        assert after.result.equals(fresh.result, SUM_PRODUCT)
+
+    def test_create_index_invalidates_cache(self, db):
+        """New physical structures change the search space too: the
+        catalog epoch bump makes the old cache entry unreachable."""
+        from repro.query import MPFQuery, MPFView
+
+        view = MPFView("invest", db._views["invest"].view_tables,
+                       SUM_PRODUCT)
+        query = MPFQuery(view, ("cid",), selections={"tid": 0})
+        db.run_query(query, use_plan_cache=True)
+        db.execute("create index on ctdeals(tid)")
+        db.run_query(query, use_plan_cache=True)
+        assert db.plan_cache_hits == 0
+
 
 class TestRunBatch:
     def _query(self, db, *group_by, **selections):
