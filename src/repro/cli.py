@@ -42,6 +42,7 @@ EXIT_RESOURCE = 4     # timeout, memory ceiling, cancellation
 EXIT_STORAGE = 5      # storage faults (retry budget exhausted, bad block)
 EXIT_WORKLOAD = 6     # workload-layer precondition failures
 EXIT_PLAN = 7         # planning / optimization failures
+EXIT_CRASH = 8        # simulated crash (--crash-at); resume with --resume
 
 
 def exit_code_for(exc: MPFError) -> int:
@@ -72,11 +73,13 @@ create mpfview invest as
 """
 
 
-def _build_database(scale: float, seed: int) -> Database:
+def _build_database(
+    scale: float, seed: int, pool=None, metrics=None
+) -> Database:
     from repro.datagen import supply_chain
 
     sc = supply_chain(scale=scale, seed=seed)
-    db = Database()
+    db = Database(pool=pool, metrics=metrics)
     for t in sc.tables:
         db.register(sc.catalog.relation(t))
     db.execute(CREATE_INVEST)
@@ -142,8 +145,89 @@ def _guard_from_args(args: argparse.Namespace):
     )
 
 
+def _crash_injector_from_args(args: argparse.Namespace):
+    """A CrashInjector from ``--crash-at POINT[:N]`` / ``seeded``."""
+    spec = getattr(args, "crash_at", None)
+    if not spec:
+        return None
+    from repro.storage.faults import CrashInjector
+
+    if spec == "seeded":
+        return CrashInjector.seeded(args.seed)
+    point, _, after = spec.partition(":")
+    return CrashInjector(point, after=int(after) if after else 0)
+
+
+def _fault_injector_from_args(args: argparse.Namespace):
+    """A seeded FaultInjector from the ``--fault-*-rate`` flags."""
+    transient = getattr(args, "fault_transient_rate", 0.0) or 0.0
+    permanent = getattr(args, "fault_permanent_rate", 0.0) or 0.0
+    if not transient and not permanent:
+        return None
+    from repro.storage import FaultInjector
+
+    return FaultInjector(
+        seed=args.seed,
+        transient_rate=transient,
+        permanent_rate=permanent,
+    )
+
+
 def cmd_sql(args: argparse.Namespace) -> int:
-    db = _build_database(args.scale, args.seed)
+    from repro.storage import BufferPool
+
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return EXIT_USAGE
+
+    crash = _crash_injector_from_args(args)
+    pool = BufferPool(injector=_fault_injector_from_args(args))
+    wal = checkpointer = None
+    recovered: dict[str, dict] = {}
+
+    if args.checkpoint_dir:
+        from repro.storage import (
+            CheckpointManager,
+            RecoveryManager,
+            WriteAheadLog,
+            wal_path,
+        )
+
+        if args.resume:
+            manager = RecoveryManager(args.checkpoint_dir)
+            state = manager.recover()
+            recovered = dict(state.queries)
+            if state.has_checkpoint:
+                db = manager.restore_database(state, pool=pool)
+                print(
+                    f"-- resumed from {state.checkpoint.name}: "
+                    f"{len(recovered)} recorded statement(s), "
+                    f"{state.replayed_records} WAL record(s) replayed"
+                )
+            else:
+                # Cold start: no checkpoint committed before the crash.
+                # Rebuild the base tables; the WAL's unit records still
+                # let recorded statements skip execution.
+                db = _build_database(
+                    args.scale, args.seed, pool=pool,
+                    metrics=state.registry,
+                )
+                print(
+                    f"-- no checkpoint; rebuilt base tables, "
+                    f"{len(recovered)} recorded statement(s) on the WAL"
+                )
+        else:
+            db = _build_database(args.scale, args.seed, pool=pool)
+        wal = WriteAheadLog(
+            wal_path(args.checkpoint_dir), crash=crash, metrics=db.metrics
+        )
+        db.pool.wal = wal
+        checkpointer = CheckpointManager(
+            args.checkpoint_dir, wal=wal, metrics=db.metrics
+        )
+    else:
+        db = _build_database(args.scale, args.seed, pool=pool)
+
     guard = _guard_from_args(args)
     statements: list[str] = []
     if args.command:
@@ -160,16 +244,37 @@ def cmd_sql(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
-    for sql in statements:
+    for i, sql in enumerate(statements):
+        key = f"stmt:{i}:{sql}"
         print(f"mpf> {sql}")
+
+        record = recovered.get(key)
+        if record is not None:
+            outcome = _replay_recorded_statement(
+                db, sql, record, args, guard
+            )
+            if isinstance(outcome, int):
+                return outcome
+            continue
+
+        if crash is not None:
+            crash.reach("batch.query")
+        before = db.metrics.snapshot() if wal is not None else None
         try:
             outcome = db.execute(sql, strategy=args.strategy, guard=guard)
         except MPFError as exc:
+            _record_statement(db, wal, key, before, error=exc)
             print(f"error: {exc}", file=sys.stderr)
             return exit_code_for(exc)
         if isinstance(outcome, str):
+            _record_statement(db, wal, key, before)
+            if checkpointer is not None:
+                checkpointer.checkpoint(db)
             print(f"view {outcome!r} created\n")
             continue
+        _record_statement(db, wal, key, before, result=outcome.result)
+        if checkpointer is not None:
+            checkpointer.checkpoint(db)
         print(outcome.result.head(args.limit))
         if args.explain:
             print(outcome.plan_text)
@@ -183,6 +288,60 @@ def cmd_sql(args: argparse.Namespace) -> int:
         print(json.dumps(db.metrics_document(name="cli.sql"),
                          sort_keys=True))
     return 0
+
+
+def _record_statement(db, wal, key, before, result=None, error=None):
+    """Append one statement's durable WAL record (no-op without WAL)."""
+    if wal is None:
+        return
+    from repro.storage.journal import encode_unit
+    from repro.storage.wal import WAL_QUERY
+
+    delta = db.metrics.snapshot().diff(before).to_dict()
+    wal.log_unit(
+        WAL_QUERY,
+        encode_unit(
+            key,
+            "error" if error is not None else "ok",
+            result=result,
+            error=error,
+            delta=delta,
+        ),
+    )
+
+
+def _replay_recorded_statement(db, sql, record, args, guard):
+    """Serve one recovered statement from its durable record.
+
+    Returns an exit code (``int``) to abort with, or ``None`` when the
+    statement was served.  Recorded view creations re-execute —
+    restoring from a checkpoint taken *after* the view was defined
+    makes that a no-op rejected as "already in use", which is exactly
+    the recovered outcome.
+    """
+    from repro.storage.journal import reconstruct_error
+
+    db.metrics.counter("checkpoint.steps_skipped", unit="query").inc()
+    if record["status"] == "error":
+        exc = reconstruct_error(record["error"])
+        print(f"error: {exc} [recovered]", file=sys.stderr)
+        return exit_code_for(exc)
+    if record.get("result") is None:
+        # A view definition: idempotently re-apply.
+        try:
+            db.execute(sql, strategy=args.strategy, guard=guard)
+        except MPFError as exc:
+            if "already in use" not in str(exc):
+                print(f"error: {exc}", file=sys.stderr)
+                return exit_code_for(exc)
+        print("view created [recovered]\n")
+        return None
+    from repro.data.serialize import relation_from_dict
+
+    result = relation_from_dict(record["result"])
+    print(result.head(args.limit))
+    print(f"[recovered; {result.ntuples} rows]\n")
+    return None
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -322,6 +481,22 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--memory-limit", type=int, default=None,
                      metavar="PAGES",
                      help="hard ceiling on materialized intermediate pages")
+    sql.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="enable durability: WAL + per-statement "
+                          "checkpoints in DIR")
+    sql.add_argument("--resume", action="store_true",
+                     help="recover from --checkpoint-dir before running; "
+                          "recorded statements are served from the WAL")
+    sql.add_argument("--crash-at", default=None, metavar="POINT[:N]",
+                     help="inject a crash at a named point (after N "
+                          "earlier hits), or 'seeded' to derive the "
+                          "point from --seed; exits with code 8")
+    sql.add_argument("--fault-transient-rate", type=float, default=0.0,
+                     metavar="P",
+                     help="seeded per-page transient fault probability")
+    sql.add_argument("--fault-permanent-rate", type=float, default=0.0,
+                     metavar="P",
+                     help="seeded per-page permanent fault probability")
     sql.set_defaults(fn=cmd_sql)
 
     t2 = sub.add_parser("table2", help="regenerate paper Table 2")
@@ -341,10 +516,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.storage.faults import InjectedCrash
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except InjectedCrash as exc:
+        # A simulated crash is a hard process death, not an MPFError:
+        # everything not yet durable is lost, and the distinct exit
+        # code tells driving scripts to re-run with --resume.
+        print(f"crash: {exc}", file=sys.stderr)
+        return EXIT_CRASH
     except MPFError as exc:
         # Last-resort boundary: no MPFError escapes as a traceback, and
         # the exit code identifies the error family.

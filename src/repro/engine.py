@@ -80,6 +80,9 @@ class QueryReport:
 
     A failed query (inside a partial-failure-safe batch) carries its
     ``error`` and a ``None`` result; ``ok`` distinguishes the cases.
+    ``recovered`` marks a report reconstructed from a durable WAL
+    record on resume (its result bytes are exact, but no plan was
+    chosen and no execution work was done this run).
     """
 
     result: FunctionalRelation | None
@@ -89,6 +92,7 @@ class QueryReport:
     semiring: Semiring
     linearity: LinearityTest | None = None
     error: MPFError | None = None
+    recovered: bool = False
 
     @property
     def ok(self) -> bool:
@@ -195,7 +199,9 @@ class Database:
         self.catalog = Catalog()
         self.cost_model = cost_model or SimpleCostModel()
         self.pool = pool or BufferPool()
-        self.metrics = metrics or MetricsRegistry()
+        # Explicit None check: an empty registry is falsy (len() == 0)
+        # but still the caller's registry — `or` would drop it.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         """The engine-wide registry every layer reports into; see
         ``docs/observability.md`` for the metric catalog."""
         if self.pool.metrics is None:
@@ -480,6 +486,71 @@ class Database:
         if stats is not None:
             self.metrics.gauge("guard.budget_consumed").set(stats.elapsed())
 
+    @staticmethod
+    def batch_query_key(index: int, query: MPFQuery) -> str:
+        """Durable journal key of one batch query.
+
+        The position *and* the query's deterministic repr identify the
+        unit, so a resumed batch must resubmit the same query list —
+        a changed query at the same slot simply re-executes.
+        """
+        return f"query:{index}:{query!r}"
+
+    def _record_query_unit(
+        self, wal, key: str, before, result=None, error=None
+    ) -> None:
+        """Append one query's durable WAL record with its metric delta."""
+        if wal is None:
+            return
+        from repro.storage.journal import encode_unit
+        from repro.storage.wal import WAL_QUERY
+
+        delta = self.metrics.snapshot().diff(before).to_dict()
+        wal.log_unit(
+            WAL_QUERY,
+            encode_unit(
+                key,
+                "error" if error is not None else "ok",
+                result=result,
+                error=error,
+                delta=delta,
+            ),
+        )
+
+    def _recovered_report(
+        self, query: MPFQuery, record: dict, semiring: Semiring
+    ) -> QueryReport:
+        """Rebuild a report from a durable unit record (no execution)."""
+        from repro.data.serialize import relation_from_dict
+        from repro.storage.journal import reconstruct_error
+
+        self.metrics.counter(
+            "checkpoint.steps_skipped", unit="query"
+        ).inc()
+        if record["status"] == "error":
+            return QueryReport(
+                result=None,
+                query=query,
+                optimization=None,
+                exec_stats=IOStats(),
+                semiring=semiring,
+                error=reconstruct_error(record["error"]),
+                recovered=True,
+            )
+        result = (
+            relation_from_dict(record["result"])
+            if record["result"] is not None
+            else None
+        )
+        return QueryReport(
+            result=result,
+            query=query,
+            optimization=None,
+            exec_stats=IOStats(),
+            semiring=semiring,
+            recovered=True,
+        )
+
     def run_batch(
         self,
         queries: Sequence[MPFQuery],
@@ -489,6 +560,10 @@ class Database:
         use_plan_cache: bool = False,
         guard: QueryGuard | None = None,
         stop_on_error: bool = False,
+        wal=None,
+        resume_from=None,
+        checkpointer=None,
+        checkpoint_every: int = 1,
     ) -> BatchReport:
         """Optimize and execute a batch of queries with shared subplans.
 
@@ -512,6 +587,20 @@ class Database:
         error propagates.  ``guard`` applies per
         query — its window (deadline, memory quota, retry budget)
         restarts before each query in the batch.
+
+        The batch is also **resumable**: with a ``wal``
+        (:class:`~repro.storage.wal.WriteAheadLog`) every finished
+        query — success or failure — is durably recorded with its
+        result and metrics delta before the batch moves on.  Pass the
+        :class:`~repro.storage.recovery.RecoveredState` of a crashed
+        run (or its ``queries`` mapping) as ``resume_from`` to skip
+        every recorded query: skipped queries are not re-planned or
+        re-executed, their reports are rebuilt from the records
+        (``recovered=True``), and their counters were already restored
+        by recovery.  ``checkpointer`` (a
+        :class:`~repro.storage.checkpoint.CheckpointManager`) takes a
+        full database checkpoint after every ``checkpoint_every``
+        freshly executed queries.
         """
         queries = list(queries)
         if not queries:
@@ -525,9 +614,25 @@ class Database:
                     "split it into per-semiring batches"
                 )
 
+        recovered_units: dict = {}
+        if resume_from is not None:
+            recovered_units = getattr(resume_from, "queries", resume_from)
+        keys = [self.batch_query_key(i, q) for i, q in enumerate(queries)]
+
         optimizations: list[OptimizationResult | None] = []
         plan_errors: list[MPFError | None] = []
-        for q in queries:
+        recovered: list[dict | None] = []
+        for key, q in zip(keys, queries):
+            record = recovered_units.get(key)
+            recovered.append(record)
+            if record is not None:
+                # Recovered queries are never re-planned: their outcome
+                # is already durable, so planning them would only burn
+                # optimizer work (and skew nothing — plan metrics are
+                # outside the recovery identity).
+                optimizations.append(None)
+                plan_errors.append(None)
+                continue
             try:
                 optimizations.append(
                     self._optimize_query(
@@ -547,56 +652,88 @@ class Database:
             self.catalog, semiring, pool=self.pool, guard=guard,
             metrics=self.metrics,
         )
+        if resume_from is not None and hasattr(resume_from, "seed_context"):
+            resume_from.seed_context(ctx)
         self.metrics.counter("batches.total").inc()
         self.metrics.counter("batch.shared_subplans").inc(dag.shared_nodes)
 
+        crash = getattr(wal, "crash", None)
+        previous_wal = self.pool.wal
+        if wal is not None:
+            self.pool.wal = wal
+        completed = 0
         reports = []
         roots = iter(dag.roots)
-        for query, optimization, plan_error in zip(
-            queries, optimizations, plan_errors
-        ):
-            if optimization is None:
-                self.metrics.counter("queries.total", status="error").inc()
-                reports.append(
-                    QueryReport(
-                        result=None,
-                        query=query,
-                        optimization=None,
-                        exec_stats=IOStats(),
-                        semiring=semiring,
-                        error=plan_error,
+        try:
+            for key, query, optimization, plan_error, record in zip(
+                keys, queries, optimizations, plan_errors, recovered
+            ):
+                if record is not None:
+                    reports.append(
+                        self._recovered_report(query, record, semiring)
                     )
-                )
-                continue
-            root = next(roots)
-            snapshot = ctx.stats.snapshot()
-            if guard is not None:
-                guard.restart(ctx.stats)
-            try:
-                (result,) = evaluate_dag(dag, ctx, roots=[root])
-            except MPFError as exc:
-                if stop_on_error:
+                    continue
+                if optimization is None:
+                    before = self.metrics.snapshot() if wal is not None else None
                     self.metrics.counter(
                         "queries.total", status="error"
                     ).inc()
-                    raise
-                self.metrics.counter("queries.total", status="error").inc()
-                reports.append(
-                    QueryReport(
-                        result=None,
-                        query=query,
-                        optimization=optimization,
-                        exec_stats=ctx.stats.since(snapshot),
-                        semiring=semiring,
-                        error=exc,
+                    reports.append(
+                        QueryReport(
+                            result=None,
+                            query=query,
+                            optimization=None,
+                            exec_stats=IOStats(),
+                            semiring=semiring,
+                            error=plan_error,
+                        )
                     )
-                )
-                continue
-            stats = ctx.stats.since(snapshot)
-            self.metrics.counter("queries.total", status="ok").inc()
-            reports.append(
-                self._finish_report(query, optimization, result, stats)
-            )
+                    self._record_query_unit(
+                        wal, key, before, error=plan_error
+                    )
+                    continue
+                root = next(roots)
+                if crash is not None:
+                    crash.reach("batch.query")
+                before = self.metrics.snapshot() if wal is not None else None
+                snapshot = ctx.stats.snapshot()
+                if guard is not None:
+                    guard.restart(ctx.stats)
+                try:
+                    (result,) = evaluate_dag(dag, ctx, roots=[root])
+                except MPFError as exc:
+                    if stop_on_error:
+                        self.metrics.counter(
+                            "queries.total", status="error"
+                        ).inc()
+                        raise
+                    self.metrics.counter("queries.total", status="error").inc()
+                    reports.append(
+                        QueryReport(
+                            result=None,
+                            query=query,
+                            optimization=optimization,
+                            exec_stats=ctx.stats.since(snapshot),
+                            semiring=semiring,
+                            error=exc,
+                        )
+                    )
+                    self._record_query_unit(wal, key, before, error=exc)
+                    continue
+                stats = ctx.stats.since(snapshot)
+                self.metrics.counter("queries.total", status="ok").inc()
+                report = self._finish_report(query, optimization, result, stats)
+                reports.append(report)
+                self._record_query_unit(wal, key, before, result=report.result)
+                completed += 1
+                if (
+                    checkpointer is not None
+                    and checkpoint_every
+                    and completed % checkpoint_every == 0
+                ):
+                    checkpointer.checkpoint(self, context=ctx)
+        finally:
+            self.pool.wal = previous_wal
         self._publish_guard(guard, ctx.stats)
         return BatchReport(reports=reports, stats=ctx.stats, dag=dag)
 

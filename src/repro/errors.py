@@ -105,6 +105,17 @@ class PermanentStorageError(StorageError):
     """A page is unreadable and retrying cannot help (bad block)."""
 
 
+class RecoveryError(StorageError):
+    """Durable state (WAL / checkpoint) could not be restored.
+
+    Raised when a checkpoint file fails its checksum or structural
+    validation, a page image is torn, or a recovery directory is
+    missing.  A torn WAL *tail* is not an error — replay truncates at
+    the first invalid record, which is the expected shape of a crash
+    mid-append.
+    """
+
+
 class ResourceError(MPFError):
     """A query exceeded a resource bound set by its QueryGuard.
 

@@ -94,6 +94,20 @@ METRIC_CATALOG: dict[str, str] = {
     "vecache.evidence_absorptions": "counter",
     "vecache.tables": "gauge",
     "junction.cliques": "counter",
+    # durability: write-ahead log, checkpoints, and crash recovery
+    # (labels on checkpoint.steps_skipped: unit=query|step)
+    "wal.appends": "counter",
+    "wal.bytes": "counter",
+    "checkpoint.taken": "counter",
+    "checkpoint.pages": "counter",
+    "checkpoint.memo_entries": "counter",
+    "checkpoint.steps_recorded": "counter",
+    "checkpoint.steps_skipped": "counter",
+    "recovery.runs": "counter",
+    "recovery.replayed_pages": "counter",
+    "recovery.replayed_records": "counter",
+    "recovery.torn_tails": "counter",
+    "recovery.checkpoints_discarded": "counter",
 }
 
 _IOSTATS_KEYS = (

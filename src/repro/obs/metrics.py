@@ -292,5 +292,33 @@ class MetricsRegistry:
             {key: inst.dump() for key, inst in self._instruments.items()}
         )
 
+    def restore(self, snapshot: "MetricsSnapshot | dict") -> None:
+        """Load instrument state from a snapshot (crash recovery).
+
+        Rebuilds each instrument at its dumped value; existing
+        same-named instruments are overwritten.  Together with the
+        snapshot algebra (``b.diff(a).merge(a) == b``) this lets
+        recovery restore a checkpoint's snapshot and fold in the
+        per-unit deltas the WAL recorded after it.
+        """
+        values = (
+            snapshot.values
+            if isinstance(snapshot, MetricsSnapshot)
+            else snapshot
+        )
+        for key, entry in values.items():
+            kind = entry["kind"]
+            if kind == "histogram":
+                inst = Histogram(bounds=tuple(entry["bounds"]))
+                inst.counts = list(entry["counts"])
+                inst.total = entry["sum"]
+                inst.count = entry["count"]
+            elif kind in ("counter", "gauge"):
+                inst = _KINDS[kind]()
+                inst.value = entry["value"]
+            else:
+                raise ValueError(f"metric {key!r}: unknown kind {kind!r}")
+            self._instruments[key] = inst
+
     def keys(self) -> list[str]:
         return sorted(self._instruments)

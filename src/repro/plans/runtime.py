@@ -149,6 +149,7 @@ class ExecutionContext:
         self.metrics = metrics
         self.memo: dict[tuple, FunctionalRelation] = {}
         self._memo_reads: dict[tuple, frozenset[str]] = {}
+        self._memo_nodes: dict[tuple, PlanNode] = {}
         self._temp = TempFileAllocator()
         self._adhoc_files: dict[str, HeapFile] = {}
 
@@ -177,6 +178,7 @@ class ExecutionContext:
         for key in stale:
             del self.memo[key]
             del self._memo_reads[key]
+            self._memo_nodes.pop(key, None)
         for name in names:
             file = self._adhoc_files.pop(name, None)
             if file is not None:
@@ -185,6 +187,32 @@ class ExecutionContext:
     def reset_memo(self) -> None:
         self.memo.clear()
         self._memo_reads.clear()
+        self._memo_nodes.clear()
+
+    def memo_entries(self):
+        """Yield ``(node, relation)`` for every memoized subplan.
+
+        Only entries whose producing :class:`PlanNode` is known are
+        yielded (results seeded or executed through this context) —
+        this is what a checkpoint persists as completed shared work.
+        """
+        for key, relation in self.memo.items():
+            node = self._memo_nodes.get(key)
+            if node is not None:
+                yield node, relation
+
+    def seed_memo(self, node: PlanNode, relation: FunctionalRelation) -> None:
+        """Install a completed subplan result (checkpoint restore).
+
+        The entry behaves exactly like one produced by execution: it is
+        keyed by the node's structural key, invalidated when any base
+        table it reads is rebound, and re-persisted by later
+        checkpoints.
+        """
+        key = node.structural_key()
+        self.memo[key] = relation
+        self._memo_reads[key] = frozenset(node.base_tables())
+        self._memo_nodes[key] = node
 
     # ------------------------------------------------------------------
     # Storage accounting
@@ -493,6 +521,7 @@ def evaluate_dag(
         ctx.stats.record_operator(node.label(), result.ntuples)
         ctx.memo[key] = result
         ctx._memo_reads[key] = dag.base_tables(key)
+        ctx._memo_nodes[key] = node
         executed.add(key)
         if ctx.tracer is not None or ctx.metrics is not None:
             delta = ctx.stats.since(snapshot)

@@ -1,15 +1,39 @@
 """Simulated paged storage: the disk-resident substrate of the paper."""
 
 from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.checkpoint import CheckpointData, CheckpointManager
 from repro.storage.faults import (
+    CRASH_POINTS,
     DEFAULT_RETRY_POLICY,
+    CrashInjector,
     FaultInjector,
+    InjectedCrash,
     RetryPolicy,
     read_with_retry,
 )
 from repro.storage.heapfile import HeapFile, TempFileAllocator
 from repro.storage.iostats import IOStats
-from repro.storage.page import DEFAULT_PAGE_SIZE, PageGeometry, PageId
+from repro.storage.journal import (
+    StepJournal,
+    decode_unit,
+    encode_unit,
+    reconstruct_error,
+)
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    PageGeometry,
+    PageId,
+    PageImage,
+    page_crc,
+)
+from repro.storage.recovery import RecoveredState, RecoveryManager
+from repro.storage.wal import (
+    ReplayResult,
+    WALRecord,
+    WriteAheadLog,
+    replay_wal,
+    wal_path,
+)
 
 __all__ = [
     "BufferPool",
@@ -19,9 +43,27 @@ __all__ = [
     "IOStats",
     "PageGeometry",
     "PageId",
+    "PageImage",
+    "page_crc",
     "DEFAULT_PAGE_SIZE",
     "FaultInjector",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
     "read_with_retry",
+    "InjectedCrash",
+    "CrashInjector",
+    "CRASH_POINTS",
+    "WriteAheadLog",
+    "WALRecord",
+    "ReplayResult",
+    "replay_wal",
+    "wal_path",
+    "CheckpointManager",
+    "CheckpointData",
+    "RecoveryManager",
+    "RecoveredState",
+    "StepJournal",
+    "encode_unit",
+    "decode_unit",
+    "reconstruct_error",
 ]

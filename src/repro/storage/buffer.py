@@ -40,6 +40,7 @@ class BufferPool:
         capacity_pages: int = DEFAULT_POOL_PAGES,
         injector=None,
         metrics=None,
+        wal=None,
     ):
         if capacity_pages <= 0:
             raise StorageError("buffer pool capacity must be positive")
@@ -49,6 +50,9 @@ class BufferPool:
         """Optional :class:`~repro.obs.metrics.MetricsRegistry`; the
         pool publishes ``bufferpool.*`` and ``faults.*`` counters into
         it (the hit rate is ``hits / (hits + reads)``)."""
+        self.wal = wal
+        """Optional :class:`~repro.storage.wal.WriteAheadLog`; every
+        page write is logged before it is considered durable."""
         self._pages: OrderedDict[PageId, None] = OrderedDict()
 
     def _count(self, name: str) -> None:
@@ -90,7 +94,18 @@ class BufferPool:
         """Write a freshly produced page (spill / materialization)."""
         stats.charge_write()
         self._count("bufferpool.writes")
+        if self.wal is not None:
+            self.wal.log_page(page)
         self._admit(page)
+
+    def resident_pages(self) -> list[PageId]:
+        """Resident page ids in LRU → MRU order (for checkpoints)."""
+        return list(self._pages)
+
+    def warm(self, pages) -> None:
+        """Re-admit pages without charging stats (checkpoint restore)."""
+        for page in pages:
+            self._admit(page)
 
     def invalidate_file(self, file_id: int) -> None:
         """Drop all pages of a file (e.g. a temp file being freed)."""

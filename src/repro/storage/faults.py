@@ -40,7 +40,104 @@ __all__ = [
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
     "read_with_retry",
+    "InjectedCrash",
+    "CrashInjector",
+    "CRASH_POINTS",
 ]
+
+
+class InjectedCrash(BaseException):
+    """A simulated process kill from a :class:`CrashInjector`.
+
+    Deliberately *not* an :class:`~repro.errors.MPFError` — not even an
+    ``Exception`` — so that no recovery-oblivious ``except MPFError`` /
+    ``except Exception`` handler (batch partial-failure, BP
+    ``keep_going``, retry loops) can swallow it.  A crash takes the
+    whole process, exactly like ``kill -9``; only the top-level test or
+    CLI boundary catches it.
+    """
+
+
+# Every registered crash boundary, in rough lifecycle order.  The CI
+# crash-recovery job sweeps this tuple, so adding a point here
+# automatically adds it to the differential oracle.
+CRASH_POINTS = (
+    "wal.append",        # mid-record: a torn half-record hits the log
+    "wal.flush",         # after the record is durable
+    "checkpoint.begin",  # before any checkpoint bytes are written
+    "checkpoint.pages",  # while page images are being emitted
+    "checkpoint.commit", # tmp file written+synced, before the rename
+    "batch.query",       # between queries of a batch
+    "workload.step",     # between workload units (VE step / BP message / clique)
+)
+
+
+class CrashInjector:
+    """Deterministically aborts execution at a chosen crash boundary.
+
+    ``crash_point`` names one of :data:`CRASH_POINTS`; ``after`` skips
+    that many occurrences first, so a crash can land mid-pass (e.g. the
+    third checkpoint, the 200th workload step).  The injector fires at
+    most once per instance and records per-point hit counts either way,
+    which lets tests assert a boundary was actually exercised.
+    """
+
+    def __init__(self, crash_point: str | None = None, after: int = 0):
+        if crash_point is not None and crash_point not in CRASH_POINTS:
+            raise StorageError(
+                f"unknown crash point {crash_point!r}; "
+                f"registered points: {', '.join(CRASH_POINTS)}"
+            )
+        if after < 0:
+            raise StorageError("crash 'after' count must be >= 0")
+        self.crash_point = crash_point
+        self.after = after
+        self.fired = False
+        self.counts: dict[str, int] = {}
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        points: tuple[str, ...] = CRASH_POINTS,
+        max_after: int = 3,
+    ) -> "CrashInjector":
+        """Pick a reproducible (point, after) pair from a seed."""
+        rng = random.Random(seed)
+        return cls(rng.choice(list(points)), rng.randrange(max_after))
+
+    def _arm(self, point: str) -> bool:
+        if point not in CRASH_POINTS:
+            raise StorageError(f"unknown crash point {point!r}")
+        seen = self.counts.get(point, 0)
+        self.counts[point] = seen + 1
+        return (
+            not self.fired
+            and point == self.crash_point
+            and seen >= self.after
+        )
+
+    def _fire(self, point: str) -> None:
+        self.fired = True
+        raise InjectedCrash(
+            f"injected crash at {point} (occurrence {self.counts[point]})"
+        )
+
+    def reach(self, point: str) -> None:
+        """Mark a crash boundary; raises when armed for it."""
+        if self._arm(point):
+            self._fire(point)
+
+    def reach_torn(self, point: str, torn_write) -> None:
+        """Like :meth:`reach`, but run ``torn_write()`` before dying.
+
+        The WAL uses this at ``wal.append``: the callback writes the
+        first half of the record, simulating a kill mid-``write(2)`` —
+        the torn tail recovery must detect and discard.
+        """
+        if self._arm(point):
+            torn_write()
+            self._fire(point)
 
 
 @dataclass(frozen=True)

@@ -9,15 +9,31 @@ which is what the cost experiments measure.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass
 
-from repro.errors import StorageError
+from repro.errors import RecoveryError, StorageError
 
-__all__ = ["PageGeometry", "DEFAULT_PAGE_SIZE", "PageId"]
+__all__ = [
+    "PageGeometry",
+    "DEFAULT_PAGE_SIZE",
+    "PageId",
+    "PageImage",
+    "page_crc",
+]
 
 DEFAULT_PAGE_SIZE = 8192
 _FIELD_BYTES = 8
 _PAGE_HEADER_BYTES = 24
+
+# Durable page-image header: file_id, page_no, payload length, CRC32.
+_IMAGE_HEADER = struct.Struct("<qqII")
+
+
+def page_crc(payload: bytes) -> int:
+    """CRC32 of a page payload as an unsigned 32-bit value."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -26,6 +42,55 @@ class PageId:
 
     file_id: int
     page_no: int
+
+
+@dataclass(frozen=True)
+class PageImage:
+    """A checksummed byte image of one page, as checkpoints persist it.
+
+    Unlike the accounting-only pages of the execution path, checkpoint
+    files carry real payload bytes (slices of a relation's packed
+    columns).  Every image is framed with its :class:`PageId`, payload
+    length, and CRC32 so a torn or bit-flipped write is detected on
+    reload instead of silently corrupting recovered state.
+    """
+
+    page: PageId
+    payload: bytes
+
+    def encode(self) -> bytes:
+        header = _IMAGE_HEADER.pack(
+            self.page.file_id,
+            self.page.page_no,
+            len(self.payload),
+            page_crc(self.payload),
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, buf: bytes, offset: int = 0) -> tuple["PageImage", int]:
+        """Decode one image at ``offset``; returns (image, next offset).
+
+        Raises :class:`~repro.errors.RecoveryError` on a truncated
+        header, a truncated (torn) payload, or a CRC mismatch.
+        """
+        end = offset + _IMAGE_HEADER.size
+        if end > len(buf):
+            raise RecoveryError(
+                f"torn page image: header truncated at offset {offset}"
+            )
+        file_id, page_no, length, crc = _IMAGE_HEADER.unpack_from(buf, offset)
+        payload = bytes(buf[end:end + length])
+        if len(payload) != length:
+            raise RecoveryError(
+                f"torn page image for file {file_id} page {page_no}: "
+                f"{len(payload)} of {length} payload bytes present"
+            )
+        if page_crc(payload) != crc:
+            raise RecoveryError(
+                f"checksum mismatch on file {file_id} page {page_no}"
+            )
+        return cls(PageId(file_id, page_no), payload), end + length
 
 
 @dataclass(frozen=True)

@@ -135,12 +135,19 @@ def _backward_kind(semiring: Semiring) -> str:
     )
 
 
+def _step_key(index: int, step: BPStep) -> str:
+    """Durable unit key: program position + message identity."""
+    return f"bp.step:{index}:{step.target}<{step.source}:{step.kind}"
+
+
 def _run_step(
     ctx: ExecutionContext,
     tables: dict[str, FunctionalRelation],
     step: BPStep,
     kind: str,
     failures: list[BPFailure] | None = None,
+    journal=None,
+    key: str | None = None,
 ) -> bool:
     """Execute one semijoin step through the runtime and rebind.
 
@@ -150,23 +157,37 @@ def _run_step(
     except :class:`ResourceError`, which always propagates: once the
     query's deadline is blown or it is cancelled, every later message
     would fail the same way.
+
+    ``journal``/``key`` make the step a durable resumable unit: a
+    swallowed ``keep_going`` failure is recorded as an empty-tables
+    unit (the ``bp.failures`` count lives inside its delta), so a
+    resumed program skips it the same way.
     """
     from repro.errors import ResourceError
 
-    try:
-        result = evaluate(
-            SemiJoin(Scan(step.target), Scan(step.source), kind), ctx
-        ).with_name(step.target)
-    except MPFError as exc:
-        exc.add_context(f"BP message {step}")
-        ctx.count("bp.failures")
-        if failures is None or isinstance(exc, ResourceError):
-            raise
-        failures.append(BPFailure(step=step, error=exc))
+    def compute() -> dict[str, FunctionalRelation]:
+        try:
+            result = evaluate(
+                SemiJoin(Scan(step.target), Scan(step.source), kind), ctx
+            ).with_name(step.target)
+        except MPFError as exc:
+            exc.add_context(f"BP message {step}")
+            ctx.count("bp.failures")
+            if failures is None or isinstance(exc, ResourceError):
+                raise
+            failures.append(BPFailure(step=step, error=exc))
+            return {}
+        ctx.count("bp.messages", kind=step.kind)
+        ctx.bind(step.target, result)
+        return {step.target: result}
+
+    if journal is None:
+        produced = compute()
+    else:
+        produced = journal.run(key, ctx, compute)
+    if step.target not in produced:
         return False
-    ctx.count("bp.messages", kind=step.kind)
-    tables[step.target] = result
-    ctx.bind(step.target, result)
+    tables[step.target] = produced[step.target]
     return True
 
 
@@ -177,6 +198,7 @@ def belief_propagation(
     root: str | None = None,
     context: ExecutionContext | None = None,
     keep_going: bool = False,
+    journal=None,
 ) -> BPResult:
     """Collect/distribute BP over a junction tree of the schema.
 
@@ -230,7 +252,10 @@ def belief_propagation(
             if node == component_root:
                 continue
             step = BPStep(target=parent_of[node], source=node, kind="product")
-            _run_step(ctx, tables, step, "product", failure_sink)
+            _run_step(
+                ctx, tables, step, "product", failure_sink,
+                journal=journal, key=_step_key(len(program), step),
+            )
             program.append(step)
 
         # Distribute: parents before children; child absorbs parent.
@@ -238,7 +263,10 @@ def belief_propagation(
             if node == component_root:
                 continue
             step = BPStep(target=node, source=parent_of[node], kind="update")
-            _run_step(ctx, tables, step, backward, failure_sink)
+            _run_step(
+                ctx, tables, step, backward, failure_sink,
+                journal=journal, key=_step_key(len(program), step),
+            )
             program.append(step)
 
     return BPResult(
@@ -253,6 +281,7 @@ def bp_program_literal(
     order: Sequence[str],
     context: ExecutionContext | None = None,
     keep_going: bool = False,
+    journal=None,
 ) -> BPResult:
     """Algorithm 4 verbatim: all sharing pairs, given table order.
 
@@ -282,7 +311,10 @@ def bp_program_literal(
         for name_i in order[:j]:
             if scopes[name_i] & scopes[name_j]:
                 step = BPStep(target=name_j, source=name_i, kind="product")
-                _run_step(ctx, tables, step, "product", failure_sink)
+                _run_step(
+                    ctx, tables, step, "product", failure_sink,
+                    journal=journal, key=_step_key(len(program), step),
+                )
                 program.append(step)
 
     # Backward pass: reverse order, each earlier table absorbs later.
@@ -292,7 +324,10 @@ def bp_program_literal(
             name_i = order[i]
             if scopes[name_i] & scopes[name_j]:
                 step = BPStep(target=name_i, source=name_j, kind="update")
-                _run_step(ctx, tables, step, backward, failure_sink)
+                _run_step(
+                    ctx, tables, step, backward, failure_sink,
+                    journal=journal, key=_step_key(len(program), step),
+                )
                 program.append(step)
 
     return BPResult(

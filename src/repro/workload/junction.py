@@ -83,6 +83,7 @@ def build_junction_tree(
     order: Sequence[str] | None = None,
     heuristic: str = "min_fill",
     context: ExecutionContext | None = None,
+    journal=None,
 ) -> JunctionTree:
     """Algorithm 5 over materialized functional relations.
 
@@ -94,6 +95,10 @@ def build_junction_tree(
     through the physical runtime (step 5), so construction pays
     simulated IO; ``context`` lets the caller share a buffer pool and
     stats clock across junction-tree construction and later BP passes.
+
+    ``journal`` (a :class:`~repro.storage.journal.StepJournal`) makes
+    each clique materialization a durable resumable unit, skipped on
+    re-run when its record is already on the WAL.
     """
     if not relations:
         raise WorkloadError("junction tree over an empty schema")
@@ -169,18 +174,29 @@ def build_junction_tree(
         plan: PlanNode = Scan(inputs[0])
         for name in inputs[1:]:
             plan = ProductJoin(plan, Scan(name))
-        try:
-            potential = evaluate(plan, ctx).with_name(clique_name)
-        except MPFError as exc:
-            exc.add_context(
-                f"materializing clique {clique_name} "
-                f"({', '.join(sorted(scope_of[clique_name]))}) "
-                f"from {sorted(member_names)}"
+
+        def compute_clique(clique_name=clique_name, plan=plan,
+                           member_names=member_names):
+            try:
+                potential = evaluate(plan, ctx).with_name(clique_name)
+            except MPFError as exc:
+                exc.add_context(
+                    f"materializing clique {clique_name} "
+                    f"({', '.join(sorted(scope_of[clique_name]))}) "
+                    f"from {sorted(member_names)}"
+                )
+                raise
+            ctx.bind(clique_name, potential)
+            ctx.count("junction.cliques")
+            return {clique_name: potential}
+
+        if journal is None:
+            produced = compute_clique()
+        else:
+            produced = journal.run(
+                f"junction.clique:{clique_name}", ctx, compute_clique
             )
-            raise
-        ctx.bind(clique_name, potential)
-        ctx.count("junction.cliques")
-        cliques[clique_name] = potential
+        cliques[clique_name] = produced[clique_name]
 
     # Junction tree over the cliques.
     clique_graph = nx.Graph()

@@ -72,6 +72,13 @@ def _join_chain(names: Sequence[str]) -> PlanNode:
     return plan
 
 
+def _unit(journal, key: str, ctx: ExecutionContext, compute):
+    """Run one resumable unit through ``journal`` (or directly)."""
+    if journal is None:
+        return compute()
+    return journal.run(key, ctx, compute)
+
+
 @dataclass
 class VECache:
     """A calibrated cache of materialized functional relations.
@@ -380,6 +387,7 @@ def build_ve_cache(
     heuristic: str = "degree",
     order: Sequence[str] | None = None,
     context: ExecutionContext | None = None,
+    journal=None,
 ) -> VECache:
     """Algorithm 3 end to end, executed through the physical runtime.
 
@@ -395,6 +403,11 @@ def build_ve_cache(
     as small plans — each elimination's pre-aggregation join, then a
     GroupBy over it whose join input comes from the runtime memo — so
     cache construction pays simulated IO like any query.
+
+    ``journal`` (a :class:`~repro.storage.journal.StepJournal`) makes
+    construction resumable: each elimination step, scalar patch, and
+    calibration message is one durable unit — units already on the WAL
+    are skipped, rebinding their recorded tables instead of recomputing.
     """
     relations = list(relations)
     if not relations:
@@ -441,25 +454,30 @@ def build_ve_cache(
         rest = [(n, src) for n, src in work if v not in ctx.env[n].variables]
         name = step_name(len(steps) + 1)
         join_plan = _join_chain([n for n, _ in chosen])
-        try:
-            joined = evaluate(join_plan, ctx)
-            keep = [x for x in joined.var_names if x != v]
-            # The GroupBy's join input is served from the runtime memo —
-            # the materialized cached table is not recomputed.
-            message = evaluate(GroupBy(join_plan, keep), ctx)
-        except MPFError as exc:
-            exc.add_context(
-                f"VE-cache step {name} (eliminating {v!r})"
-            )
-            raise
+
+        def compute_step(name=name, v=v, join_plan=join_plan):
+            try:
+                joined = evaluate(join_plan, ctx)
+                keep = [x for x in joined.var_names if x != v]
+                # The GroupBy's join input is served from the runtime
+                # memo — the materialized table is not recomputed.
+                message = evaluate(GroupBy(join_plan, keep), ctx)
+            except MPFError as exc:
+                exc.add_context(
+                    f"VE-cache step {name} (eliminating {v!r})"
+                )
+                raise
+            ctx.bind(name, joined.with_name(name))
+            ctx.bind(f"{name}.msg", message.with_name(f"{name}.msg"))
+            ctx.count("vecache.steps")
+            return {name: ctx.env[name], f"{name}.msg": ctx.env[f"{name}.msg"]}
+
+        _unit(journal, f"vecache.step:{name}:{v}", ctx, compute_step)
 
         children = [src for _, src in chosen if src is not None]
         for n, src in chosen:
             if src is None:
                 base_step[n] = name
-        ctx.bind(name, joined.with_name(name))
-        ctx.bind(f"{name}.msg", message)
-        ctx.count("vecache.steps")
         steps.append(_Step(name=name, children=children, variable=v))
         work = rest + [(f"{name}.msg", name)]
 
@@ -491,11 +509,21 @@ def build_ve_cache(
             )
             for other, scalar_name in scalars.items():
                 if other != component:
-                    patched = evaluate(
-                        ProductJoin(Scan(step.name), Scan(scalar_name)),
+
+                    def compute_scalar(step=step, scalar_name=scalar_name):
+                        patched = evaluate(
+                            ProductJoin(Scan(step.name), Scan(scalar_name)),
+                            ctx,
+                        )
+                        ctx.bind(step.name, patched.with_name(step.name))
+                        return {step.name: ctx.env[step.name]}
+
+                    _unit(
+                        journal,
+                        f"vecache.scalar:{step.name}:{scalar_name}",
                         ctx,
+                        compute_scalar,
                     )
-                    ctx.bind(step.name, patched.with_name(step.name))
 
     # ------------------------------------------------------------------
     # Lines 3-7: backward update-semijoin pass, last created first.
@@ -503,16 +531,26 @@ def build_ve_cache(
     kind = _reduce_kind(semiring)
     for step in reversed(steps):
         for child in step.children:
-            try:
-                updated = evaluate(
-                    SemiJoin(Scan(child), Scan(step.name), kind), ctx
-                )
-            except MPFError as exc:
-                exc.add_context(
-                    f"VE-cache calibration message {step.name} → {child}"
-                )
-                raise
-            ctx.bind(child, updated.with_name(child))
+
+            def compute_calibrate(step=step, child=child):
+                try:
+                    updated = evaluate(
+                        SemiJoin(Scan(child), Scan(step.name), kind), ctx
+                    )
+                except MPFError as exc:
+                    exc.add_context(
+                        f"VE-cache calibration message {step.name} → {child}"
+                    )
+                    raise
+                ctx.bind(child, updated.with_name(child))
+                return {child: ctx.env[child]}
+
+            _unit(
+                journal,
+                f"vecache.calibrate:{step.name}:{child}",
+                ctx,
+                compute_calibrate,
+            )
 
     eliminated_by = {s.name: s.variable for s in steps}
     return VECache(

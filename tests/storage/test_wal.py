@@ -1,0 +1,195 @@
+"""Write-ahead log: framing, torn tails, crash injection."""
+
+import struct
+
+import pytest
+
+from repro.errors import RecoveryError, StorageError
+from repro.storage import (
+    CRASH_POINTS,
+    CrashInjector,
+    InjectedCrash,
+    PageId,
+    PageImage,
+    ReplayResult,
+    WriteAheadLog,
+    page_crc,
+    replay_wal,
+    wal_path,
+)
+from repro.storage.wal import WAL_CHECKPOINT, WAL_PAGE, WAL_QUERY, WAL_STEP
+
+
+class TestRecordRoundTrip:
+    def test_all_kinds_replay(self, tmp_path):
+        path = wal_path(str(tmp_path))
+        with WriteAheadLog(path) as wal:
+            wal.log_page(PageId(3, 7))
+            wal.log_checkpoint("chk-00000001.ckpt")
+            wal.log_unit(WAL_QUERY, '{"key": "q"}')
+            wal.log_unit(WAL_STEP, '{"key": "s"}')
+        replay = replay_wal(path)
+        assert not replay.torn_tail
+        kinds = [r.kind for r in replay.records]
+        assert kinds == [WAL_PAGE, WAL_CHECKPOINT, WAL_QUERY, WAL_STEP]
+        assert replay.records[0].page_id() == PageId(3, 7)
+        assert replay.records[1].text() == "chk-00000001.ckpt"
+        assert replay.records[2].text() == '{"key": "q"}'
+
+    def test_lsns_are_byte_offsets(self, tmp_path):
+        path = wal_path(str(tmp_path))
+        with WriteAheadLog(path) as wal:
+            first = wal.log_page(PageId(1, 0))
+            second = wal.log_page(PageId(1, 1))
+        assert first == 0
+        assert second > first
+        replay = replay_wal(path)
+        assert [r.lsn for r in replay.records] == [first, second]
+        assert replay.valid_bytes == second + (second - first)
+
+    def test_append_resumes_at_end(self, tmp_path):
+        path = wal_path(str(tmp_path))
+        with WriteAheadLog(path) as wal:
+            wal.log_page(PageId(1, 0))
+            end = wal.position
+        with WriteAheadLog(path) as wal:
+            assert wal.position == end
+            wal.log_page(PageId(1, 1))
+        assert len(replay_wal(path).records) == 2
+
+    def test_unit_kind_is_validated(self, tmp_path):
+        with WriteAheadLog(wal_path(str(tmp_path))) as wal:
+            with pytest.raises(StorageError):
+                wal.log_unit(WAL_PAGE, "nope")
+
+
+class TestDegenerateLogs:
+    def test_missing_file_is_empty_replay(self, tmp_path):
+        replay = replay_wal(wal_path(str(tmp_path)))
+        assert replay == ReplayResult((), 0, False)
+
+    def test_empty_file_is_empty_replay(self, tmp_path):
+        path = wal_path(str(tmp_path))
+        open(path, "wb").close()
+        replay = replay_wal(path)
+        assert replay.records == ()
+        assert not replay.torn_tail
+
+
+class TestTornTails:
+    def _two_record_log(self, tmp_path):
+        path = wal_path(str(tmp_path))
+        with WriteAheadLog(path) as wal:
+            wal.log_page(PageId(1, 0))
+            tear_at = wal.position
+            wal.log_unit(WAL_QUERY, '{"key": "q"}')
+        return path, tear_at
+
+    def test_truncated_tail_is_discarded_not_fatal(self, tmp_path):
+        path, tear_at = self._two_record_log(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.truncate(tear_at + 3)  # mid-header of the second record
+        replay = replay_wal(path)
+        assert replay.torn_tail
+        assert len(replay.records) == 1
+        assert replay.valid_bytes == tear_at
+
+    def test_corrupted_payload_crc_tears(self, tmp_path):
+        path, tear_at = self._two_record_log(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(tear_at + 12)  # inside the second record's payload
+            fh.write(b"\xff")
+        replay = replay_wal(path)
+        assert replay.torn_tail
+        assert len(replay.records) == 1
+
+    def test_bad_magic_tears(self, tmp_path):
+        path, tear_at = self._two_record_log(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(tear_at)
+            fh.write(b"\x00")
+        replay = replay_wal(path)
+        assert replay.torn_tail
+        assert len(replay.records) == 1
+
+
+class TestCrashDuringAppend:
+    def test_crash_at_wal_append_leaves_torn_record(self, tmp_path):
+        path = wal_path(str(tmp_path))
+        wal = WriteAheadLog(path, crash=CrashInjector("wal.append"))
+        with pytest.raises(InjectedCrash):
+            wal.log_page(PageId(1, 0))
+        replay = replay_wal(path)
+        assert replay.records == ()
+        assert replay.torn_tail  # half a record made it to disk
+
+    def test_crash_at_wal_flush_record_is_durable(self, tmp_path):
+        path = wal_path(str(tmp_path))
+        wal = WriteAheadLog(path, crash=CrashInjector("wal.flush"))
+        with pytest.raises(InjectedCrash):
+            wal.log_page(PageId(1, 0))
+        replay = replay_wal(path)
+        assert len(replay.records) == 1
+        assert not replay.torn_tail
+
+
+class TestCrashInjector:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(StorageError):
+            CrashInjector("warp.core")
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(StorageError):
+            CrashInjector("wal.flush", after=-1)
+
+    def test_fires_once_then_disarms(self):
+        crash = CrashInjector("batch.query")
+        with pytest.raises(InjectedCrash):
+            crash.reach("batch.query")
+        assert crash.fired
+        crash.reach("batch.query")  # no second crash
+
+    def test_after_skips_earlier_hits(self):
+        crash = CrashInjector("batch.query", after=2)
+        crash.reach("batch.query")
+        crash.reach("batch.query")
+        with pytest.raises(InjectedCrash):
+            crash.reach("batch.query")
+        assert crash.counts["batch.query"] == 3
+
+    def test_seeded_is_deterministic_and_valid(self):
+        for seed in range(20):
+            a = CrashInjector.seeded(seed)
+            b = CrashInjector.seeded(seed)
+            assert a.crash_point == b.crash_point
+            assert a.after == b.after
+            assert a.crash_point in CRASH_POINTS
+
+
+class TestPageImages:
+    def test_round_trip(self):
+        image = PageImage(PageId(5, 2), b"hello world")
+        rebuilt, offset = PageImage.decode(image.encode())
+        assert rebuilt == image
+        assert offset == len(image.encode())
+
+    def test_crc_matches_payload(self):
+        image = PageImage(PageId(1, 1), b"abc")
+        assert page_crc(b"abc") == struct.unpack_from(
+            "<qqII", image.encode()
+        )[3]
+
+    def test_torn_header_raises(self):
+        with pytest.raises(RecoveryError):
+            PageImage.decode(b"\x01\x02\x03")
+
+    def test_torn_payload_raises(self):
+        buf = PageImage(PageId(1, 1), b"abcdef").encode()
+        with pytest.raises(RecoveryError):
+            PageImage.decode(buf[:-2])
+
+    def test_corrupt_payload_raises_checksum_mismatch(self):
+        buf = bytearray(PageImage(PageId(1, 1), b"abcdef").encode())
+        buf[-1] ^= 0xFF
+        with pytest.raises(RecoveryError, match="checksum mismatch"):
+            PageImage.decode(bytes(buf))
