@@ -16,7 +16,6 @@ from __future__ import annotations
 import atexit
 import csv
 import json
-import os
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -91,10 +90,16 @@ class TableReporter:
             writer.writerow(self.columns)
             writer.writerows(self.rows)
         from repro.obs.export import bench_document
+        from repro.obs.history import current_git_sha
 
+        # Provenance for the benchmark-history store: the suite name
+        # keys the BENCH_<suite>.json file and the sha ties each run
+        # to the commit that produced it.
         doc = bench_document(
             self.name, self.title, self.columns, self.rows,
             metrics=self._metrics,
+            git_sha=current_git_sha(Path(__file__).parent),
+            suite=self.name,
         )
         (OUT_DIR / f"{self.name}.json").write_text(
             json.dumps(doc, sort_keys=True, indent=2, default=float) + "\n"

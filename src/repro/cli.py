@@ -257,6 +257,12 @@ def cmd_sql(args: argparse.Namespace) -> int:
                 return outcome
             continue
 
+        if args.calibrate and _is_select(sql):
+            code = _run_calibrated_statement(db, sql, args, guard)
+            if code is not None:
+                return code
+            continue
+
         if crash is not None:
             crash.reach("batch.query")
         before = db.metrics.snapshot() if wal is not None else None
@@ -288,6 +294,44 @@ def cmd_sql(args: argparse.Namespace) -> int:
         print(json.dumps(db.metrics_document(name="cli.sql"),
                          sort_keys=True))
     return 0
+
+
+def _is_select(sql: str) -> bool:
+    """True for a parsable select statement (calibration applies)."""
+    from repro.query.parser import SelectStatement, parse_statement
+
+    try:
+        return isinstance(parse_statement(sql), SelectStatement)
+    except MPFError:
+        # Let the ordinary execution path raise the real parse error.
+        return False
+
+
+def _run_calibrated_statement(db, sql, args, guard):
+    """Run one select under ``--calibrate``.
+
+    Prints the result head, optionally the calibrated plan tree, and
+    the one-line ``repro.calibration.v1`` document.  Returns an exit
+    code to abort with, or ``None`` on success.
+    """
+    try:
+        report = db.explain_analyze(
+            sql,
+            strategy=args.strategy,
+            guard=guard,
+            audit_plans=True,
+            audit_max_tables=args.audit_max_tables,
+        )
+    except MPFError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+    print(report.result.head(args.limit))
+    if args.explain:
+        print(report.plan_text)
+    print(json.dumps(report.to_calibration_dict(), sort_keys=True))
+    print(f"[{report.optimization.algorithm}; "
+          f"{report.result.ntuples} rows]\n")
+    return None
 
 
 def _record_statement(db, wal, key, before, result=None, error=None):
@@ -472,6 +516,17 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--metrics-json", action="store_true",
                      help="after all statements, print the session's "
                           "metrics document on one line")
+    sql.add_argument("--calibrate", action="store_true",
+                     help="run selects as EXPLAIN ANALYZE with cost-model "
+                          "calibration: print each query's one-line "
+                          "repro.calibration.v1 document (per-node "
+                          "Q-errors, misestimate attribution, plan-choice "
+                          "audit); calibrated selects are not recorded on "
+                          "the WAL")
+    sql.add_argument("--audit-max-tables", type=int, default=6,
+                     metavar="N",
+                     help="replay candidate plans (the --calibrate audit) "
+                          "only for queries over at most N relations")
     sql.add_argument("--timeout", type=float, default=None,
                      metavar="SECONDS",
                      help="wall-clock deadline per statement")

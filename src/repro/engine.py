@@ -20,7 +20,7 @@ chosen plan, its estimated cost, and the simulated execution stats.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, SimpleCostModel
@@ -60,7 +60,11 @@ from repro.storage.buffer import BufferPool
 from repro.storage.iostats import IOStats
 from repro.workload.vecache import VECache, build_ve_cache
 
-__all__ = ["Database", "QueryReport", "BatchReport"]
+if TYPE_CHECKING:
+    from repro.obs.calib import PlanAudit, PlanCalibration
+    from repro.plans.profile import ExecutionProfile
+
+__all__ = ["Database", "QueryReport", "BatchReport", "AnalyzeReport"]
 
 # (multiplicative op of the view, additive aggregate of the query)
 _SEMIRINGS: dict[tuple[str, str], Semiring] = {
@@ -179,6 +183,56 @@ class BatchReport:
         if self.failed:
             text += f", {len(self.failed)} failed"
         return text
+
+
+@dataclass
+class AnalyzeReport:
+    """What :meth:`Database.explain_analyze` produced.
+
+    Wraps the profiled run with the estimate→actual calibration
+    (:class:`~repro.obs.calib.PlanCalibration`) and, when requested,
+    the plan-choice audit (:class:`~repro.obs.calib.PlanAudit`).
+    """
+
+    profile: "ExecutionProfile"
+    query: MPFQuery
+    optimization: OptimizationResult
+    calibration: "PlanCalibration | None"
+    audit: "PlanAudit | None"
+    stats_epoch: int
+
+    @property
+    def result(self) -> FunctionalRelation:
+        return self.profile.result
+
+    @property
+    def plan_text(self) -> str:
+        """The plan tree with estimates, actuals, and Q-errors."""
+        return explain(self.optimization.plan, calibration=self.calibration)
+
+    def formatted(self) -> str:
+        """The per-operator breakdown with est.rows / q-err columns."""
+        return self.profile.formatted()
+
+    def to_calibration_dict(self) -> dict:
+        """The schema-tagged ``repro.calibration.v1`` document."""
+        if self.calibration is None:
+            raise QueryError("explain_analyze ran with calibrate=False")
+        return self.calibration.document(
+            query=self.query,
+            algorithm=self.optimization.algorithm,
+            audit=self.audit,
+        )
+
+    def to_explain_dict(self) -> dict:
+        """The ANALYZE explain document with per-node actuals."""
+        return explain_document(
+            self.optimization,
+            query=self.query,
+            execution=self.profile.total,
+            operators=self.profile.operators,
+            calibration=self.calibration,
+        )
 
 
 @dataclass
@@ -737,6 +791,20 @@ class Database:
         self._publish_guard(guard, ctx.stats)
         return BatchReport(reports=reports, stats=ctx.stats, dag=dag)
 
+    def _select_query(self, sql: str, what: str = "profile") -> MPFQuery:
+        """Parse a ``select`` statement into an :class:`MPFQuery`."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, SelectStatement):
+            raise QueryError(f"{what} expects a select statement")
+        entry = self._views.get(statement.view)
+        if entry is None:
+            raise QueryError(f"unknown view {statement.view!r}")
+        semiring = _SEMIRINGS[(entry.multiplicative_op, statement.aggregate)]
+        view = MPFView(statement.view, entry.view_tables, semiring)
+        return MPFQuery(
+            view, statement.group_by, dict(statement.selections)
+        )
+
     def profile(
         self, sql: str, strategy: str = "auto",
         guard: QueryGuard | None = None, **options
@@ -750,24 +818,135 @@ class Database:
         """
         from repro.plans.profile import profile_execution
 
-        statement = parse_statement(sql)
-        if not isinstance(statement, SelectStatement):
-            raise QueryError("profile expects a select statement")
-        entry = self._views.get(statement.view)
-        if entry is None:
-            raise QueryError(f"unknown view {statement.view!r}")
-        semiring = _SEMIRINGS[(entry.multiplicative_op, statement.aggregate)]
-        view = MPFView(statement.view, entry.view_tables, semiring)
-        query = MPFQuery(
-            view, statement.group_by, dict(statement.selections)
-        )
+        query = self._select_query(sql)
         spec = query.to_spec(self.catalog)
         optimizer = self.make_optimizer(strategy, **options)
         optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
         return profile_execution(
-            optimization.plan, self.catalog, semiring, pool=self.pool,
-            guard=guard, metrics=self.metrics,
+            optimization.plan, self.catalog, query.view.semiring,
+            pool=self.pool, guard=guard, metrics=self.metrics,
         )
+
+    # ------------------------------------------------------------------
+    # Cost-model calibration (EXPLAIN ANALYZE + estimate→actual join)
+    # ------------------------------------------------------------------
+    def explain_analyze(
+        self,
+        sql: str,
+        strategy: str = "auto",
+        calibrate: bool = True,
+        audit_plans: bool = False,
+        audit_max_tables: int = 6,
+        guard: QueryGuard | None = None,
+        **options,
+    ) -> "AnalyzeReport":
+        """Plan, execute, and calibrate the cost model against actuals.
+
+        Beyond :meth:`profile`, the chosen plan is annotated with the
+        estimator's per-node cardinalities and joined (by structural
+        plan key) with the actual per-node counts the run produced —
+        yielding per-node Q-errors, misestimate attribution, and the
+        ``calib.*`` metrics (see :mod:`repro.obs.calib`).
+
+        ``audit_plans`` additionally replays the candidate plans of
+        every optimizer family (CS, CS+, CS+nonlinear, VE, VE+) under
+        the cost clock and reports the plan regret of the chosen plan;
+        the replay is quadratic-ish in plan count, so it only runs for
+        queries over at most ``audit_max_tables`` relations.  Replays
+        use fresh cold buffer pools and do not touch the engine-wide
+        ``query.*`` metrics.
+        """
+        from repro.obs.calib import calibrate_plan
+        from repro.plans.annotate import annotate
+        from repro.plans.profile import profile_execution
+
+        query = self._select_query(sql, what="explain_analyze")
+        spec = query.to_spec(self.catalog)
+        optimizer = self.make_optimizer(strategy, **options)
+        optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
+        # Optimizers keep estimates in their own search structures;
+        # re-annotate so every plan node carries the estimator's
+        # cardinality/cost for the calibration join.
+        annotate(optimization.plan, self.catalog, self.cost_model)
+        profile = profile_execution(
+            optimization.plan, self.catalog, query.view.semiring,
+            pool=self.pool, guard=guard, metrics=self.metrics,
+        )
+        self._publish_guard(guard, profile.total)
+        calibration = None
+        if calibrate:
+            calibration = calibrate_plan(
+                optimization.plan,
+                profile.operators,
+                stats_epoch=self.catalog.stats_epoch,
+            )
+            calibration.publish(self.metrics)
+            profile.calibration = calibration
+        audit = None
+        if audit_plans and len(query.view.tables) <= audit_max_tables:
+            audit = self._audit_plan_choice(
+                spec, query.view.semiring, optimization, **options
+            )
+            audit.publish(self.metrics)
+        return AnalyzeReport(
+            profile=profile,
+            query=query,
+            optimization=optimization,
+            calibration=calibration,
+            audit=audit,
+            stats_epoch=self.catalog.stats_epoch,
+        )
+
+    def _audit_plan_choice(
+        self,
+        spec,
+        semiring: Semiring,
+        optimization: OptimizationResult,
+        heuristic: str = "degree",
+        seed: int | None = None,
+    ):
+        """Replay every optimizer family's plan; measure actual costs.
+
+        Candidates are deduplicated by root structural key (two
+        strategies picking the same plan replay once), and each replay
+        runs on a fresh cold buffer pool so the comparison is
+        apples-to-apples and independent of the engine pool's state.
+        """
+        from repro.obs.calib import CandidateReplay, PlanAudit
+
+        chosen_key = optimization.plan.structural_key()
+        candidates: dict[tuple, tuple[str, float, object]] = {
+            chosen_key: (
+                optimization.algorithm,
+                float(optimization.cost),
+                optimization.plan,
+            )
+        }
+        for strat in ("cs", "cs+", "cs+nonlinear", "ve", "ve+"):
+            alt = self.make_optimizer(strat, heuristic, seed).optimize(
+                spec, self.catalog, self.cost_model
+            )
+            candidates.setdefault(
+                alt.plan.structural_key(),
+                (alt.algorithm, float(alt.cost), alt.plan),
+            )
+        replays = []
+        for key, (algorithm, estimated, plan) in candidates.items():
+            ctx = ExecutionContext(
+                self.catalog,
+                semiring,
+                pool=BufferPool(self.pool.capacity_pages),
+            )
+            evaluate_dag(lower(plan), ctx)
+            replays.append(
+                CandidateReplay(
+                    algorithm=algorithm,
+                    estimated_cost=estimated,
+                    actual_cost=ctx.stats.elapsed(),
+                    chosen=key == chosen_key,
+                )
+            )
+        return PlanAudit(candidates=replays)
 
     def explain_query(
         self, sql_or_query, strategy: str = "auto", **options

@@ -22,6 +22,7 @@ from repro.obs.metrics import (
 from repro.obs.trace import OperatorProfile, QueryTracer, Span
 from repro.obs.export import (
     BENCH_SCHEMA,
+    CALIBRATION_SCHEMA,
     EXPLAIN_SCHEMA,
     METRIC_CATALOG,
     METRICS_SCHEMA,
@@ -30,9 +31,23 @@ from repro.obs.export import (
     metrics_document,
     plan_explain_dict,
     validate_bench_document,
+    validate_calibration_document,
     validate_explain_document,
     validate_metrics_document,
 )
+from repro.obs.calib import (
+    CandidateReplay,
+    NodeCalibration,
+    PlanAudit,
+    PlanCalibration,
+    calibrate_plan,
+    q_error,
+)
+
+# repro.obs.history is deliberately NOT imported here: it is a
+# ``python -m repro.obs.history`` entry point, and importing it from
+# the package __init__ would trigger runpy's double-import warning.
+# Import it directly: ``from repro.obs.history import ...``.
 
 __all__ = [
     "Counter",
@@ -44,14 +59,22 @@ __all__ = [
     "QueryTracer",
     "Span",
     "BENCH_SCHEMA",
+    "CALIBRATION_SCHEMA",
     "EXPLAIN_SCHEMA",
     "METRICS_SCHEMA",
     "METRIC_CATALOG",
+    "CandidateReplay",
+    "NodeCalibration",
+    "PlanAudit",
+    "PlanCalibration",
     "bench_document",
+    "calibrate_plan",
     "explain_document",
     "metrics_document",
     "plan_explain_dict",
+    "q_error",
     "validate_bench_document",
+    "validate_calibration_document",
     "validate_explain_document",
     "validate_metrics_document",
 ]

@@ -1,0 +1,403 @@
+"""Cost-model calibration: closing the estimate→actual loop.
+
+The paper's optimizers (CS/CS+/VE/VE+) win or lose on estimated
+cardinalities and costs (Sections 5–6), yet estimates and actuals used
+to live in separate documents that nothing joined: the annotated plan
+carried per-node predictions, the tracer carried per-operator work,
+and no one could say *where* the model was wrong.  This module is the
+join.
+
+Given an annotated plan tree and the actual per-node counts an
+execution recorded (the runtime's
+:attr:`~repro.plans.runtime.ExecutionContext.actuals` map, or the
+tracer's :class:`~repro.obs.trace.OperatorProfile` rows — both keyed
+by the structural plan keys of :mod:`repro.plans.lower`),
+:func:`calibrate_plan` produces a :class:`PlanCalibration`:
+
+* per-node and per-plan **Q-error** — ``max(est/act, act/est)``, the
+  standard cardinality-estimation error measure (≥ 1.0; exactly 1.0
+  means the model was right);
+* **misestimate attribution** — each erring node is blamed on its own
+  estimator step (base-table statistics, selection uniformity, join
+  selectivity, group-by collapse, semijoin reduction) *unless* its
+  error is no worse than its inputs', in which case the error is
+  ``inherited`` — so the dominant misestimate points at the estimator
+  rule that actually broke, not at whichever operator sat above it;
+* ``calib.*`` metrics (Q-error histograms per operator kind,
+  misestimate counters per source) published into a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+:class:`PlanAudit` complements it with plan-*choice* quality: replay
+the candidate plans the optimizer family considered and report
+``plan_regret`` — chosen-plan actual cost over best-replayed actual
+cost (1.0 means the optimizer picked the fastest plan it had).
+
+Like :mod:`repro.obs.export`, this module must not import
+``repro.plans`` at runtime (the plans layer imports ``repro.obs``);
+plan nodes are traversed duck-typed and dispatched by class name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.obs.export import CALIBRATION_SCHEMA
+
+__all__ = [
+    "NodeCalibration",
+    "PlanCalibration",
+    "CandidateReplay",
+    "PlanAudit",
+    "calibrate_plan",
+    "q_error",
+    "MISESTIMATE_THRESHOLD",
+    "Q_ERROR_BUCKETS",
+    "PLAN_REGRET_BUCKETS",
+]
+
+# A node is *counted* as a misestimate (calib.misestimates) once its
+# Q-error reaches this factor.  2.0 is the conventional "off by 2x"
+# line used in the cardinality-estimation literature.
+MISESTIMATE_THRESHOLD = 2.0
+
+# Q-error and regret are ratios ≥ 1, concentrated near 1 — decade
+# buckets (DEFAULT_BUCKETS) would dump everything into one bin.
+Q_ERROR_BUCKETS = (1.0, 1.1, 1.25, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0)
+PLAN_REGRET_BUCKETS = (1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 4.0, 10.0, 100.0)
+
+# Node class name → the estimator step that produced its cardinality.
+_OWN_SOURCE: dict[str, str] = {
+    "Scan": "base_table_stats",
+    "IndexScan": "base_table_stats",
+    "Select": "selection",
+    "ProductJoin": "join_selectivity",
+    "GroupBy": "group_by_collapse",
+    "SemiJoin": "semijoin",
+}
+
+# Node class name → the `op` vocabulary of repro.explain.v1.
+_OP_NAMES: dict[str, str] = {
+    "Scan": "scan",
+    "IndexScan": "index_scan",
+    "Select": "select",
+    "ProductJoin": "product_join",
+    "GroupBy": "group_by",
+    "SemiJoin": "semijoin",
+}
+
+_EXACT_EPS = 1e-9
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """``max(est/act, act/est)``, floored at one row on both sides.
+
+    The floor keeps empty results well-defined (an estimate of 1 for
+    an actual of 0 is not an error worth attributing) and matches the
+    estimator's own ``max(1.0, ...)`` clamping.
+    """
+    est = max(float(estimated), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+@dataclass(frozen=True)
+class NodeCalibration:
+    """One plan node's estimate joined with its actual execution."""
+
+    key: tuple = field(compare=False, repr=False)
+    op: str
+    label: str
+    estimated_rows: float
+    estimated_cost: float
+    actual_rows: int | None
+    actual_elapsed: float | None
+    q_error: float | None
+    source: str | None
+    """Attribution: ``exact`` (no error), ``inherited`` (error no
+    worse than the inputs'), or the estimator step that introduced it
+    (``base_table_stats`` / ``selection`` / ``join_selectivity`` /
+    ``group_by_collapse`` / ``semijoin``).  ``None`` when the node
+    was never executed, so no actual exists to compare against."""
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "label": self.label,
+            "estimated_rows": self.estimated_rows,
+            "estimated_cost": self.estimated_cost,
+            "actual_rows": self.actual_rows,
+            "actual_elapsed": self.actual_elapsed,
+            "q_error": self.q_error,
+            "source": self.source,
+        }
+
+
+@dataclass
+class PlanCalibration:
+    """The estimate→actual join for one executed plan.
+
+    ``nodes`` holds one entry per *unique* structural key, children
+    before parents (repeated subtrees collapse to their shared DAG
+    node, exactly as the runtime executes them).
+    """
+
+    nodes: list[NodeCalibration]
+    stats_epoch: int | None = None
+
+    def __post_init__(self):
+        self._by_key = {n.key: n for n in self.nodes}
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: tuple) -> NodeCalibration | None:
+        """The calibration row for a structural plan key, if any."""
+        return self._by_key.get(key)
+
+    @property
+    def plan_q_error(self) -> float:
+        """Worst per-node Q-error (1.0 for a perfectly estimated plan)."""
+        return max(
+            (n.q_error for n in self.nodes if n.q_error is not None),
+            default=1.0,
+        )
+
+    @property
+    def mean_q_error(self) -> float:
+        """Geometric mean of per-node Q-errors."""
+        qs = [n.q_error for n in self.nodes if n.q_error is not None]
+        if not qs:
+            return 1.0
+        product = 1.0
+        for q in qs:
+            product *= q
+        return product ** (1.0 / len(qs))
+
+    @property
+    def dominant(self) -> NodeCalibration | None:
+        """The node carrying the worst Q-error (None if all exact)."""
+        worst = None
+        for n in self.nodes:
+            if n.q_error is None or n.q_error <= 1.0 + _EXACT_EPS:
+                continue
+            if worst is None or n.q_error > worst.q_error:
+                worst = n
+        return worst
+
+    @property
+    def misestimates(self) -> list[NodeCalibration]:
+        """Nodes whose Q-error crosses :data:`MISESTIMATE_THRESHOLD`."""
+        return [
+            n for n in self.nodes
+            if n.q_error is not None and n.q_error >= MISESTIMATE_THRESHOLD
+        ]
+
+    # ------------------------------------------------------------------
+    def publish(self, metrics) -> None:
+        """Record the ``calib.*`` metrics into a registry."""
+        if metrics is None:
+            return
+        metrics.counter("calib.runs").inc()
+        for n in self.nodes:
+            if n.q_error is None:
+                continue
+            metrics.histogram(
+                "calib.q_error", buckets=Q_ERROR_BUCKETS, operator=n.op
+            ).observe(n.q_error)
+            if n.q_error >= MISESTIMATE_THRESHOLD and n.source is not None:
+                metrics.counter("calib.misestimates", source=n.source).inc()
+
+    def to_dict(self) -> dict:
+        dominant = self.dominant
+        return {
+            "stats_epoch": self.stats_epoch,
+            "nodes": [n.to_dict() for n in self.nodes],
+            "plan_q_error": self.plan_q_error,
+            "mean_q_error": self.mean_q_error,
+            "dominant": None if dominant is None else {
+                "label": dominant.label,
+                "q_error": dominant.q_error,
+                "source": dominant.source,
+            },
+        }
+
+    def document(
+        self,
+        query=None,
+        algorithm: str | None = None,
+        audit: "PlanAudit | None" = None,
+    ) -> dict:
+        """The schema-tagged ``repro.calibration.v1`` JSON document."""
+        doc = {
+            "schema": CALIBRATION_SCHEMA,
+            "query": None if query is None else str(query),
+            "algorithm": algorithm,
+            "audit": None if audit is None else audit.to_dict(),
+        }
+        doc.update(self.to_dict())
+        return doc
+
+
+# ----------------------------------------------------------------------
+# The estimate→actual join
+# ----------------------------------------------------------------------
+def _normalize_actuals(actuals) -> dict[tuple, tuple[int, float | None]]:
+    """Accept a key→(rows, elapsed) mapping or OperatorProfile rows."""
+    if isinstance(actuals, Mapping):
+        return dict(actuals)
+    out: dict[tuple, tuple[int, float | None]] = {}
+    for row in actuals:
+        key = getattr(row, "node_key", None)
+        if key is None:
+            continue
+        # An executed row beats a memo-hit row for the same key (the
+        # memo hit's zero elapsed is reuse, not the operator's work).
+        if key not in out or not row.memoized:
+            out[key] = (row.out_rows, row.elapsed)
+    return out
+
+
+def calibrate_plan(
+    plan,
+    actuals: Mapping[tuple, tuple[int, float | None]] | Iterable,
+    stats_epoch: int | None = None,
+) -> PlanCalibration:
+    """Join a plan's per-node estimates with executed actuals.
+
+    ``plan`` must be annotated (:func:`repro.plans.annotate.annotate`)
+    so every node carries estimated stats; ``actuals`` is either the
+    :attr:`~repro.plans.runtime.ExecutionContext.actuals` map of the
+    run or the tracer's :class:`~repro.obs.trace.OperatorProfile`
+    rows.  Matching is by structural plan key — the identity shared by
+    CSE, the runtime memo, and the per-operator hooks — so the join
+    survives plan-DAG sharing: a subtree repeated in the tree collapses
+    onto the one DAG node that actually ran.
+    """
+    actual_map = _normalize_actuals(actuals)
+
+    nodes: list[NodeCalibration] = []
+    q_by_key: dict[tuple, float] = {}
+    seen: set[tuple] = set()
+
+    # Iterative post-order (children first), mirroring lower(): a
+    # node's attribution needs its children's Q-errors.
+    stack = [plan]
+    while stack:
+        node = stack[-1]
+        key = node.structural_key()
+        if key in seen:
+            stack.pop()
+            continue
+        pending = [
+            c for c in node.children() if c.structural_key() not in seen
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        seen.add(key)
+
+        kind = type(node).__name__
+        op = _OP_NAMES.get(kind, kind.lower())
+        estimated_rows = (
+            float(node.stats.cardinality) if node.stats is not None else 1.0
+        )
+        estimated_cost = float(node.op_cost or 0.0)
+        actual = actual_map.get(key)
+        if actual is None or node.stats is None:
+            q = source = None
+            actual_rows = actual_elapsed = None
+        else:
+            actual_rows, actual_elapsed = actual
+            q = q_error(estimated_rows, actual_rows)
+            q_by_key[key] = q
+            child_q = max(
+                (
+                    q_by_key.get(c.structural_key(), 1.0)
+                    for c in node.children()
+                ),
+                default=1.0,
+            )
+            if q <= 1.0 + _EXACT_EPS:
+                source = "exact"
+            elif q <= child_q + _EXACT_EPS:
+                source = "inherited"
+            else:
+                source = _OWN_SOURCE.get(kind, "unknown")
+        nodes.append(
+            NodeCalibration(
+                key=key,
+                op=op,
+                label=node.label(),
+                estimated_rows=estimated_rows,
+                estimated_cost=estimated_cost,
+                actual_rows=actual_rows,
+                actual_elapsed=actual_elapsed,
+                q_error=q,
+                source=source,
+            )
+        )
+    return PlanCalibration(nodes=nodes, stats_epoch=stats_epoch)
+
+
+# ----------------------------------------------------------------------
+# Plan-choice audit
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CandidateReplay:
+    """One candidate plan replayed under the cost clock."""
+
+    algorithm: str
+    estimated_cost: float
+    actual_cost: float
+    chosen: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "estimated_cost": self.estimated_cost,
+            "actual_cost": self.actual_cost,
+            "chosen": self.chosen,
+        }
+
+
+@dataclass
+class PlanAudit:
+    """Replayed candidates plus the regret of the optimizer's choice.
+
+    ``plan_regret`` is chosen-plan actual cost over best-replayed
+    actual cost: 1.0 means the optimizer picked the fastest plan among
+    the candidates the CS/CS+/VE/VE+ family produced; 2.0 means the
+    chosen plan cost twice the best one available.
+    """
+
+    candidates: list[CandidateReplay]
+
+    @property
+    def chosen(self) -> CandidateReplay:
+        for c in self.candidates:
+            if c.chosen:
+                return c
+        raise ValueError("audit has no chosen candidate")
+
+    @property
+    def best(self) -> CandidateReplay:
+        return min(self.candidates, key=lambda c: c.actual_cost)
+
+    @property
+    def plan_regret(self) -> float:
+        best = max(self.best.actual_cost, 1.0)
+        return max(self.chosen.actual_cost, 1.0) / best
+
+    def publish(self, metrics) -> None:
+        if metrics is None:
+            return
+        metrics.counter("calib.plans_replayed").inc(len(self.candidates))
+        metrics.histogram(
+            "calib.plan_regret", buckets=PLAN_REGRET_BUCKETS
+        ).observe(self.plan_regret)
+
+    def to_dict(self) -> dict:
+        return {
+            "candidates": [c.to_dict() for c in self.candidates],
+            "plan_regret": self.plan_regret,
+        }

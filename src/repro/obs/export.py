@@ -20,6 +20,12 @@ benchmark-smoke job depends on that):
 * **bench document** (:data:`BENCH_SCHEMA`) — one reproduced paper
   table/figure with its rows *and* an embedded metrics document, so
   ``benchmarks/out/*.json`` trajectories are self-describing.
+
+* **calibration document** (:data:`CALIBRATION_SCHEMA`) — the
+  estimate→actual join for one executed plan: per-node estimated vs
+  actual rows, Q-error, misestimate attribution, and (optionally) the
+  plan-choice audit.  Built by
+  :meth:`repro.obs.calib.PlanCalibration.document`.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ __all__ = [
     "METRICS_SCHEMA",
     "EXPLAIN_SCHEMA",
     "BENCH_SCHEMA",
+    "CALIBRATION_SCHEMA",
     "METRIC_CATALOG",
     "iostats_dict",
     "plan_explain_dict",
@@ -47,11 +54,13 @@ __all__ = [
     "validate_metrics_document",
     "validate_explain_document",
     "validate_bench_document",
+    "validate_calibration_document",
 ]
 
 METRICS_SCHEMA = "repro.metrics.v1"
 EXPLAIN_SCHEMA = "repro.explain.v1"
 BENCH_SCHEMA = "repro.bench.v1"
+CALIBRATION_SCHEMA = "repro.calibration.v1"
 
 # The documented metric catalog: base instrument name -> kind.  Every
 # name a registry may contain must be listed here (or carry the
@@ -108,6 +117,13 @@ METRIC_CATALOG: dict[str, str] = {
     "recovery.replayed_records": "counter",
     "recovery.torn_tails": "counter",
     "recovery.checkpoints_discarded": "counter",
+    # cost-model calibration (labels: calib.q_error operator=<op>,
+    # calib.misestimates source=<estimator step>)
+    "calib.runs": "counter",
+    "calib.q_error": "histogram",
+    "calib.misestimates": "counter",
+    "calib.plan_regret": "histogram",
+    "calib.plans_replayed": "counter",
 }
 
 _IOSTATS_KEYS = (
@@ -154,8 +170,12 @@ def iostats_dict(stats: IOStats) -> dict:
 # ----------------------------------------------------------------------
 # EXPLAIN (FORMAT JSON)
 # ----------------------------------------------------------------------
-def plan_explain_dict(plan) -> dict:
+def plan_explain_dict(plan, calibration=None) -> dict:
     """Nested plan-node document with per-node estimates when annotated.
+
+    With ``calibration`` (a :class:`~repro.obs.calib.PlanCalibration`
+    from the same plan's execution), every matched node additionally
+    carries an ``actual`` block and its ``q_error``.
 
     Iterative post-order build: deep plans (long Select/GroupBy
     chains) must not hit the recursion limit.
@@ -172,12 +192,12 @@ def plan_explain_dict(plan) -> dict:
         if id(node) in done:
             continue
         done[id(node)] = _node_dict(
-            node, [done[id(c)] for c in node.children()]
+            node, [done[id(c)] for c in node.children()], calibration
         )
     return done[id(plan)]
 
 
-def _node_dict(node, inputs: list[dict]) -> dict:
+def _node_dict(node, inputs: list[dict], calibration=None) -> dict:
     op = _OP_NAMES.get(type(node).__name__)
     if op is None:
         raise ValueError(f"unknown plan node {type(node).__name__}")
@@ -199,6 +219,15 @@ def _node_dict(node, inputs: list[dict]) -> dict:
         if node.total_cost is not None:
             estimated["cost"] = node.total_cost
         out["estimated"] = estimated
+    if calibration is not None:
+        row = calibration.lookup(node.structural_key())
+        if row is not None and row.actual_rows is not None:
+            out["actual"] = {
+                "rows": row.actual_rows,
+                "elapsed": row.actual_elapsed,
+            }
+            if row.q_error is not None:
+                out["q_error"] = row.q_error
     if inputs:
         out["inputs"] = inputs
     return out
@@ -236,6 +265,7 @@ def explain_document(
     query=None,
     execution: IOStats | None = None,
     operators: Sequence[OperatorProfile] | None = None,
+    calibration=None,
 ) -> dict:
     """The full EXPLAIN (FORMAT JSON) document for one planned query.
 
@@ -243,7 +273,8 @@ def explain_document(
     :class:`~repro.optimizer.base.OptimizationResult`; pass
     ``execution`` (and optionally the per-operator ``operators``
     breakdown from a :class:`~repro.obs.trace.QueryTracer`) to produce
-    the ANALYZE form.
+    the ANALYZE form.  ``calibration`` adds per-node ``actual`` blocks
+    and Q-errors to the plan tree (see :func:`plan_explain_dict`).
     """
     doc: dict = {
         "schema": EXPLAIN_SCHEMA,
@@ -252,7 +283,7 @@ def explain_document(
         "estimated_cost": optimization.cost,
         "plans_considered": optimization.plans_considered,
         "planning_seconds": optimization.planning_seconds,
-        "plan": plan_explain_dict(optimization.plan),
+        "plan": plan_explain_dict(optimization.plan, calibration),
         "execution": None,
     }
     if execution is not None or operators is not None:
@@ -289,9 +320,16 @@ def bench_document(
     columns: Sequence[str],
     rows: Sequence[Sequence],
     metrics: MetricsRegistry | MetricsSnapshot | None = None,
+    git_sha: str | None = None,
+    suite: str | None = None,
 ) -> dict:
-    """Self-describing benchmark table with embedded metrics."""
-    return {
+    """Self-describing benchmark table with embedded metrics.
+
+    ``git_sha`` and ``suite`` stamp provenance into the document so
+    the benchmark-history store (:mod:`repro.obs.history`) can record
+    which commit produced each run without out-of-band bookkeeping.
+    """
+    doc = {
         "schema": BENCH_SCHEMA,
         "name": name,
         "title": title,
@@ -302,6 +340,11 @@ def bench_document(
             name=name,
         ),
     }
+    if git_sha is not None:
+        doc["git_sha"] = git_sha
+    if suite is not None:
+        doc["suite"] = suite
+    return doc
 
 
 # ----------------------------------------------------------------------
@@ -427,7 +470,7 @@ def _validate_plan_node(node, problems: list[str], path: str) -> None:
         required = _NODE_REQUIRED[op] | {"op", "label"}
         _check_keys(
             path, node, required, problems,
-            optional=frozenset({"estimated"}),
+            optional=frozenset({"estimated", "actual", "q_error"}),
         )
         estimated = node.get("estimated")
         if estimated is not None:
@@ -435,6 +478,12 @@ def _validate_plan_node(node, problems: list[str], path: str) -> None:
                 f"{path}.estimated", estimated,
                 frozenset({"cardinality"}), problems,
                 optional=frozenset({"cost", "op_cost"}),
+            )
+        actual = node.get("actual")
+        if actual is not None:
+            _check_keys(
+                f"{path}.actual", actual, frozenset({"rows"}), problems,
+                optional=frozenset({"elapsed"}),
             )
         inputs = node.get("inputs", [])
         if len(inputs) != _NODE_CHILDREN[op]:
@@ -450,7 +499,10 @@ def validate_bench_document(doc) -> None:
     """Raise :class:`ValueError` unless ``doc`` matches the schema."""
     problems: list[str] = []
     top = frozenset({"schema", "name", "title", "columns", "rows", "metrics"})
-    if _check_keys("bench document", doc, top, problems):
+    if _check_keys(
+        "bench document", doc, top, problems,
+        optional=frozenset({"git_sha", "suite"}),
+    ):
         if doc["schema"] != BENCH_SCHEMA:
             problems.append(
                 f"bench document: schema {doc['schema']!r} != "
@@ -469,4 +521,97 @@ def validate_bench_document(doc) -> None:
             validate_metrics_document(doc["metrics"])
         except ValueError as exc:
             problems.append(f"bench document metrics: {exc}")
+    _fail(problems)
+
+
+_CALIB_SOURCES = frozenset({
+    "exact", "inherited", "base_table_stats", "selection",
+    "join_selectivity", "group_by_collapse", "semijoin", "unknown",
+})
+_CALIB_NODE_KEYS = frozenset({
+    "op", "label", "estimated_rows", "estimated_cost",
+    "actual_rows", "actual_elapsed", "q_error", "source",
+})
+
+
+def validate_calibration_document(doc) -> None:
+    """Raise :class:`ValueError` unless ``doc`` matches the schema."""
+    problems: list[str] = []
+    top = frozenset({
+        "schema", "query", "algorithm", "stats_epoch", "nodes",
+        "plan_q_error", "mean_q_error", "dominant", "audit",
+    })
+    if _check_keys("calibration document", doc, top, problems):
+        if doc["schema"] != CALIBRATION_SCHEMA:
+            problems.append(
+                f"calibration document: schema {doc['schema']!r} != "
+                f"{CALIBRATION_SCHEMA!r}"
+            )
+        nodes = doc["nodes"]
+        if not isinstance(nodes, list) or not nodes:
+            problems.append(
+                "calibration document: nodes must be a non-empty list"
+            )
+        else:
+            for i, node in enumerate(nodes):
+                if not _check_keys(
+                    f"nodes[{i}]", node, _CALIB_NODE_KEYS, problems
+                ):
+                    continue
+                if node["op"] not in frozenset(_OP_NAMES.values()):
+                    problems.append(
+                        f"nodes[{i}]: unknown op {node['op']!r}"
+                    )
+                q = node["q_error"]
+                if q is not None and (
+                    not isinstance(q, (int, float)) or q < 1.0
+                ):
+                    problems.append(
+                        f"nodes[{i}]: q_error must be >= 1.0, got {q!r}"
+                    )
+                source = node["source"]
+                if source is not None and source not in _CALIB_SOURCES:
+                    problems.append(
+                        f"nodes[{i}]: unknown source {source!r}"
+                    )
+                if (q is None) != (node["actual_rows"] is None):
+                    problems.append(
+                        f"nodes[{i}]: q_error and actual_rows must be "
+                        "both present or both absent"
+                    )
+        for field in ("plan_q_error", "mean_q_error"):
+            value = doc[field]
+            if not isinstance(value, (int, float)) or value < 1.0:
+                problems.append(
+                    f"calibration document: {field} must be >= 1.0, "
+                    f"got {value!r}"
+                )
+        dominant = doc["dominant"]
+        if dominant is not None:
+            _check_keys(
+                "dominant", dominant,
+                frozenset({"label", "q_error", "source"}), problems,
+            )
+        audit = doc["audit"]
+        if audit is not None and _check_keys(
+            "audit", audit, frozenset({"candidates", "plan_regret"}),
+            problems,
+        ):
+            if not isinstance(audit["candidates"], list):
+                problems.append("audit.candidates: expected a list")
+            else:
+                for i, cand in enumerate(audit["candidates"]):
+                    _check_keys(
+                        f"audit.candidates[{i}]", cand,
+                        frozenset({
+                            "algorithm", "estimated_cost", "actual_cost",
+                            "chosen",
+                        }),
+                        problems,
+                    )
+            regret = audit["plan_regret"]
+            if not isinstance(regret, (int, float)) or regret < 1.0:
+                problems.append(
+                    f"audit: plan_regret must be >= 1.0, got {regret!r}"
+                )
     _fail(problems)

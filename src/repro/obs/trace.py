@@ -53,6 +53,9 @@ class OperatorProfile:
     memoized: bool = False
     degraded: str | None = None
     """Guard downgrade note (hash → sort spill path), if any."""
+    node_key: tuple | None = field(default=None, compare=False, repr=False)
+    """Structural plan key of the producing node (not serialized: the
+    calibration layer joins estimates to this row by it)."""
 
     def to_dict(self) -> dict:
         return {
@@ -174,6 +177,13 @@ class QueryTracer:
     # ------------------------------------------------------------------
     # Runtime hooks (Tracer protocol)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _node_key(node: PlanNode):
+        # The tracer duck-types nodes; only real plan nodes carry the
+        # structural key that calibration joins estimates to actuals on.
+        key = getattr(node, "structural_key", None)
+        return key() if key is not None else None
+
     def on_degrade(self, node: PlanNode, description: str) -> None:
         # Fires from inside the operator, before its on_execute; key
         # by the node so the note can only attach to *this* operator.
@@ -195,6 +205,7 @@ class QueryTracer:
             retry_wait=delta.retry_wait,
             elapsed=delta.elapsed(),
             degraded=degraded,
+            node_key=self._node_key(node),
         )
         self.operators.append(row)
         now = self._now()
@@ -216,6 +227,7 @@ class QueryTracer:
             page_writes=0,
             elapsed=0.0,
             memoized=True,
+            node_key=self._node_key(node),
         )
         self.operators.append(row)
         now = self._now()

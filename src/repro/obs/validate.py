@@ -1,10 +1,11 @@
 """Schema validation entry point: ``python -m repro.obs.validate``.
 
-Validates observability JSON documents (metrics, explain, bench —
-dispatched on their ``schema`` tag) read from file arguments or stdin
-(``-``).  Exits non-zero on the first malformed document; the CI
-benchmark-smoke job runs this over ``benchmarks/out/*.json`` and over
-the CLI's ``--metrics-json`` output.
+Validates observability JSON documents (metrics, explain, bench,
+calibration, bench-history — dispatched on their ``schema`` tag) read
+from file arguments or stdin (``-``).  Exits non-zero on the first
+malformed document; the CI benchmark-smoke job runs this over
+``benchmarks/out/*.json``, the CLI's ``--metrics-json`` and
+``--calibrate`` output, and the committed ``BENCH_*.json`` baselines.
 """
 
 from __future__ import annotations
@@ -14,12 +15,15 @@ import sys
 
 from repro.obs.export import (
     BENCH_SCHEMA,
+    CALIBRATION_SCHEMA,
     EXPLAIN_SCHEMA,
     METRICS_SCHEMA,
     validate_bench_document,
+    validate_calibration_document,
     validate_explain_document,
     validate_metrics_document,
 )
+from repro.obs.history import HISTORY_SCHEMA, validate_history_document
 
 __all__ = ["validate_document", "main"]
 
@@ -27,6 +31,8 @@ _VALIDATORS = {
     METRICS_SCHEMA: validate_metrics_document,
     EXPLAIN_SCHEMA: validate_explain_document,
     BENCH_SCHEMA: validate_bench_document,
+    CALIBRATION_SCHEMA: validate_calibration_document,
+    HISTORY_SCHEMA: validate_history_document,
 }
 
 

@@ -7,6 +7,11 @@ estimated cardinalities and costs when the plan has been annotated:
       ProductJoin  [card=...]
         Scan(location)
         ...
+
+With a :class:`~repro.obs.calib.PlanCalibration` from a profiled run
+of the same plan, the bracket additionally shows what actually
+happened — ``[card=5000, cost=2.1e+09, act=9800, q=1.96]`` — so an
+``EXPLAIN ANALYZE`` reads estimate and actual side by side.
 """
 
 from __future__ import annotations
@@ -24,17 +29,27 @@ def _format_number(x: float) -> str:
     return f"{x:.2f}"
 
 
-def explain(plan: PlanNode, indent: str = "  ") -> str:
-    """Render the plan as an indented ASCII tree."""
+def explain(plan: PlanNode, indent: str = "  ", calibration=None) -> str:
+    """Render the plan as an indented ASCII tree.
+
+    ``calibration`` (a :class:`~repro.obs.calib.PlanCalibration`)
+    merges actual row counts and Q-errors into each node's bracket.
+    """
     lines: list[str] = []
 
     def visit(node: PlanNode, depth: int) -> None:
-        annotation = ""
+        parts: list[str] = []
         if node.stats is not None:
-            annotation = f"  [card={_format_number(node.stats.cardinality)}"
+            parts.append(f"card={_format_number(node.stats.cardinality)}")
             if node.total_cost is not None:
-                annotation += f", cost={_format_number(node.total_cost)}"
-            annotation += "]"
+                parts.append(f"cost={_format_number(node.total_cost)}")
+        if calibration is not None:
+            row = calibration.lookup(node.structural_key())
+            if row is not None and row.actual_rows is not None:
+                parts.append(f"act={_format_number(row.actual_rows)}")
+                if row.q_error is not None:
+                    parts.append(f"q={row.q_error:.2f}")
+        annotation = f"  [{', '.join(parts)}]" if parts else ""
         lines.append(f"{indent * depth}{node.label()}{annotation}")
         for child in node.children():
             visit(child, depth + 1)

@@ -17,7 +17,7 @@ query's lifecycle as a span tree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.catalog.catalog import Catalog
 from repro.data.relation import FunctionalRelation
@@ -32,6 +32,9 @@ from repro.plans.runtime import (
 from repro.semiring.base import Semiring
 from repro.storage.buffer import BufferPool
 from repro.storage.iostats import IOStats
+
+if TYPE_CHECKING:
+    from repro.obs.calib import PlanCalibration
 
 __all__ = [
     "OperatorProfile",
@@ -54,24 +57,44 @@ class ExecutionProfile:
     total: IOStats
     trace: Span | None = None
     """Lifecycle span tree of the profiled run, when traced."""
+    calibration: "PlanCalibration | None" = None
+    """Estimate→actual join (:mod:`repro.obs.calib`), when calibrated:
+    adds ``est.rows`` / ``q-err`` columns to :meth:`formatted`."""
+
+    def _calibration_columns(self, op: OperatorProfile) -> str:
+        row = (
+            None
+            if self.calibration is None or op.node_key is None
+            else self.calibration.lookup(op.node_key)
+        )
+        if row is None:
+            return f" {'-':>9s} {'-':>6s}"
+        q = "-" if row.q_error is None else f"{row.q_error:.2f}"
+        return f" {row.estimated_rows:>9,.0f} {q:>6s}"
 
     def formatted(self) -> str:
+        calibrated = self.calibration is not None
         header = (
             f"{'operator':40s} {'rows':>9s} {'tuples':>10s} "
             f"{'reads':>7s} {'hits':>7s} {'writes':>7s} "
             f"{'retries':>7s} {'elapsed':>12s}"
         )
+        if calibrated:
+            header += f" {'est.rows':>9s} {'q-err':>6s}"
         lines = [header, "-" * len(header)]
         for op in self.operators:
             label = f"{op.label} [memo]" if op.memoized else op.label
             if op.degraded is not None:
                 label = f"{label} [degraded]"
-            lines.append(
+            line = (
                 f"{label:40s} {op.out_rows:>9,} {op.tuples:>10,} "
                 f"{op.page_reads:>7} {op.buffer_hits:>7} "
                 f"{op.page_writes:>7} {op.retries:>7} "
                 f"{op.elapsed:>12,.0f}"
             )
+            if calibrated:
+                line += self._calibration_columns(op)
+            lines.append(line)
         lines.append("-" * len(header))
         lines.append(
             f"{'total':40s} {self.result.ntuples:>9,} "
@@ -80,6 +103,17 @@ class ExecutionProfile:
             f"{self.total.page_writes:>7} {self.total.retries:>7} "
             f"{self.total.elapsed():>12,.0f}"
         )
+        if calibrated:
+            lines.append(
+                f"plan q-error: {self.calibration.plan_q_error:.2f} "
+                f"(geometric mean {self.calibration.mean_q_error:.2f})"
+            )
+            dominant = self.calibration.dominant
+            if dominant is not None:
+                lines.append(
+                    f"dominant misestimate: {dominant.label} "
+                    f"(q={dominant.q_error:.2f}, source={dominant.source})"
+                )
         memo_hits = sum(1 for op in self.operators if op.memoized)
         if memo_hits:
             lines.append(f"memo hits: {memo_hits}")
@@ -114,6 +148,8 @@ class ExecutionProfile:
         }
         if self.trace is not None:
             out["trace"] = self.trace.to_dict()
+        if self.calibration is not None:
+            out["calibration"] = self.calibration.to_dict()
         return out
 
 

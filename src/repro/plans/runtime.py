@@ -148,6 +148,11 @@ class ExecutionContext:
         self.guard = guard
         self.metrics = metrics
         self.memo: dict[tuple, FunctionalRelation] = {}
+        self.actuals: dict[tuple, tuple[int, float | None]] = {}
+        """Per-executed-node actual ``(out_rows, elapsed)`` keyed by
+        structural plan key — the execution side of the calibration
+        layer's estimate→actual join (``elapsed`` is ``None`` when no
+        tracer/registry asked for per-operator deltas)."""
         self._memo_reads: dict[tuple, frozenset[str]] = {}
         self._memo_nodes: dict[tuple, PlanNode] = {}
         self._temp = TempFileAllocator()
@@ -523,11 +528,15 @@ def evaluate_dag(
         ctx._memo_reads[key] = dag.base_tables(key)
         ctx._memo_nodes[key] = node
         executed.add(key)
+        delta = None
         if ctx.tracer is not None or ctx.metrics is not None:
             delta = ctx.stats.since(snapshot)
             ctx.publish_operator(node, delta)
             if ctx.tracer is not None:
                 ctx.tracer.on_execute(node, result, delta)
+        ctx.actuals[key] = (
+            result.ntuples, None if delta is None else delta.elapsed()
+        )
     return [fetch(key) for key in roots]
 
 

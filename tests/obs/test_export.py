@@ -161,6 +161,21 @@ class TestMetricsDocument:
             "counter", "gauge", "histogram"
         }
 
+    def test_catalog_documented(self):
+        """docs/observability.md must mention every catalog metric.
+
+        The validator enforces code→catalog agreement; this pins
+        catalog→docs, so a new metric (calib.*, ...) cannot land
+        without a row in the documented table.
+        """
+        from pathlib import Path
+
+        doc = (
+            Path(__file__).parents[2] / "docs" / "observability.md"
+        ).read_text()
+        missing = [name for name in METRIC_CATALOG if f"`{name}" not in doc]
+        assert not missing, f"undocumented metrics: {missing}"
+
 
 class TestBenchDocument:
     def test_roundtrip_validates(self):

@@ -1,0 +1,222 @@
+"""Tests for the benchmark-history store and its regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, bench_document
+from repro.obs.history import (
+    check_history,
+    current_git_sha,
+    diff_runs,
+    flatten_metrics,
+    history_path,
+    ingest_document,
+    load_history,
+    main,
+    validate_history_document,
+)
+from repro.obs.validate import validate_document
+
+
+def make_doc(elapsed=100.0, reads=10, verdict="yes", runs=1):
+    reg = MetricsRegistry()
+    reg.counter("bench.queries").inc(runs)
+    reg.histogram("bench.latency").observe(elapsed)
+    return bench_document(
+        "gate_demo",
+        "A gated demo table",
+        ["query", "sim_elapsed", "page_reads", "eq1"],
+        [["q1", elapsed, reads, verdict], ["q2", elapsed * 2, reads, verdict]],
+        metrics=reg,
+        git_sha="feedc0ffee00" + "0" * 28,
+        suite="gate_demo",
+    )
+
+
+class TestIngest:
+    def test_first_ingest_creates_baseline(self, tmp_path):
+        path = ingest_document(make_doc(), history_dir=tmp_path)
+        assert path == history_path("gate_demo", tmp_path)
+        history = load_history(path)
+        assert validate_document(history) == "repro.bench_history.v1"
+        assert len(history["runs"]) == 1
+        run = history["runs"][0]
+        assert run["run_id"] == "feedc0ffee00-1"
+        assert run["metrics_delta"] is None
+        assert run["metrics"]["bench.queries"] == 1
+
+    def test_second_ingest_appends_with_delta(self, tmp_path):
+        ingest_document(make_doc(runs=1), history_dir=tmp_path)
+        path = ingest_document(make_doc(runs=4), history_dir=tmp_path)
+        history = load_history(path)
+        assert len(history["runs"]) == 2
+        assert history["runs"][1]["run_id"].endswith("-2")
+        assert history["runs"][1]["metrics_delta"]["bench.queries"] == 3
+
+    def test_changed_columns_are_rejected(self, tmp_path):
+        ingest_document(make_doc(), history_dir=tmp_path)
+        doc = make_doc()
+        doc["columns"] = ["other"]
+        doc["rows"] = [["x"]]
+        with pytest.raises(ValueError, match="columns changed"):
+            ingest_document(doc, history_dir=tmp_path)
+
+    def test_histograms_flatten_to_count_and_sum(self):
+        flat = flatten_metrics(make_doc()["metrics"])
+        assert flat["bench.latency.count"] == 1
+        assert flat["bench.latency.sum"] == 100.0
+        assert flat["bench.queries"] == 1
+
+
+class TestGate:
+    def test_single_run_passes(self, tmp_path):
+        ingest_document(make_doc(), history_dir=tmp_path)
+        assert check_history(tmp_path) == []
+
+    def test_drift_within_tolerance_passes(self, tmp_path):
+        ingest_document(make_doc(elapsed=100.0), history_dir=tmp_path)
+        ingest_document(make_doc(elapsed=110.0), history_dir=tmp_path)
+        assert check_history(tmp_path) == []
+
+    def test_elapsed_drift_beyond_tolerance_fails(self, tmp_path):
+        ingest_document(make_doc(elapsed=100.0), history_dir=tmp_path)
+        ingest_document(make_doc(elapsed=200.0), history_dir=tmp_path)
+        problems = check_history(tmp_path)
+        assert any("sim_elapsed" in p for p in problems)
+
+    def test_page_metric_drift_fails(self, tmp_path):
+        ingest_document(make_doc(reads=10), history_dir=tmp_path)
+        ingest_document(make_doc(reads=20), history_dir=tmp_path)
+        problems = check_history(tmp_path)
+        assert any("page_reads" in p for p in problems)
+
+    def test_non_numeric_cells_must_match_exactly(self, tmp_path):
+        ingest_document(make_doc(verdict="yes"), history_dir=tmp_path)
+        ingest_document(make_doc(verdict="no"), history_dir=tmp_path)
+        problems = check_history(tmp_path)
+        assert any("'yes' -> 'no'" in p for p in problems)
+
+    def test_row_count_change_fails(self, tmp_path):
+        ingest_document(make_doc(), history_dir=tmp_path)
+        doc = make_doc()
+        doc["rows"] = doc["rows"][:1]
+        ingest_document(doc, history_dir=tmp_path)
+        problems = check_history(tmp_path)
+        assert any("row count" in p for p in problems)
+
+    def test_per_column_tolerance_override(self, tmp_path):
+        ingest_document(make_doc(elapsed=100.0), history_dir=tmp_path)
+        ingest_document(make_doc(elapsed=200.0), history_dir=tmp_path)
+        problems = check_history(
+            tmp_path,
+            column_tolerance={
+                "sim_elapsed": 2.0,
+                "bench.latency.sum": 2.0,
+            },
+        )
+        assert problems == []
+
+    def test_disappeared_metric_fails(self, tmp_path):
+        ingest_document(make_doc(), history_dir=tmp_path)
+        doc = make_doc()
+        doc["metrics"]["metrics"].pop("bench.queries")
+        ingest_document(doc, history_dir=tmp_path)
+        problems = check_history(tmp_path)
+        assert any("disappeared" in p for p in problems)
+
+
+class TestValidation:
+    def test_rejects_baseline_with_delta(self, tmp_path):
+        path = ingest_document(make_doc(), history_dir=tmp_path)
+        history = json.loads(path.read_text())
+        history["runs"][0]["metrics_delta"] = {"x": 1}
+        with pytest.raises(ValueError, match="baseline"):
+            validate_history_document(history)
+
+    def test_rejects_unknown_keys(self, tmp_path):
+        path = ingest_document(make_doc(), history_dir=tmp_path)
+        history = json.loads(path.read_text())
+        history["extra"] = True
+        with pytest.raises(ValueError, match="unknown keys"):
+            validate_history_document(history)
+
+    def test_diff_runs_needs_no_file(self, tmp_path):
+        path = ingest_document(make_doc(), history_dir=tmp_path)
+        ingest_document(make_doc(elapsed=180.0), history_dir=tmp_path)
+        history = load_history(path)
+        problems = diff_runs(history)
+        assert problems and all(p.startswith("gate_demo") for p in problems)
+
+
+class TestGitSha:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafe" * 10)
+        assert current_git_sha() == "cafe" * 10
+
+    def test_repo_head_or_unknown(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        # Outside any repository the fallback must be "unknown".
+        sha = current_git_sha(tmp_path)
+        assert sha == "unknown" or len(sha) == 40
+
+
+class TestCLI:
+    def _write_out_dir(self, tmp_path, **kwargs):
+        out = tmp_path / "out"
+        out.mkdir()
+        (out / "gate_demo.json").write_text(
+            json.dumps(make_doc(**kwargs), default=float)
+        )
+        return out
+
+    def test_ingest_then_check_ok(self, tmp_path, capsys):
+        out = self._write_out_dir(tmp_path)
+        assert main([
+            "ingest", "--out-dir", str(out),
+            "--history-dir", str(tmp_path),
+        ]) == 0
+        assert main(["check", "--history-dir", str(tmp_path)]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_check_exits_nonzero_on_perturbed_metric(self, tmp_path, capsys):
+        ingest_document(make_doc(), history_dir=tmp_path)
+        # Perturb the stored baseline's elapsed cell beyond tolerance
+        # and append it as a fresh "run".
+        path = history_path("gate_demo", tmp_path)
+        history = json.loads(path.read_text())
+        run = copy.deepcopy(history["runs"][0])
+        run["run_id"] = "perturbed-2"
+        run["rows"][0][1] *= 10
+        run["metrics_delta"] = {}
+        history["runs"].append(run)
+        path.write_text(json.dumps(history))
+        assert main(["check", "--history-dir", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_tolerance_flag(self, tmp_path):
+        ingest_document(make_doc(elapsed=100.0), history_dir=tmp_path)
+        ingest_document(make_doc(elapsed=130.0), history_dir=tmp_path)
+        assert main(["check", "--history-dir", str(tmp_path)]) == 1
+        assert main([
+            "check", "--history-dir", str(tmp_path),
+            "--tolerance", "0.5",
+            "--column", "bench.latency.sum=0.5",
+        ]) == 0
+
+    def test_ingest_empty_dir_fails(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        out.mkdir()
+        assert main([
+            "ingest", "--out-dir", str(out),
+            "--history-dir", str(tmp_path),
+        ]) == 1
+
+    def test_diff_reports_deltas(self, tmp_path, capsys):
+        ingest_document(make_doc(runs=1), history_dir=tmp_path)
+        ingest_document(make_doc(runs=4), history_dir=tmp_path)
+        assert main(["diff", "--history-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "delta bench.queries +3" in out

@@ -124,6 +124,42 @@ class TestSql:
         validate_metrics_document(doc)
         assert doc["metrics"]["queries.total{status=ok}"]["value"] == 2
 
+    def test_calibrate_flag(self, capsys):
+        import json
+
+        from repro.obs import validate_calibration_document
+
+        rc = main(
+            [
+                "sql", "--scale", "0.005", "--calibrate",
+                "-c", "select cid, sum(inv) from invest group by cid",
+            ]
+        )
+        assert rc == 0
+        doc_lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if '"repro.calibration.v1"' in line
+        ]
+        assert len(doc_lines) == 1
+        doc = json.loads(doc_lines[0])
+        validate_calibration_document(doc)
+        assert doc["plan_q_error"] >= 1.0
+        # The CLI audits plan choice, so candidates must be present.
+        assert doc["audit"] is not None
+        assert any(c["chosen"] for c in doc["audit"]["candidates"])
+
+    def test_calibrate_with_explain_annotates_plan(self, capsys):
+        rc = main(
+            [
+                "sql", "--scale", "0.005", "--calibrate", "--explain",
+                "-c", "select cid, sum(inv) from invest group by cid",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "act=" in out
+        assert "q=" in out
+
     def test_create_view_statement(self, capsys):
         rc = main(
             [

@@ -353,3 +353,124 @@ class TestRunBatch:
         q2 = MPFQuery(MPFView("invest", tables, MAX_PRODUCT), ("wid",))
         with pytest.raises(QueryError):
             db.run_batch([q1, q2])
+
+
+class TestExplainAnalyze:
+    """Cost-model calibration through the Database facade."""
+
+    @pytest.fixture
+    def chain_db(self, chain_relations):
+        database = Database()
+        for rel in chain_relations:
+            database.register(rel)
+        database.create_view("chain", ("s1", "s2", "s3"))
+        return database
+
+    def test_exact_stats_calibrate_to_unit_q_error(self, chain_db):
+        report = chain_db.explain_analyze(
+            "select d, sum(f) from chain group by d"
+        )
+        calib = report.calibration
+        assert calib is not None
+        assert calib.plan_q_error == 1.0
+        assert all(n.q_error == 1.0 for n in calib.nodes)
+        assert calib.stats_epoch == chain_db.catalog.stats_epoch
+
+    def test_result_matches_plain_execution(self, chain_db):
+        sql = "select d, sum(f) from chain group by d"
+        report = chain_db.explain_analyze(sql)
+        plain = chain_db.execute(sql)
+        assert report.result.equals(plain.result, SUM_PRODUCT)
+
+    def test_skewed_reload_produces_misestimate(self, chain_db):
+        from repro.data import FunctionalRelation, var
+
+        a, b = var("a", 3), var("b", 4)
+        rows = [(i, 0, 1.0) for i in range(3)]
+        rows += [(0, j, 1.0) for j in range(1, 4)]
+        chain_db.reload_table(
+            FunctionalRelation.from_rows([a, b], rows, name="s1")
+        )
+        report = chain_db.explain_analyze(
+            "select d, sum(f) from chain where b = 0 group by d"
+        )
+        calib = report.calibration
+        assert calib.plan_q_error > 1.0
+        assert calib.dominant is not None
+        assert calib.dominant.source == "selection"
+
+    def test_calibration_document_validates(self, chain_db):
+        from repro.obs.validate import validate_document
+
+        report = chain_db.explain_analyze(
+            "select d, sum(f) from chain group by d", audit_plans=True
+        )
+        doc = report.to_calibration_dict()
+        assert validate_document(doc) == "repro.calibration.v1"
+        assert doc["audit"]["plan_regret"] >= 1.0
+        assert any(c["chosen"] for c in doc["audit"]["candidates"])
+
+    def test_explain_dict_carries_actuals(self, chain_db):
+        from repro.obs.validate import validate_document
+
+        report = chain_db.explain_analyze(
+            "select d, sum(f) from chain group by d"
+        )
+        doc = report.to_explain_dict()
+        assert validate_document(doc) == "repro.explain.v1"
+        assert doc["plan"]["actual"]["rows"] == report.result.ntuples
+        assert doc["plan"]["q_error"] == 1.0
+
+    def test_plan_text_and_profile_show_q_errors(self, chain_db):
+        report = chain_db.explain_analyze(
+            "select d, sum(f) from chain group by d"
+        )
+        assert "q=1.00" in report.plan_text
+        assert "act=" in report.plan_text
+        formatted = report.formatted()
+        assert "q-err" in formatted
+        assert "plan q-error: 1.00" in formatted
+
+    def test_audit_respects_max_tables(self, chain_db):
+        report = chain_db.explain_analyze(
+            "select d, sum(f) from chain group by d",
+            audit_plans=True,
+            audit_max_tables=2,
+        )
+        assert report.audit is None
+
+    def test_audit_replays_do_not_skew_query_metrics(self, chain_db):
+        sql = "select d, sum(f) from chain group by d"
+        chain_db.explain_analyze(sql, audit_plans=False)
+        before = chain_db.metrics_snapshot()
+        chain_db.explain_analyze(sql, audit_plans=True)
+        delta = chain_db.metrics_snapshot().diff(before).to_dict()
+        # Exactly one more profiled execution's worth of queries.* /
+        # query.* work, despite several replays.
+        assert delta.get("calib.plans_replayed", {}).get("value", 0) >= 2
+        runs = sum(
+            entry["value"] for key, entry in delta.items()
+            if key.startswith("query.operator_runs")
+        )
+        first = sum(
+            entry["value"] for key, entry in before.to_dict().items()
+            if key.startswith("query.operator_runs")
+        )
+        assert runs == first  # replay published nothing into query.*
+
+    def test_calibrate_false_skips_calibration(self, chain_db):
+        report = chain_db.explain_analyze(
+            "select d, sum(f) from chain group by d", calibrate=False
+        )
+        assert report.calibration is None
+        with pytest.raises(QueryError):
+            report.to_calibration_dict()
+
+    def test_calib_metrics_published(self, chain_db):
+        chain_db.explain_analyze("select d, sum(f) from chain group by d")
+        snap = chain_db.metrics_snapshot()
+        assert snap.get("calib.runs") == 1
+
+    def test_non_select_rejected(self, chain_db):
+        with pytest.raises(QueryError):
+            chain_db.explain_analyze("create index on s1(a)")
