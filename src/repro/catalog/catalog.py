@@ -17,6 +17,7 @@ from repro.errors import CatalogError, SchemaError
 from repro.storage.heapfile import HeapFile
 from repro.storage.index import HashIndex
 from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.partition import PartitionSpec, partition_relation
 
 __all__ = ["Catalog"]
 
@@ -34,6 +35,9 @@ class Catalog:
         self._stats: dict[str, TableStats] = {}
         self._heapfiles: dict[str, HeapFile] = {}
         self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self._partitions: dict[str, PartitionSpec] = {}
+        self._shard_relations: dict[str, list[FunctionalRelation]] = {}
+        self._shard_files: dict[str, list[HeapFile]] = {}
         self._variables: dict[str, Variable] = {}
         self._page_size = page_size
         self._next_file_id = 1
@@ -124,7 +128,13 @@ class Catalog:
             del self._indexes[key]
         for v in relation.variables:
             self._variables[v.name] = v
+        spec = self._partitions.pop(name, None)
+        self._shard_relations.pop(name, None)
+        self._shard_files.pop(name, None)
         self._epoch += 1
+        if spec is not None:
+            # Reloaded data keeps the table's declared partitioning.
+            self.partition_table(name, spec.key, spec.shards)
         return name
 
     def register_all(self, relations: Iterable[FunctionalRelation]) -> list[str]:
@@ -150,6 +160,66 @@ class Catalog:
     def index_on(self, table: str, variable: str) -> HashIndex | None:
         """The hash index on ``table(variable)``, if one was created."""
         return self._indexes.get((table, variable))
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def partition_table(
+        self, name: str, key: str, shards: int
+    ) -> PartitionSpec:
+        """Hash-partition a registered table by one of its variables.
+
+        The table's rows are split into ``shards`` co-located heap
+        files by the deterministic bucket function of
+        :mod:`repro.storage.partition`; the full-table heap file is
+        kept (unsharded consumers and the optimizer still see one
+        table).  Re-partitioning replaces the previous decomposition.
+        The statistics epoch advances: physical layout is plan-relevant
+        to the runtime's shard-wise execution.
+        """
+        relation = self.relation(name)
+        if key not in relation.columns:
+            raise CatalogError(
+                f"partitioning key {key!r} is not a variable of table "
+                f"{name!r} (has {list(relation.var_names)})"
+            )
+        spec = PartitionSpec(key, shards)
+        parts = partition_relation(relation, key, shards)
+        files = []
+        for part in parts:
+            files.append(
+                HeapFile.for_relation(self._next_file_id, part, self._page_size)
+            )
+            self._next_file_id += 1
+        self._partitions[name] = spec
+        self._shard_relations[name] = parts
+        self._shard_files[name] = files
+        self._epoch += 1
+        return spec
+
+    def partition_spec(self, name: str) -> PartitionSpec | None:
+        """The table's :class:`PartitionSpec`, or ``None`` if unpartitioned."""
+        return self._partitions.get(name)
+
+    @property
+    def partitioned_tables(self) -> tuple[str, ...]:
+        return tuple(self._partitions)
+
+    @property
+    def has_partitions(self) -> bool:
+        return bool(self._partitions)
+
+    def shard_relations(self, name: str) -> list[FunctionalRelation]:
+        try:
+            return self._shard_relations[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} is not partitioned") from None
+
+    def shard_heapfiles(self, name: str) -> list[HeapFile]:
+        try:
+            return self._shard_files[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} is not partitioned") from None
 
     # ------------------------------------------------------------------
     # Lookup

@@ -74,16 +74,43 @@ create mpfview invest as
 
 
 def _build_database(
-    scale: float, seed: int, pool=None, metrics=None
+    scale: float, seed: int, pool=None, metrics=None, workers: int = 1,
+    partitions=None,
 ) -> Database:
     from repro.datagen import supply_chain
 
     sc = supply_chain(scale=scale, seed=seed)
-    db = Database(pool=pool, metrics=metrics)
+    db = Database(pool=pool, metrics=metrics, workers=workers)
     for t in sc.tables:
         db.register(sc.catalog.relation(t))
+    for table, key, shards in partitions or ():
+        db.catalog.partition_table(table, key, shards)
     db.execute(CREATE_INVEST)
     return db
+
+
+def _parse_partitions(specs):
+    """Parse repeatable ``--partition TABLE=KEY:N`` flags.
+
+    Returns ``[(table, key, shards), ...]``; raises ``ValueError`` with
+    a usage message on a malformed spec.
+    """
+    parsed = []
+    for spec in specs or ():
+        table, eq, rest = spec.partition("=")
+        key, colon, shards = rest.partition(":")
+        if not (eq and colon and table and key):
+            raise ValueError(
+                f"--partition expects TABLE=KEY:N, got {spec!r}"
+            )
+        try:
+            count = int(shards)
+        except ValueError:
+            raise ValueError(
+                f"--partition expects an integer shard count, got {spec!r}"
+            ) from None
+        parsed.append((table, key, count))
+    return parsed
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +206,16 @@ def cmd_sql(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return EXIT_USAGE
+    if args.workers < 1:
+        print(
+            f"--workers must be >= 1, got {args.workers}", file=sys.stderr
+        )
+        return EXIT_USAGE
+    try:
+        partitions = _parse_partitions(args.partition)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
 
     crash = _crash_injector_from_args(args)
     pool = BufferPool(injector=_fault_injector_from_args(args))
@@ -199,6 +236,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
             recovered = dict(state.queries)
             if state.has_checkpoint:
                 db = manager.restore_database(state, pool=pool)
+                db.workers = args.workers
                 print(
                     f"-- resumed from {state.checkpoint.name}: "
                     f"{len(recovered)} recorded statement(s), "
@@ -210,14 +248,18 @@ def cmd_sql(args: argparse.Namespace) -> int:
                 # let recorded statements skip execution.
                 db = _build_database(
                     args.scale, args.seed, pool=pool,
-                    metrics=state.registry,
+                    metrics=state.registry, workers=args.workers,
+                    partitions=partitions,
                 )
                 print(
                     f"-- no checkpoint; rebuilt base tables, "
                     f"{len(recovered)} recorded statement(s) on the WAL"
                 )
         else:
-            db = _build_database(args.scale, args.seed, pool=pool)
+            db = _build_database(
+                args.scale, args.seed, pool=pool,
+                workers=args.workers, partitions=partitions,
+            )
         wal = WriteAheadLog(
             wal_path(args.checkpoint_dir), crash=crash, metrics=db.metrics
         )
@@ -226,7 +268,10 @@ def cmd_sql(args: argparse.Namespace) -> int:
             args.checkpoint_dir, wal=wal, metrics=db.metrics
         )
     else:
-        db = _build_database(args.scale, args.seed, pool=pool)
+        db = _build_database(
+            args.scale, args.seed, pool=pool,
+            workers=args.workers, partitions=partitions,
+        )
 
     guard = _guard_from_args(args)
     statements: list[str] = []
@@ -549,6 +594,14 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--fault-transient-rate", type=float, default=0.0,
                      metavar="P",
                      help="seeded per-page transient fault probability")
+    sql.add_argument("--workers", type=int, default=1,
+                     help="modeled executor count for partition-parallel "
+                          "execution (results are identical for every "
+                          "worker count; see docs/parallelism.md)")
+    sql.add_argument("--partition", action="append", default=None,
+                     metavar="TABLE=KEY:N",
+                     help="hash-partition TABLE on variable KEY into N "
+                          "shards before running (repeatable)")
     sql.add_argument("--fault-permanent-rate", type=float, default=0.0,
                      metavar="P",
                      help="seeded per-page permanent fault probability")

@@ -38,6 +38,7 @@ from repro.plans.guard import QueryGuard
 from repro.plans.lower import PlanDAG, lower
 from repro.plans.printer import explain
 from repro.plans.runtime import ExecutionContext, evaluate_dag
+from repro.plans.scheduler import ScheduleReport
 from repro.query.parser import (
     CreateIndexStatement,
     CreateViewStatement,
@@ -150,6 +151,10 @@ class BatchReport:
     reports: list[QueryReport]
     stats: IOStats
     dag: PlanDAG
+    schedule: "ScheduleReport | None" = None
+    """Modeled task schedule of the batch (serial elapsed, makespan,
+    speedup on the configured worker count); ``None`` only for
+    historical callers that construct reports by hand."""
 
     @property
     def shared_subplans(self) -> int:
@@ -180,6 +185,8 @@ class BatchReport:
             f"({self.shared_subplans} shared), "
             f"{self.stats.summary()}"
         )
+        if self.schedule is not None and self.schedule.tasks:
+            text += f", schedule: {self.schedule.summary()}"
         if self.failed:
             text += f", {len(self.failed)} failed"
         return text
@@ -249,8 +256,16 @@ class Database:
         cost_model: CostModel | None = None,
         pool: BufferPool | None = None,
         metrics: MetricsRegistry | None = None,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
         self.catalog = Catalog()
+        self.workers = workers
+        """Worker count for partition-parallel execution: shard tasks
+        of one batch/query are scheduled over this many modeled
+        executors (``docs/parallelism.md``).  Results and structural
+        counters are worker-count independent by construction."""
         self.cost_model = cost_model or SimpleCostModel()
         self.pool = pool or BufferPool()
         # Explicit None check: an empty registry is falsy (len() == 0)
@@ -518,7 +533,7 @@ class Database:
         )
         executor = Executor(
             self.catalog, query.view.semiring, pool=self.pool,
-            metrics=self.metrics,
+            metrics=self.metrics, workers=self.workers,
         )
         try:
             result, stats = executor.run(optimization.plan, guard=guard)
@@ -618,6 +633,7 @@ class Database:
         resume_from=None,
         checkpointer=None,
         checkpoint_every: int = 1,
+        workers: int | None = None,
     ) -> BatchReport:
         """Optimize and execute a batch of queries with shared subplans.
 
@@ -655,6 +671,14 @@ class Database:
         :class:`~repro.storage.checkpoint.CheckpointManager`) takes a
         full database checkpoint after every ``checkpoint_every``
         freshly executed queries.
+
+        ``workers`` overrides the database's worker count for this
+        batch.  Queries whose plan roots are independent (and, over
+        partitioned tables, the per-shard tasks inside each plan) are
+        scheduled over the modeled worker pool; the returned report's
+        ``schedule`` carries the critical-path makespan and speedup.
+        Results, counters, and WAL records are identical for every
+        worker count (``docs/parallelism.md``).
         """
         queries = list(queries)
         if not queries:
@@ -705,6 +729,7 @@ class Database:
         ctx = ExecutionContext(
             self.catalog, semiring, pool=self.pool, guard=guard,
             metrics=self.metrics,
+            workers=self.workers if workers is None else workers,
         )
         if resume_from is not None and hasattr(resume_from, "seed_context"):
             resume_from.seed_context(ctx)
@@ -789,7 +814,10 @@ class Database:
         finally:
             self.pool.wal = previous_wal
         self._publish_guard(guard, ctx.stats)
-        return BatchReport(reports=reports, stats=ctx.stats, dag=dag)
+        return BatchReport(
+            reports=reports, stats=ctx.stats, dag=dag,
+            schedule=ctx.publish_schedule(),
+        )
 
     def _select_query(self, sql: str, what: str = "profile") -> MPFQuery:
         """Parse a ``select`` statement into an :class:`MPFQuery`."""
@@ -1045,7 +1073,8 @@ class Database:
             semiring = SUM_PRODUCT
         relations = [self.catalog.relation(t) for t in entry.view_tables]
         context = ExecutionContext(
-            self.catalog, semiring, pool=self.pool, metrics=self.metrics
+            self.catalog, semiring, pool=self.pool, metrics=self.metrics,
+            workers=self.workers,
         )
         cache = build_ve_cache(
             relations, semiring, heuristic=heuristic, context=context

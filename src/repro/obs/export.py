@@ -117,6 +117,18 @@ METRIC_CATALOG: dict[str, str] = {
     "recovery.replayed_records": "counter",
     "recovery.torn_tails": "counter",
     "recovery.checkpoints_discarded": "counter",
+    # partition-parallel execution: per-shard work (worker-count
+    # independent structural counters) and the modeled schedule
+    # (worker-count dependent gauges; see docs/parallelism.md)
+    "shard.tasks": "counter",
+    "shard.repartitions": "counter",
+    "shard.shuffle_pages": "counter",
+    "shard.partial_aggregates": "counter",
+    "scheduler.workers": "gauge",
+    "scheduler.tasks": "gauge",
+    "scheduler.serial_elapsed": "gauge",
+    "scheduler.makespan": "gauge",
+    "scheduler.speedup": "gauge",
     # cost-model calibration (labels: calib.q_error operator=<op>,
     # calib.misestimates source=<estimator step>)
     "calib.runs": "counter",

@@ -44,10 +44,11 @@ class Executor:
         workmem_pages: int = DEFAULT_WORKMEM_PAGES,
         context: ExecutionContext | None = None,
         metrics=None,
+        workers: int = 1,
     ):
         self.context = context or ExecutionContext(
             catalog, semiring, pool=pool, workmem_pages=workmem_pages,
-            metrics=metrics,
+            metrics=metrics, workers=workers,
         )
 
     @property
@@ -99,10 +100,11 @@ def execute(
     workmem_pages: int = DEFAULT_WORKMEM_PAGES,
     guard: QueryGuard | None = None,
     metrics=None,
+    workers: int = 1,
 ):
     """One-shot convenience wrapper around :class:`Executor`."""
     executor = Executor(
         catalog, semiring, pool=pool, workmem_pages=workmem_pages,
-        metrics=metrics,
+        metrics=metrics, workers=workers,
     )
     return executor.run(plan, guard=guard)

@@ -53,11 +53,17 @@ from repro.plans.nodes import (
     Select,
     SemiJoin,
 )
+from repro.plans.scheduler import CriticalPathClock, OrderedPool, ScheduleReport
 from repro.semiring.base import Semiring
 from repro.storage.buffer import BufferPool
 from repro.storage.heapfile import HeapFile, TempFileAllocator
 from repro.storage.iostats import IOStats
 from repro.storage.page import PageGeometry
+from repro.storage.partition import (
+    PartitionSpec,
+    concat_relations,
+    partition_relation,
+)
 
 __all__ = [
     "DEFAULT_WORKMEM_PAGES",
@@ -135,7 +141,10 @@ class ExecutionContext:
         tracer: Tracer | None = None,
         guard: QueryGuard | None = None,
         metrics=None,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise PlanError(f"workers must be >= 1, got {workers}")
         self.catalog = catalog if isinstance(catalog, Catalog) else None
         self.env: dict[str, FunctionalRelation] = dict(
             catalog.environment() if isinstance(catalog, Catalog) else catalog
@@ -147,6 +156,25 @@ class ExecutionContext:
         self.tracer = tracer
         self.guard = guard
         self.metrics = metrics
+        self.workers = workers
+        self.schedule = CriticalPathClock(workers)
+        """Modeled task schedule accumulated over the context lifetime
+        (a batch, a workload program); see :meth:`publish_schedule`."""
+        self._ordered_pool = OrderedPool(workers)
+        self.shard_results: dict[
+            tuple, tuple[PartitionSpec, list[FunctionalRelation]]
+        ] = {}
+        """Sharded form of memoized results — ``key -> (spec, shards)``.
+        The memo itself always holds the merged relation, so
+        checkpointing, recovery seeding, and unsharded consumers are
+        oblivious to partitioning."""
+        self._node_tasks: dict[tuple, tuple[int, ...]] = {}
+        self._table_writers: dict[str, tuple[int, ...]] = {}
+        self.last_root_tasks: tuple[int, ...] = ()
+        """Schedule tasks that produced the roots of the most recent
+        :func:`evaluate_dag` call — the dependency handle
+        :meth:`bind` records so a rebound table (a BP message target)
+        serializes against its producer on the modeled clock."""
         self.memo: dict[tuple, FunctionalRelation] = {}
         self.actuals: dict[tuple, tuple[int, float | None]] = {}
         """Per-executed-node actual ``(out_rows, elapsed)`` keyed by
@@ -168,9 +196,17 @@ class ExecutionContext:
             raise PlanError(f"unknown table {table!r}") from None
 
     def bind(self, name: str, relation: FunctionalRelation) -> None:
-        """(Re)bind a name; memo entries reading it become invalid."""
+        """(Re)bind a name; memo entries reading it become invalid.
+
+        On the modeled schedule the rebound name now depends on the
+        tasks that produced the most recent evaluation's roots —
+        workload code computes a message and immediately binds it, so
+        a later scan of the name serializes after its producer, while
+        messages to *different* targets stay independent and overlap.
+        """
         self.env[name] = relation
         self.invalidate(name)
+        self._table_writers[name] = self.last_root_tasks
 
     def invalidate(self, *tables: str) -> None:
         """Drop memoized results that scanned any of ``tables``."""
@@ -184,6 +220,8 @@ class ExecutionContext:
             del self.memo[key]
             del self._memo_reads[key]
             self._memo_nodes.pop(key, None)
+            self.shard_results.pop(key, None)
+            self._node_tasks.pop(key, None)
         for name in names:
             file = self._adhoc_files.pop(name, None)
             if file is not None:
@@ -193,6 +231,8 @@ class ExecutionContext:
         self.memo.clear()
         self._memo_reads.clear()
         self._memo_nodes.clear()
+        self.shard_results.clear()
+        self._node_tasks.clear()
 
     def memo_entries(self):
         """Yield ``(node, relation)`` for every memoized subplan.
@@ -266,6 +306,26 @@ class ExecutionContext:
         """Increment a registry counter; no-op without a registry."""
         if self.metrics is not None:
             self.metrics.counter(name, **labels).inc(amount)
+
+    def publish_schedule(self) -> ScheduleReport:
+        """Compute and publish the accumulated modeled schedule.
+
+        The ``scheduler.*`` gauges describe the *latest* schedule of
+        this context (a batch, a workload program).  They are modeled
+        quantities — worker-count dependent by design — and therefore
+        deliberately outside the structural counters the differential
+        suite pins; :meth:`IOStats.elapsed` stays the serial sum.
+        """
+        report = self.schedule.report()
+        if self.metrics is not None and report.tasks:
+            self.metrics.gauge("scheduler.workers").set(report.workers)
+            self.metrics.gauge("scheduler.tasks").set(report.tasks)
+            self.metrics.gauge("scheduler.serial_elapsed").set(
+                report.serial_elapsed
+            )
+            self.metrics.gauge("scheduler.makespan").set(report.makespan)
+            self.metrics.gauge("scheduler.speedup").set(report.speedup)
+        return report
 
     def publish_operator(self, node: PlanNode, delta: IOStats) -> None:
         """Publish one executed operator's incremental work.
@@ -464,6 +524,362 @@ def operator_for(node: PlanNode) -> PhysicalOperator:
 
 
 # ----------------------------------------------------------------------
+# Sharded execution
+# ----------------------------------------------------------------------
+def _run_tasks(ctx, deps_list, thunks, label):
+    """Run independent thunks via the ordered pool as schedule tasks.
+
+    Each thunk becomes one task on the modeled clock: its elapsed is
+    the cost-clock delta it charged while running.  Dispatch goes
+    through :class:`OrderedPool`, so shared-state mutation order (and
+    every counter) is the serial order regardless of worker count.
+    Tasks are registered only after all thunks succeed — a failed
+    operator contributes no schedule entries, mirroring how it
+    contributes no memo entry.
+    """
+    results = [None] * len(thunks)
+    elapses = [0.0] * len(thunks)
+
+    def timed(index, thunk):
+        def call():
+            snapshot = ctx.stats.snapshot()
+            results[index] = thunk()
+            elapses[index] = ctx.stats.since(snapshot).elapsed()
+
+        return call
+
+    ctx._ordered_pool.run(
+        [timed(i, thunk) for i, thunk in enumerate(thunks)]
+    )
+    task_ids = tuple(
+        ctx.schedule.add_task(deps, elapses[i], label)
+        for i, deps in enumerate(deps_list)
+    )
+    return results, task_ids
+
+
+def _dedup(ids) -> tuple[int, ...]:
+    """Stable-order dependency dedup."""
+    return tuple(dict.fromkeys(ids))
+
+
+def _align_deps(child_tasks, shards, extra):
+    """Per-shard dependency lists against a producer's tasks.
+
+    A producer sharded the same way contributes shard-aligned edges
+    (shard *i* waits only on the producer's shard *i*); anything else
+    is a barrier — every shard waits on all producer tasks.
+    """
+    if len(child_tasks) == shards:
+        return [_dedup((child_tasks[i], *extra)) for i in range(shards)]
+    return [_dedup((*child_tasks, *extra))] * shards
+
+
+def _catalog_spec(ctx, table):
+    """The table's partition spec, when its shard cache is usable.
+
+    A name rebound over the catalog relation (workload code shadowing
+    a base table) invalidates the cached shard decomposition, so such
+    scans fall back to the unsharded path.
+    """
+    if ctx.catalog is None or table not in ctx.catalog:
+        return None
+    spec = ctx.catalog.partition_spec(table)
+    if spec is None:
+        return None
+    if ctx.env.get(table) is not ctx.catalog.relation(table):
+        return None
+    return spec
+
+
+def _single_task(ctx, node, inputs, deps):
+    """Execute one node unsharded as a single schedule task."""
+    operator = operator_for(node)
+    (result,), task_ids = _run_tasks(
+        ctx, [deps], [lambda: operator.execute(ctx, inputs)], node.label()
+    )
+    return result, None, task_ids
+
+
+def _repartition(ctx, relation, key, shards, producer_tasks, side):
+    """Explicit shuffle: split ``relation`` on ``key`` and charge it.
+
+    Every shard is written out and read back through the pool (spill
+    writes + re-reads on the cost clock, WAL page records when a log
+    is attached), one schedule task per shard, each depending on all
+    of the side's producer tasks — a repartition is a barrier.
+    """
+    parts = partition_relation(relation, key, shards)
+    thunks = []
+    for part in parts:
+        def shuffle(part=part):
+            temp = ctx._temp.allocate(part.ntuples, part.arity)
+            temp.write_out(ctx.pool, ctx.stats, guard=ctx.guard)
+            temp.scan(ctx.pool, ctx.stats, guard=ctx.guard)
+            return temp.n_pages
+
+        thunks.append(shuffle)
+    pages, task_ids = _run_tasks(
+        ctx, [producer_tasks] * shards, thunks, f"shuffle[{side}]({key})"
+    )
+    ctx.count("shard.repartitions")
+    ctx.count("shard.shuffle_pages", sum(pages))
+    return parts, [(t,) for t in task_ids]
+
+
+def _aligned_side(ctx, relation, sharded, node_tasks, key, shards, side):
+    """A join side as ``shards`` parts partitioned on ``key``.
+
+    Co-partitioned sides reuse their existing shard relations (and
+    shard-aligned dependencies); everything else repartitions.
+    """
+    if (
+        sharded is not None
+        and sharded[0].key == key
+        and sharded[0].shards == shards
+    ):
+        parts = sharded[1]
+        if len(node_tasks) == shards:
+            deps = [(node_tasks[i],) for i in range(shards)]
+        else:
+            deps = [_dedup(node_tasks)] * shards
+        return parts, deps
+    return _repartition(ctx, relation, key, shards, _dedup(node_tasks), side)
+
+
+def _join_method(ctx, node, left):
+    """Legacy hash→sort-merge degrade decision on the merged build side."""
+    method = node.method
+    if method == "hash" and ctx.guard is not None:
+        build_pages = PageGeometry(left.arity).pages_for(left.ntuples)
+        if not ctx.guard.build_side_fits(build_pages, ctx.workmem_pages):
+            if not ctx.guard.allow_degrade:
+                raise MemoryLimitExceeded(
+                    f"hash-join build side needs {build_pages} pages, "
+                    "over the memory allowance, and degradation is "
+                    "disabled"
+                )
+            method = "sort_merge"
+            ctx.record_degradation(
+                node,
+                f"hash join degraded to sort-merge: build side "
+                f"({build_pages} pages) exceeds the memory allowance",
+            )
+    return method
+
+
+def _groupby_method(ctx, node, child):
+    """Legacy hash→sort degrade decision on the merged input."""
+    method = node.method
+    if method == "hash" and ctx.guard is not None:
+        table_pages = PageGeometry(child.arity).pages_for(child.ntuples)
+        if not ctx.guard.build_side_fits(table_pages, ctx.workmem_pages):
+            if not ctx.guard.allow_degrade:
+                raise MemoryLimitExceeded(
+                    f"hash aggregation table needs {table_pages} pages, "
+                    "over the memory allowance, and degradation is "
+                    "disabled"
+                )
+            method = "sort"
+            ctx.record_degradation(
+                node,
+                f"hash aggregation degraded to sort: table "
+                f"({table_pages} pages) exceeds the memory allowance",
+            )
+    return method
+
+
+def _execute_scan_sharded(ctx, node, deps):
+    spec = _catalog_spec(ctx, node.table)
+    writer = ctx._table_writers.get(node.table, ())
+    deps = _dedup((*deps, *writer))
+    if spec is None:
+        return _single_task(ctx, node, (), deps)
+    shards = ctx.catalog.shard_relations(node.table)
+    files = ctx.catalog.shard_heapfiles(node.table)
+    thunks = []
+    for heapfile in files:
+        def scan_shard(heapfile=heapfile):
+            heapfile.scan(ctx.pool, ctx.stats, guard=ctx.guard)
+
+        thunks.append(scan_shard)
+    _, task_ids = _run_tasks(
+        ctx, [deps] * spec.shards, thunks, node.label()
+    )
+    ctx.count("shard.tasks", spec.shards)
+    return ctx.relation(node.table), (spec, shards), task_ids
+
+
+def _execute_select_sharded(ctx, node, key, inputs, child_keys, deps):
+    (child_key,) = child_keys
+    sharded = ctx.shard_results.get(child_key)
+    if sharded is None:
+        return _single_task(ctx, node, inputs, deps)
+    spec, parts = sharded
+    per_deps = _align_deps(
+        ctx._node_tasks.get(child_key, ()), spec.shards, deps
+    )
+    thunks = []
+    for part in parts:
+        def select_shard(part=part):
+            ctx.stats.charge_cpu(part.ntuples)
+            return restrict(part, node.predicate)
+
+        thunks.append(select_shard)
+    results, task_ids = _run_tasks(ctx, per_deps, thunks, node.label())
+    ctx.count("shard.tasks", spec.shards)
+    # Selection preserves key codes, hence the partitioning.
+    return concat_relations(results), (spec, results), task_ids
+
+
+def _execute_join_sharded(ctx, node, key, inputs, child_keys, deps):
+    left_key, right_key = child_keys
+    left, right = inputs
+    left_sharded = ctx.shard_results.get(left_key)
+    right_sharded = ctx.shard_results.get(right_key)
+    if left_sharded is None and right_sharded is None:
+        return _single_task(ctx, node, inputs, deps)
+    shared = sorted(set(left.var_names) & set(right.var_names))
+    if not shared:
+        # Cross product: no key to align on; de-shard and run whole.
+        return _single_task(ctx, node, inputs, deps)
+
+    # Alignment key: an existing partition key among the join
+    # variables wins (left preferred, deterministically); otherwise
+    # both sides shuffle onto the lexicographically first shared
+    # variable with the sharded side's shard count.
+    if left_sharded is not None and left_sharded[0].key in shared:
+        align_key, shards = left_sharded[0].key, left_sharded[0].shards
+    elif right_sharded is not None and right_sharded[0].key in shared:
+        align_key, shards = right_sharded[0].key, right_sharded[0].shards
+    else:
+        align_key = shared[0]
+        shards = (left_sharded or right_sharded)[0].shards
+
+    method = _join_method(ctx, node, left)
+    left_parts, left_deps = _aligned_side(
+        ctx, left, left_sharded, ctx._node_tasks.get(left_key, ()),
+        align_key, shards, "left",
+    )
+    right_parts, right_deps = _aligned_side(
+        ctx, right, right_sharded, ctx._node_tasks.get(right_key, ()),
+        align_key, shards, "right",
+    )
+
+    thunks = []
+    per_deps = []
+    for i in range(shards):
+        def join_shard(lp=left_parts[i], rp=right_parts[i]):
+            result = product_join(lp, rp, ctx.semiring)
+            if method == "sort_merge":
+                nl, nr = max(lp.ntuples, 2), max(rp.ntuples, 2)
+                ctx.stats.charge_cpu(
+                    int(nl * math.log2(nl) + nr * math.log2(nr))
+                )
+            ctx.stats.charge_cpu(
+                lp.ntuples + rp.ntuples + result.ntuples
+            )
+            ctx.maybe_spill(result)
+            return result
+
+        thunks.append(join_shard)
+        per_deps.append(_dedup((*left_deps[i], *right_deps[i], *deps)))
+    results, task_ids = _run_tasks(ctx, per_deps, thunks, node.label())
+    ctx.count("shard.tasks", shards)
+    # Matching rows share the key value, so output shard i only holds
+    # rows hashing to bucket i: the join result stays partitioned.
+    return (
+        concat_relations(results),
+        (PartitionSpec(align_key, shards), results),
+        task_ids,
+    )
+
+
+def _execute_groupby_sharded(ctx, node, key, inputs, child_keys, deps):
+    (child_key,) = child_keys
+    sharded = ctx.shard_results.get(child_key)
+    if sharded is None:
+        return _single_task(ctx, node, inputs, deps)
+    spec, parts = sharded
+    (child,) = inputs
+    method = _groupby_method(ctx, node, child)
+    group_names = tuple(node.group_names)
+    per_deps = _align_deps(
+        ctx._node_tasks.get(child_key, ()), spec.shards, deps
+    )
+    thunks = []
+    for part in parts:
+        def aggregate_shard(part=part):
+            n = max(part.ntuples, 2)
+            if method == "sort":
+                ctx.stats.charge_cpu(int(n * math.log2(n)))
+            else:
+                ctx.stats.charge_cpu(n)
+            result = marginalize(part, group_names, ctx.semiring)
+            ctx.stats.charge_cpu(result.ntuples)
+            ctx.maybe_spill(result)
+            return result
+
+        thunks.append(aggregate_shard)
+    results, task_ids = _run_tasks(ctx, per_deps, thunks, node.label())
+    ctx.count("shard.tasks", spec.shards)
+
+    if spec.key in group_names:
+        # The partitioning key survives aggregation: groups never span
+        # shards, so per-shard aggregation is already complete.
+        return concat_relations(results), (spec, results), task_ids
+
+    # Partial aggregates: groups span shards; a final semiring-plus
+    # merge combines them.  The combine is a barrier over all shards.
+    def combine():
+        stacked = concat_relations(results)
+        ctx.stats.charge_cpu(stacked.ntuples)
+        final = marginalize(stacked, group_names, ctx.semiring)
+        ctx.stats.charge_cpu(final.ntuples)
+        ctx.maybe_spill(final)
+        return final
+
+    (final,), combine_ids = _run_tasks(
+        ctx, [task_ids], [combine], node.label() + "+combine"
+    )
+    ctx.count("shard.partial_aggregates")
+    return final, None, combine_ids
+
+
+def _execute_node_scheduled(ctx, dag, node, key, inputs):
+    """Execute one DAG node on the scheduled path.
+
+    Returns ``(merged_result, sharded_or_None, task_ids)``.  Work is
+    decomposed over catalog shards where the operator composes with
+    hash partitioning (Scan/Select/ProductJoin/GroupBy); everything
+    else de-shards its inputs (the memo always has the merged form)
+    and runs as a single task.
+    """
+    child_keys = dag.children[key]
+    deps = _dedup(
+        t for k in child_keys for t in ctx._node_tasks.get(k, ())
+    )
+    if isinstance(node, Scan):
+        return _execute_scan_sharded(ctx, node, deps)
+    if isinstance(node, IndexScan):
+        writer = ctx._table_writers.get(node.table, ())
+        return _single_task(ctx, node, inputs, _dedup((*deps, *writer)))
+    if isinstance(node, Select):
+        return _execute_select_sharded(
+            ctx, node, key, inputs, child_keys, deps
+        )
+    if isinstance(node, ProductJoin):
+        return _execute_join_sharded(
+            ctx, node, key, inputs, child_keys, deps
+        )
+    if isinstance(node, GroupBy):
+        return _execute_groupby_sharded(
+            ctx, node, key, inputs, child_keys, deps
+        )
+    return _single_task(ctx, node, inputs, deps)
+
+
+# ----------------------------------------------------------------------
 # Evaluation drivers
 # ----------------------------------------------------------------------
 def evaluate_dag(
@@ -477,6 +893,16 @@ def evaluate_dag(
     context memo (from this call or an earlier one against the same
     context) are served from it, charging a memo hit instead of work.
     Subtrees below a memoized node are skipped entirely.
+
+    With ``workers > 1`` or a partitioned catalog the run goes through
+    the *scheduled* path: operators over partitioned tables decompose
+    into per-shard tasks, and every task lands on the context's
+    :class:`CriticalPathClock` with its dependency edges.  Execution
+    order — and therefore results, counters, and WAL records — is
+    identical to the serial path by construction (ordered dispatch);
+    parallelism shows up as the schedule's modeled makespan.  At
+    ``workers=1`` with no partitioned tables this is exactly the
+    historical serial loop.
     """
     if roots is None:
         roots = dag.roots
@@ -509,6 +935,10 @@ def evaluate_dag(
                 ctx.tracer.on_memo_hit(dag.nodes[key], result)
         return result
 
+    scheduled = ctx.workers > 1 or (
+        ctx.catalog is not None and ctx.catalog.has_partitions
+    )
+
     executed: set[tuple] = set()
     for key in dag.topological():
         if key not in needed:
@@ -522,7 +952,17 @@ def evaluate_dag(
         node = dag.nodes[key]
         inputs = tuple(fetch(k) for k in dag.children[key])
         snapshot = ctx.stats.snapshot()
-        result = operator_for(node).execute(ctx, inputs)
+        if scheduled:
+            result, sharded, task_ids = _execute_node_scheduled(
+                ctx, dag, node, key, inputs
+            )
+            if sharded is not None:
+                ctx.shard_results[key] = sharded
+            else:
+                ctx.shard_results.pop(key, None)
+            ctx._node_tasks[key] = task_ids
+        else:
+            result = operator_for(node).execute(ctx, inputs)
         ctx.stats.record_operator(node.label(), result.ntuples)
         ctx.memo[key] = result
         ctx._memo_reads[key] = dag.base_tables(key)
@@ -536,6 +976,10 @@ def evaluate_dag(
                 ctx.tracer.on_execute(node, result, delta)
         ctx.actuals[key] = (
             result.ntuples, None if delta is None else delta.elapsed()
+        )
+    if scheduled:
+        ctx.last_root_tasks = _dedup(
+            t for key in roots for t in ctx._node_tasks.get(key, ())
         )
     return [fetch(key) for key in roots]
 

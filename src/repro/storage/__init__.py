@@ -26,6 +26,12 @@ from repro.storage.page import (
     PageImage,
     page_crc,
 )
+from repro.storage.partition import (
+    PartitionSpec,
+    concat_relations,
+    partition_relation,
+    shard_assignments,
+)
 from repro.storage.recovery import RecoveredState, RecoveryManager
 from repro.storage.wal import (
     ReplayResult,
@@ -66,4 +72,8 @@ __all__ = [
     "encode_unit",
     "decode_unit",
     "reconstruct_error",
+    "PartitionSpec",
+    "partition_relation",
+    "shard_assignments",
+    "concat_relations",
 ]

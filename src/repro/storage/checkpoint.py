@@ -145,6 +145,10 @@ class CheckpointManager:
             {"table": table, "variable": variable, "file_id": index.file_id}
             for (table, variable), index in sorted(catalog._indexes.items())
         ]
+        partitions = [
+            {"table": table, "key": spec.key, "shards": spec.shards}
+            for table, spec in sorted(catalog._partitions.items())
+        ]
         views = [
             {
                 "name": name,
@@ -181,6 +185,7 @@ class CheckpointManager:
             "wal_position": self.wal.position if self.wal is not None else 0,
             "tables": tables,
             "indexes": indexes,
+            "partitions": partitions,
             "views": views,
             "memo": memo,
             "pool": {

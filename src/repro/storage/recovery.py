@@ -210,6 +210,14 @@ class RecoveryManager:
                     f"file {rebuilt}"
                 )
         catalog._next_file_id = manifest["next_file_id"]
+        # Re-declare partitionings after DDL replay (shard heap files
+        # get fresh ids past the manifest's high-water mark — plans and
+        # WAL records only ever reference base-table ids).  ``get``:
+        # pre-partitioning checkpoints have no "partitions" key.
+        for entry in manifest.get("partitions", []):
+            catalog.partition_table(
+                entry["table"], entry["key"], entry["shards"]
+            )
         catalog._epoch = manifest["stats_epoch"]
 
         for view in manifest["views"]:

@@ -199,6 +199,7 @@ def belief_propagation(
     context: ExecutionContext | None = None,
     keep_going: bool = False,
     journal=None,
+    workers: int = 1,
 ) -> BPResult:
     """Collect/distribute BP over a junction tree of the schema.
 
@@ -215,6 +216,14 @@ def belief_propagation(
     message and are collected on :attr:`BPResult.failures` instead of
     aborting the program (resource errors — timeout, cancellation —
     still abort: they would fail every remaining message too).
+
+    ``workers`` (used only when no ``context`` is passed) sizes the
+    modeled scheduler pool.  Messages run through the runtime's
+    table-writer dependency tracking: a message scanning a table
+    rebound by an earlier message depends on its producer, so messages
+    within one tree level that touch *different* targets overlap on
+    the modeled clock while same-target chains stay serialized —
+    results are identical for every worker count.
     """
     tables = _as_dict(relations)
     schema = {name: rel.var_names for name, rel in tables.items()}
@@ -231,7 +240,7 @@ def belief_propagation(
     if root not in tables:
         raise WorkloadError(f"unknown root table {root!r}")
 
-    ctx = context or ExecutionContext({}, semiring)
+    ctx = context or ExecutionContext({}, semiring, workers=workers)
     for name, rel in tables.items():
         ctx.bind(name, rel)
     backward = _backward_kind(semiring)
@@ -282,6 +291,7 @@ def bp_program_literal(
     context: ExecutionContext | None = None,
     keep_going: bool = False,
     journal=None,
+    workers: int = 1,
 ) -> BPResult:
     """Algorithm 4 verbatim: all sharing pairs, given table order.
 
@@ -298,7 +308,7 @@ def bp_program_literal(
             f"order {order} must be a permutation of {sorted(tables)}"
         )
     scopes = {name: frozenset(rel.var_names) for name, rel in tables.items()}
-    ctx = context or ExecutionContext({}, semiring)
+    ctx = context or ExecutionContext({}, semiring, workers=workers)
     for name, rel in tables.items():
         ctx.bind(name, rel)
     backward = _backward_kind(semiring)

@@ -1,0 +1,118 @@
+"""Unit tests for the critical-path clock and the ordered pool."""
+
+import pytest
+
+from repro.plans.scheduler import CriticalPathClock, OrderedPool
+
+
+class TestCriticalPathClock:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            CriticalPathClock(0)
+
+    def test_empty_schedule(self):
+        clock = CriticalPathClock(4)
+        report = clock.report()
+        assert report.tasks == 0
+        assert report.makespan == 0.0
+        assert report.speedup == 1.0
+
+    def test_serial_chain_has_no_speedup(self):
+        clock = CriticalPathClock(4)
+        prev = clock.add_task((), 10.0)
+        for _ in range(4):
+            prev = clock.add_task((prev,), 10.0)
+        report = clock.report()
+        assert report.serial_elapsed == 50.0
+        assert report.makespan == 50.0
+        assert report.speedup == 1.0
+
+    def test_independent_tasks_pack_onto_workers(self):
+        clock = CriticalPathClock(2)
+        for _ in range(4):
+            clock.add_task((), 10.0)
+        # 4 x 10 over 2 workers: two rounds of two.
+        assert clock.makespan() == 20.0
+        assert clock.report().speedup == 2.0
+
+    def test_one_worker_is_serial_sum(self):
+        clock = CriticalPathClock(1)
+        clock.add_task((), 3.0)
+        clock.add_task((), 4.0)
+        clock.add_task((0, 1), 5.0)
+        assert clock.makespan() == clock.serial_elapsed() == 12.0
+
+    def test_diamond_critical_path(self):
+        clock = CriticalPathClock(8)
+        top = clock.add_task((), 1.0)
+        fast = clock.add_task((top,), 1.0)
+        slow = clock.add_task((top,), 10.0)
+        clock.add_task((fast, slow), 1.0)
+        # 1 + max(1, 10) + 1: the slow branch is the critical path.
+        assert clock.makespan() == 12.0
+
+    def test_forward_and_out_of_range_deps_ignored(self):
+        clock = CriticalPathClock(2)
+        task = clock.add_task((5, -1), 2.0)  # no such tasks yet
+        assert task == 0
+        assert clock.makespan() == 2.0
+
+    def test_makespan_never_beats_work_bound(self):
+        clock = CriticalPathClock(3)
+        for i in range(10):
+            deps = (i - 1,) if i % 3 == 0 and i else ()
+            clock.add_task(deps, float(i + 1))
+        report = clock.report()
+        assert report.makespan >= report.serial_elapsed / 3
+        assert report.makespan <= report.serial_elapsed
+
+
+class TestOrderedPool:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            OrderedPool(0)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_results_in_order(self, workers):
+        pool = OrderedPool(workers)
+        results = pool.run([lambda i=i: i * i for i in range(10)])
+        assert results == [i * i for i in range(10)]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_mutation_order_is_serial(self, workers):
+        # The determinism contract: shared state mutates in list
+        # order regardless of worker count.
+        log = []
+        pool = OrderedPool(workers)
+        pool.run([lambda i=i: log.append(i) for i in range(20)])
+        assert log == list(range(20))
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_exception_suppresses_later_thunks(self, workers):
+        ran = []
+
+        def make(i):
+            def thunk():
+                if i == 2:
+                    raise RuntimeError("boom")
+                ran.append(i)
+
+            return thunk
+
+        pool = OrderedPool(workers)
+        with pytest.raises(RuntimeError):
+            pool.run([make(i) for i in range(6)])
+        assert ran == [0, 1]
+
+    def test_base_exception_propagates(self):
+        # The crash injector raises BaseException subclasses; those
+        # must cross the pool boundary too.
+        class Crash(BaseException):
+            pass
+
+        def boom():
+            raise Crash()
+
+        pool = OrderedPool(3)
+        with pytest.raises(Crash):
+            pool.run([lambda: 1, boom, lambda: 3])

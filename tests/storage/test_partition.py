@@ -1,0 +1,152 @@
+"""Unit tests for the hash-partitioning primitive."""
+
+import numpy as np
+import pytest
+
+from repro.data import complete_relation, var
+from repro.errors import CatalogError
+from repro.storage.partition import (
+    PartitionSpec,
+    concat_relations,
+    partition_relation,
+    shard_assignments,
+)
+
+
+def _rel(name="r", na=7, nb=5, seed=3):
+    rng = np.random.default_rng(seed)
+    return complete_relation(
+        [var("a", na), var("b", nb)], rng=rng, name=name
+    )
+
+
+class TestShardAssignments:
+    def test_deterministic_and_in_range(self):
+        codes = np.arange(1000, dtype=np.int64)
+        got = shard_assignments(codes, 7)
+        again = shard_assignments(codes.copy(), 7)
+        assert np.array_equal(got, again)
+        assert got.min() >= 0 and got.max() < 7
+
+    def test_spreads_buckets(self):
+        # Fibonacci hashing over a contiguous code range must not
+        # collapse into one bucket.
+        codes = np.arange(64, dtype=np.int64)
+        counts = np.bincount(shard_assignments(codes, 4), minlength=4)
+        assert (counts > 0).all()
+
+    def test_independent_of_worker_anything(self):
+        # The bucket function depends only on (codes, shards): same
+        # input, same buckets, across any process or call site.
+        codes = np.array([0, 1, 2, 3, 10**9], dtype=np.int64)
+        expected = shard_assignments(codes, 3)
+        for _ in range(3):
+            assert np.array_equal(shard_assignments(codes, 3), expected)
+
+
+class TestPartitionSpec:
+    def test_rejects_single_shard(self):
+        with pytest.raises(CatalogError):
+            PartitionSpec("a", 1)
+
+    def test_str(self):
+        assert str(PartitionSpec("b", 4)) == "hash(b) % 4"
+
+
+class TestPartitionRelation:
+    def test_rows_partition_exactly(self):
+        rel = _rel()
+        parts = partition_relation(rel, "a", 3)
+        assert len(parts) == 3
+        assert sum(p.ntuples for p in parts) == rel.ntuples
+        # Every row lands in the shard its key code hashes to.
+        for shard, part in enumerate(parts):
+            codes = part.columns["a"]
+            assert (shard_assignments(codes, 3) == shard).all()
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(CatalogError):
+            partition_relation(_rel(), "zzz", 3)
+
+    def test_roundtrip_through_concat(self):
+        rel = _rel()
+        parts = partition_relation(rel, "b", 4)
+        merged = concat_relations(parts, name=rel.name)
+        k0, m0 = rel.sorted_snapshot()
+        k1, m1 = merged.sorted_snapshot()
+        assert np.array_equal(k0, k1)
+        assert np.array_equal(m0, m1)
+
+
+class TestConcatRelations:
+    def test_empty_input_raises(self):
+        with pytest.raises(CatalogError):
+            concat_relations([])
+
+    def test_mismatched_schemas_raise(self):
+        rng = np.random.default_rng(0)
+        r1 = complete_relation([var("a", 2), var("b", 2)], rng=rng)
+        r2 = complete_relation([var("a", 2), var("c", 2)], rng=rng)
+        with pytest.raises(CatalogError):
+            concat_relations([r1, r2])
+
+    def test_single_part_short_circuits(self):
+        rel = _rel()
+        assert concat_relations([rel]) is rel
+
+
+class TestCatalogPartitioning:
+    def test_partition_table_and_shard_files(self):
+        from repro.catalog.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.register(_rel(name="t"), "t")
+        assert not catalog.has_partitions
+        spec = catalog.partition_table("t", "a", 3)
+        assert catalog.has_partitions
+        assert catalog.partition_spec("t") == spec
+        assert catalog.partitioned_tables == ("t",)
+        shards = catalog.shard_relations("t")
+        files = catalog.shard_heapfiles("t")
+        assert len(shards) == len(files) == 3
+        assert sum(s.ntuples for s in shards) == catalog.relation("t").ntuples
+        # Shard heap files have distinct ids, none colliding with the
+        # base table's.
+        ids = {f.file_id for f in files} | {catalog.heapfile("t").file_id}
+        assert len(ids) == 4
+
+    def test_unpartitioned_lookups_raise(self):
+        from repro.catalog.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.register(_rel(name="t"), "t")
+        assert catalog.partition_spec("t") is None
+        with pytest.raises(CatalogError):
+            catalog.shard_relations("t")
+        with pytest.raises(CatalogError):
+            catalog.shard_heapfiles("t")
+
+    def test_unknown_key_raises(self):
+        from repro.catalog.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.register(_rel(name="t"), "t")
+        with pytest.raises(CatalogError):
+            catalog.partition_table("t", "zzz", 3)
+
+    def test_replace_repartitions_fresh_data(self):
+        from repro.catalog.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.register(_rel(name="t", seed=1), "t")
+        catalog.partition_table("t", "a", 3)
+        fresh = _rel(name="t", seed=2)
+        catalog.replace(fresh, "t")
+        # Spec survives and the shards hold the *new* rows.
+        assert catalog.partition_spec("t") == PartitionSpec("a", 3)
+        shards = catalog.shard_relations("t")
+        merged = concat_relations(shards, name="t")
+        k0, m0 = fresh.sorted_snapshot()
+        k1, m1 = merged.sorted_snapshot()
+        assert np.array_equal(k0, k1)
+        assert np.array_equal(m0, m1)
