@@ -129,6 +129,15 @@ METRIC_CATALOG: dict[str, str] = {
     "scheduler.serial_elapsed": "gauge",
     "scheduler.makespan": "gauge",
     "scheduler.speedup": "gauge",
+    # fault-tolerant task execution (labels on scheduler.degraded:
+    # reason=retry_budget|breaker; on faults.worker_injected:
+    # kind=crash|hang|slow|lost|poison).  Counters, not gauges: they
+    # accumulate across the batch and appear only when faults fire.
+    "scheduler.task_retries": "counter",
+    "scheduler.task_timeouts": "counter",
+    "scheduler.hedges": "counter",
+    "scheduler.degraded": "counter",
+    "faults.worker_injected": "counter",
     # cost-model calibration (labels: calib.q_error operator=<op>,
     # calib.misestimates source=<estimator step>)
     "calib.runs": "counter",

@@ -45,10 +45,13 @@ class Executor:
         context: ExecutionContext | None = None,
         metrics=None,
         workers: int = 1,
+        task_policy=None,
+        worker_faults=None,
     ):
         self.context = context or ExecutionContext(
             catalog, semiring, pool=pool, workmem_pages=workmem_pages,
-            metrics=metrics, workers=workers,
+            metrics=metrics, workers=workers, task_policy=task_policy,
+            worker_faults=worker_faults,
         )
 
     @property

@@ -53,7 +53,13 @@ from repro.plans.nodes import (
     Select,
     SemiJoin,
 )
-from repro.plans.scheduler import CriticalPathClock, OrderedPool, ScheduleReport
+from repro.plans.scheduler import (
+    CriticalPathClock,
+    OrderedPool,
+    ScheduleReport,
+    TaskPolicy,
+    TaskRuntime,
+)
 from repro.semiring.base import Semiring
 from repro.storage.buffer import BufferPool
 from repro.storage.heapfile import HeapFile, TempFileAllocator
@@ -142,6 +148,8 @@ class ExecutionContext:
         guard: QueryGuard | None = None,
         metrics=None,
         workers: int = 1,
+        task_policy: TaskPolicy | None = None,
+        worker_faults=None,
     ):
         if workers < 1:
             raise PlanError(f"workers must be >= 1, got {workers}")
@@ -160,7 +168,22 @@ class ExecutionContext:
         self.schedule = CriticalPathClock(workers)
         """Modeled task schedule accumulated over the context lifetime
         (a batch, a workload program); see :meth:`publish_schedule`."""
-        self._ordered_pool = OrderedPool(workers)
+        self.task_policy = task_policy
+        self.worker_faults = worker_faults
+        self._task_runtime = TaskRuntime(
+            OrderedPool(workers), policy=task_policy,
+            injector=worker_faults, count=self.count,
+        )
+        """Fault-tolerant dispatch: every scheduled task goes through
+        the runtime's retry/timeout/hedging supervision (a no-op
+        pass-through without an injector); see
+        :class:`~repro.plans.scheduler.TaskRuntime`."""
+        self.scheduled_run = False
+        """True once any :func:`evaluate_dag` call took the scheduled
+        path — the gate for the worker-dependent ``scheduler.*`` gauges
+        (a pure-serial context must not emit a zero-makespan schedule
+        into snapshot diffs)."""
+        self._schedule_tail: int | None = None
         self.shard_results: dict[
             tuple, tuple[PartitionSpec, list[FunctionalRelation]]
         ] = {}
@@ -315,9 +338,14 @@ class ExecutionContext:
         quantities — worker-count dependent by design — and therefore
         deliberately outside the structural counters the differential
         suite pins; :meth:`IOStats.elapsed` stays the serial sum.
+
+        Gauges are emitted only when this context actually took the
+        scheduled path: a pure-serial run (workers=1, no partitioned
+        tables) has no schedule, and publishing a zero makespan for it
+        would pollute snapshot diffs with meaningless gauges.
         """
         report = self.schedule.report()
-        if self.metrics is not None and report.tasks:
+        if self.metrics is not None and self.scheduled_run and report.tasks:
             self.metrics.gauge("scheduler.workers").set(report.workers)
             self.metrics.gauge("scheduler.tasks").set(report.tasks)
             self.metrics.gauge("scheduler.serial_elapsed").set(
@@ -527,35 +555,56 @@ def operator_for(node: PlanNode) -> PhysicalOperator:
 # Sharded execution
 # ----------------------------------------------------------------------
 def _run_tasks(ctx, deps_list, thunks, label):
-    """Run independent thunks via the ordered pool as schedule tasks.
+    """Run independent thunks via the task runtime as schedule tasks.
 
     Each thunk becomes one task on the modeled clock: its elapsed is
     the cost-clock delta it charged while running.  Dispatch goes
-    through :class:`OrderedPool`, so shared-state mutation order (and
-    every counter) is the serial order regardless of worker count.
-    Tasks are registered only after all thunks succeed — a failed
-    operator contributes no schedule entries, mirroring how it
-    contributes no memo entry.
+    through :class:`~repro.plans.scheduler.TaskRuntime` (an
+    :class:`OrderedPool` under retry/timeout/hedging supervision), so
+    shared-state mutation order (and every counter) is the serial
+    order regardless of worker count or injected worker faults.
+
+    **Idempotent-task contract** (publish-on-commit): a task's side
+    effects — cost-clock charges, buffer-pool reads, temp-heapfile
+    shuffle writes — happen only inside the one winning attempt the
+    runtime accepts, and everything downstream of the task publishes
+    only after ``run`` returns: memo writes, ``shard.*`` / ``query.*``
+    counters, schedule registration, and ``ctx.shard_results`` updates
+    all live in the callers, past this commit point.  A faulted
+    attempt is discarded before it starts, so a replayed task can
+    never double-apply memo writes, shuffles, or metrics.  Tasks are
+    registered only after all thunks succeed — a failed operator
+    contributes no schedule entries, mirroring how it contributes no
+    memo entry.
+
+    When the runtime has degraded to serial (exhausted retry budget or
+    a tripped breaker), the remaining DAG is chained on the modeled
+    clock — each new task depends on its predecessor, so the schedule
+    honestly reports the serial drain.
     """
     results = [None] * len(thunks)
-    elapses = [0.0] * len(thunks)
 
     def timed(index, thunk):
         def call():
             snapshot = ctx.stats.snapshot()
             results[index] = thunk()
-            elapses[index] = ctx.stats.since(snapshot).elapsed()
+            return ctx.stats.since(snapshot).elapsed()
 
         return call
 
-    ctx._ordered_pool.run(
-        [timed(i, thunk) for i, thunk in enumerate(thunks)]
+    modeled = ctx._task_runtime.run(
+        [timed(i, thunk) for i, thunk in enumerate(thunks)], label=label
     )
-    task_ids = tuple(
-        ctx.schedule.add_task(deps, elapses[i], label)
-        for i, deps in enumerate(deps_list)
-    )
-    return results, task_ids
+    task_ids = []
+    for i, deps in enumerate(deps_list):
+        if ctx._task_runtime.degraded:
+            tail = task_ids[-1] if task_ids else ctx._schedule_tail
+            if tail is not None:
+                deps = _dedup((*deps, tail))
+        task_ids.append(ctx.schedule.add_task(deps, modeled[i], label))
+    if task_ids:
+        ctx._schedule_tail = task_ids[-1]
+    return results, tuple(task_ids)
 
 
 def _dedup(ids) -> tuple[int, ...]:
@@ -938,6 +987,8 @@ def evaluate_dag(
     scheduled = ctx.workers > 1 or (
         ctx.catalog is not None and ctx.catalog.has_partitions
     )
+    if scheduled:
+        ctx.scheduled_run = True
 
     executed: set[tuple] = set()
     for key in dag.topological():

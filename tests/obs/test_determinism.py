@@ -75,3 +75,24 @@ class TestSeededDeterminism:
         assert snap.get("query.memo_hits") > 0
         # Three standalone queries plus the three batch members.
         assert snap.get("queries.total", status="ok") == 6
+
+    def test_pure_serial_run_emits_no_scheduler_gauges(self):
+        # workers=1 with no partitioned tables never takes the
+        # scheduled path: a zero-makespan schedule must not pollute
+        # snapshot diffs with meaningless gauges.
+        snap = _seeded_run().metrics_snapshot().to_dict()
+        assert not any(k.startswith("scheduler.") for k in snap)
+
+    def test_scheduled_run_does_emit_scheduler_gauges(self):
+        rng = np.random.default_rng(991)
+        a, b, c = var("a", 6), var("b", 5), var("c", 4)
+        db = Database(workers=2)
+        db.register(complete_relation([a, b], rng=rng, name="s1"))
+        db.register(complete_relation([b, c], rng=rng, name="s2"))
+        db.catalog.partition_table("s1", "b", 2)
+        db.create_view("v", ("s1", "s2"))
+        view = MPFView("v", ("s1", "s2"), SUM_PRODUCT)
+        db.run_batch([MPFQuery(view, ("a",))])
+        snap = db.metrics_snapshot().to_dict()
+        assert "scheduler.makespan" in snap
+        assert "scheduler.workers" in snap

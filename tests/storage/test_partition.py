@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.data import complete_relation, var
 from repro.errors import CatalogError
@@ -150,3 +152,46 @@ class TestCatalogPartitioning:
         k1, m1 = merged.sorted_snapshot()
         assert np.array_equal(k0, k1)
         assert np.array_equal(m0, m1)
+
+
+class TestShardAssignmentProperties:
+    """Hypothesis: the shard map is a stable, total function.
+
+    Every code maps to exactly one shard in ``[0, shards)`` for any
+    shard count >= 1, and the mapping depends only on the code — not
+    on the surrounding array, the process, or any seed.
+    """
+
+    @given(
+        codes=st.lists(
+            st.integers(min_value=0, max_value=2**31 - 1),
+            min_size=1, max_size=200,
+        ),
+        shards=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_total_stable_and_in_range(self, codes, shards):
+        arr = np.asarray(codes, dtype=np.int64)
+        got = shard_assignments(arr, shards)
+        # Total: one shard per value, always in range.
+        assert got.shape == arr.shape
+        assert got.min() >= 0 and got.max() < shards
+        # Stable: recomputing yields the same map, and each value's
+        # shard is independent of its neighbours (pointwise equals
+        # whole-array).
+        assert np.array_equal(got, shard_assignments(arr.copy(), shards))
+        pointwise = [
+            shard_assignments(np.asarray([c], dtype=np.int64), shards)[0]
+            for c in codes
+        ]
+        assert np.array_equal(got, np.asarray(pointwise, dtype=np.int64))
+
+    def test_golden_values_pin_process_independence(self):
+        # Hard-coded expected shards: Fibonacci hashing is a pure
+        # function of (code, shards), so these values must never
+        # change across runs, processes, or platforms.  A failure
+        # here means existing partitioned data would be mis-routed.
+        codes = np.asarray([0, 1, 2, 3, 1000, 2**31 - 1], dtype=np.int64)
+        assert shard_assignments(codes, 1).tolist() == [0, 0, 0, 0, 0, 0]
+        assert shard_assignments(codes, 3).tolist() == [0, 1, 1, 0, 2, 2]
+        assert shard_assignments(codes, 7).tolist() == [0, 6, 4, 4, 3, 1]

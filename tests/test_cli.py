@@ -209,10 +209,12 @@ class TestExitCodeFamilies:
         from repro.cli import (
             EXIT_PLAN,
             EXIT_STORAGE,
+            EXIT_WORKER,
             EXIT_WORKLOAD,
         )
 
         cases = {
+            E.WorkerError("w"): EXIT_WORKER,
             E.QueryTimeout("t"): EXIT_RESOURCE,
             E.MemoryLimitExceeded("m"): EXIT_RESOURCE,
             E.QueryCancelled("c"): EXIT_RESOURCE,
@@ -232,3 +234,89 @@ class TestExitCodeFamilies:
         for exc, expected in cases.items():
             assert exit_code_for(exc) == expected, type(exc).__name__
         assert all(code != 0 for code in cases.values())
+
+
+class TestPartitionFlagMatrix:
+    """--partition TABLE=KEY:N validation is a usage error (exit 2)."""
+
+    @pytest.mark.parametrize("spec", [
+        "location=wid:0", "location=wid:-1", "location=wid:-3",
+    ])
+    def test_subunit_shard_count_is_usage_error(self, spec, capsys):
+        code = main(["sql", "--partition", spec, "-c", "select 1"])
+        assert code == EXIT_USAGE
+        assert "shard count must be >= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("spec", [
+        "locationwid:3", "location=wid", "location=wid:three", "=wid:3",
+    ])
+    def test_malformed_spec_is_usage_error(self, spec, capsys):
+        code = main(["sql", "--partition", spec, "-c", "select 1"])
+        assert code == EXIT_USAGE
+
+
+class TestWorkerFaultFlags:
+    QUERY = "select wid, sum(inv) from invest group by wid"
+
+    def test_recovered_fault_run_succeeds_with_valid_metrics(self, capsys):
+        import json
+
+        from repro.obs.export import validate_metrics_document
+
+        code = main([
+            "sql", "--workers", "2",
+            "--partition", "location=wid:4",
+            "--partition", "warehouses=wid:4",
+            "--fault-worker", "crash:1",
+            "--task-timeout", "50000", "--task-retries", "2",
+            "--hedge-after", "1000", "--metrics-json",
+            "-c", self.QUERY,
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        validate_metrics_document(doc)
+        metrics = doc["metrics"]
+        assert any(k.startswith("faults.worker_injected") for k in metrics)
+        assert metrics["scheduler.task_retries"]["value"] >= 1
+
+    def test_unrecoverable_fault_without_degrade_exits_worker(self, capsys):
+        from repro.cli import EXIT_WORKER
+
+        code = main([
+            "sql", "--workers", "2",
+            "--partition", "location=wid:4",
+            "--fault-worker", "crash:1",
+            "--task-retries", "0", "--no-task-degrade",
+            "-c", self.QUERY,
+        ])
+        assert code == EXIT_WORKER
+        assert "unrecoverable" in capsys.readouterr().err
+
+    def test_degraded_fault_run_still_succeeds(self, capsys):
+        import json
+
+        code = main([
+            "sql", "--workers", "2",
+            "--partition", "location=wid:4",
+            "--fault-worker", "crash:1",
+            "--task-retries", "0", "--metrics-json",
+            "-c", self.QUERY,
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        degraded = [
+            k for k in doc["metrics"]
+            if k.startswith("scheduler.degraded")
+        ]
+        assert degraded == ["scheduler.degraded{reason=retry_budget}"]
+
+    @pytest.mark.parametrize("argv", [
+        ["--fault-worker", "bogus"],
+        ["--fault-worker", "crash:x"],
+        ["--fault-worker", "crash:-1"],
+        ["--fault-worker-rate", "0.5", "--fault-worker-kinds", "crash,bogus"],
+        ["--task-retries", "-1"],
+    ])
+    def test_bad_fault_flags_are_usage_errors(self, argv, capsys):
+        code = main(["sql", *argv, "-c", "select 1"])
+        assert code == EXIT_USAGE
