@@ -20,8 +20,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.algebra.groupindex import GroupIndexCache, group_index
 from repro.data.relation import FunctionalRelation
-from repro.errors import SchemaError
+from repro.errors import FunctionalDependencyError, SchemaError
 from repro.semiring.base import Semiring
 
 __all__ = ["marginalize", "total", "project_fd"]
@@ -32,12 +33,20 @@ def marginalize(
     group_names: Sequence[str],
     semiring: Semiring,
     name: str | None = None,
+    cache: GroupIndexCache | None = None,
 ) -> FunctionalRelation:
     """GroupBy ``group_names`` aggregating the measure with ``plus``.
 
     The result contains one row per distinct combination of the group
     variables present in the input (lexicographically ordered), so it
     is a functional relation by construction.
+
+    The group structure (sorted order / first occurrences / inverse)
+    comes from the group-index cache: a repeat marginalization over the
+    same relation instance and key set skips the argsort entirely, and
+    semirings with a segment-``reduceat`` fast path aggregate straight
+    over the cached sorted order.  Results are bit-identical either
+    way.  ``cache=None`` uses the process-wide default cache.
     """
     group_names = tuple(group_names)
     unknown = set(group_names) - set(relation.var_names)
@@ -60,15 +69,15 @@ def marginalize(
     # makes every row its own group), but callers may deliberately feed
     # a key-colliding relation to plus-merge duplicates (alter_domain's
     # transfer semantics), so the general path runs unconditionally.
-    keys = relation.key_codes(out_vars.names)
-    unique_keys, first_idx, inverse = np.unique(
-        keys, return_index=True, return_inverse=True
-    )
+    gidx = group_index(relation, out_vars.names, cache=cache)
     measure = semiring.aggregate(
-        relation.measure, inverse.astype(np.int64, copy=False), len(unique_keys)
+        relation.measure,
+        gidx.inverse,
+        gidx.n_groups,
+        segments=(gidx.order, gidx.starts),
     )
     columns = {
-        n: relation.columns[n][first_idx] for n in out_vars.names
+        n: relation.columns[n][gidx.first_idx] for n in out_vars.names
     }
     return FunctionalRelation(
         out_vars, columns, measure, name=name, check_fd=False
@@ -84,6 +93,7 @@ def project_fd(
     relation: FunctionalRelation,
     group_names: Sequence[str],
     name: str | None = None,
+    cache: GroupIndexCache | None = None,
 ) -> FunctionalRelation:
     """Duplicate-eliminating projection (Proposition 1 fast path).
 
@@ -94,13 +104,29 @@ def project_fd(
     """
     group_names = tuple(group_names)
     out_vars = relation.variables.subset(group_names)
-    keys = relation.key_codes(out_vars.names)
-    unique_keys, first_idx = np.unique(keys, return_index=True)
-    columns = {n: relation.columns[n][first_idx] for n in out_vars.names}
+    gidx = group_index(relation, out_vars.names, cache=cache)
+    if gidx.n_groups != relation.ntuples:
+        # Duplicate keys: the projection is only valid when every
+        # duplicate carries the same measure (one value per group).
+        spread = relation.measure[gidx.first_idx][gidx.inverse]
+        bad = np.flatnonzero(spread != relation.measure)
+        if len(bad):
+            i = int(gidx.first_idx[gidx.inverse[bad[0]]])
+            j = int(bad[0])
+            row = {n: int(relation.columns[n][j]) for n in out_vars.names}
+            raise FunctionalDependencyError(
+                f"project_fd precondition violated: FD "
+                f"{group_names} -> {relation.measure_name} does not hold "
+                f"(rows {i} and {j} share group {row} with measures "
+                f"{relation.measure[i]!r} and {relation.measure[j]!r})"
+            )
+    columns = {
+        n: relation.columns[n][gidx.first_idx] for n in out_vars.names
+    }
     projected = FunctionalRelation(
         out_vars,
         columns,
-        relation.measure[first_idx],
+        relation.measure[gidx.first_idx],
         name=name,
         check_fd=False,
     )

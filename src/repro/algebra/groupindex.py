@@ -1,0 +1,204 @@
+"""Group-index cache: memoized sort/inverse structure of composite keys.
+
+Marginalization, the Proposition-1 projection, and the join's probe
+side all need the same derived structure over a relation's key columns:
+the stable sorted order of the composite keys, the segment boundaries
+of equal-key runs, the first-occurrence row of each distinct key, and
+the row→group inverse.  Building it costs an ``argsort`` — the dominant
+kernel cost for the repeated marginalizations a VE/BP workload performs
+over the same relations and key sets (the FAQ framing: a factor is a
+tensor, marginalization an axis reduction, and the axis layout is
+reusable).
+
+:class:`GroupIndexCache` memoizes one :class:`GroupIndex` per
+``(relation fingerprint, key-name tuple)``.  Fingerprints are
+per-instance (see :attr:`FunctionalRelation.fingerprint`), so a
+rebuilt or reloaded table can never be served a stale index — entries
+keyed on the dead instance age out of the LRU.  The cache is bounded
+both by entry count and by total retained array elements; eviction is
+strict LRU and fully deterministic, so hit/miss/eviction sequences are
+identical across worker counts (the differential-suite contract).
+
+The derivation is byte-compatible with
+``np.unique(keys, return_index=True, return_inverse=True)``: a stable
+argsort makes ``order[starts]`` the first-occurrence indices and the
+segment ranks the same inverse ``np.unique`` returns, so cached and
+uncached operator paths produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.relation import FunctionalRelation
+
+__all__ = [
+    "GroupIndex",
+    "GroupIndexCache",
+    "DEFAULT_GROUP_INDEX_CACHE",
+    "group_index",
+]
+
+# Defaults sized so the pinned differential suites never evict (their
+# eviction counters must not depend on how warm the process-wide cache
+# is when a sweep starts) while still bounding memory on big workloads.
+DEFAULT_CAPACITY = 4096
+DEFAULT_ELEMENT_BUDGET = 16_000_000  # int64 elements across all entries
+
+
+class GroupIndex:
+    """The reusable group structure of one relation + key-name tuple.
+
+    ``order``
+        Stable argsort of the composite keys.
+    ``starts``
+        Start offset of each equal-key run in ``order`` (ascending).
+    ``first_idx``
+        First-occurrence row index of each distinct key, in sorted key
+        order — exactly ``np.unique``'s ``return_index``.
+    ``inverse``
+        Row → group id (position in the sorted distinct keys) —
+        exactly ``np.unique``'s ``return_inverse``.
+    ``unique_keys``
+        The distinct composite keys, ascending.
+    """
+
+    __slots__ = (
+        "order", "starts", "first_idx", "inverse", "unique_keys", "n_groups"
+    )
+
+    def __init__(self, keys: np.ndarray):
+        n = len(keys)
+        if n == 0:
+            self.order = np.empty(0, dtype=np.int64)
+            self.starts = np.empty(0, dtype=np.int64)
+            self.first_idx = np.empty(0, dtype=np.int64)
+            self.inverse = np.empty(0, dtype=np.int64)
+            self.unique_keys = np.empty(0, dtype=keys.dtype)
+            self.n_groups = 0
+            return
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+        starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), boundaries.astype(np.int64))
+        )
+        group_of_sorted = np.zeros(n, dtype=np.int64)
+        group_of_sorted[boundaries] = 1
+        np.cumsum(group_of_sorted, out=group_of_sorted)
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = group_of_sorted
+        self.order = order
+        self.starts = starts
+        self.first_idx = order[starts]
+        self.inverse = inverse
+        self.unique_keys = sorted_keys[starts]
+        self.n_groups = len(starts)
+
+    @property
+    def nbytes_elements(self) -> int:
+        """Retained element count (the cache's size-budget unit)."""
+        return 4 * len(self.order) + 2 * self.n_groups
+
+
+class GroupIndexCache:
+    """Bounded LRU of :class:`GroupIndex` entries with hit accounting."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        element_budget: int = DEFAULT_ELEMENT_BUDGET,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.element_budget = element_budget
+        self._entries: OrderedDict[tuple, GroupIndex] = OrderedDict()
+        self._elements = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def counters(self) -> tuple[int, int, int]:
+        """``(hits, misses, evictions)`` — for delta-based publication."""
+        return (self.hits, self.misses, self.evictions)
+
+    def clear(self) -> None:
+        """Drop every entry; counters are reset too."""
+        self._entries.clear()
+        self._elements = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def contains(self, relation: FunctionalRelation,
+                 names: Sequence[str]) -> bool:
+        """Whether :meth:`get` would hit — no counters, no LRU motion.
+
+        The cost-clock peek: operators consult this *before* running
+        the kernel so a cached group structure is charged as a linear
+        gather rather than a sort, without perturbing the hit/miss
+        accounting of the actual lookup.
+        """
+        return (relation.fingerprint, tuple(names)) in self._entries
+
+    def get(
+        self, relation: FunctionalRelation, names: Sequence[str]
+    ) -> GroupIndex:
+        """The group index for ``relation``'s ``names`` columns.
+
+        Served from cache when present (LRU refresh), built and
+        inserted otherwise.  An oversized single index (beyond the
+        element budget) is still returned but never retained.
+        """
+        key = (relation.fingerprint, tuple(names))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = GroupIndex(relation.key_codes(names))
+        size = entry.nbytes_elements
+        if size > self.element_budget:
+            return entry
+        self._entries[key] = entry
+        self._elements += size
+        while (
+            len(self._entries) > self.capacity
+            or self._elements > self.element_budget
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._elements -= evicted.nbytes_elements
+            self.evictions += 1
+        return entry
+
+
+DEFAULT_GROUP_INDEX_CACHE = GroupIndexCache()
+"""The process-wide cache the algebra kernels use by default.
+
+Module-level on purpose: executors and contexts are short-lived (one
+per query in the facade), but base relations persist — a shared cache
+is what lets the second query over a table skip the argsort the first
+one paid for."""
+
+
+def group_index(
+    relation: FunctionalRelation,
+    names: Sequence[str],
+    cache: GroupIndexCache | None = None,
+) -> GroupIndex:
+    """Cached group structure of ``relation`` over ``names``.
+
+    ``cache=None`` uses :data:`DEFAULT_GROUP_INDEX_CACHE`.
+    """
+    if cache is None:
+        cache = DEFAULT_GROUP_INDEX_CACHE
+    return cache.get(relation, names)

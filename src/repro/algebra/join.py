@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algebra.groupindex import GroupIndexCache, group_index
 from repro.data.relation import FunctionalRelation
-from repro.data.encoding import encode_rows_pair
+from repro.data.encoding import _fits_mixed_radix, _mixed_radix, encode_rows_pair
 from repro.semiring.base import Semiring
 
 __all__ = ["product_join", "quotient_join", "join_match_indices"]
@@ -31,8 +32,18 @@ def join_match_indices(
     left: FunctionalRelation,
     right: FunctionalRelation,
     shared_names: tuple[str, ...],
+    cache: GroupIndexCache | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """All matching row-index pairs ``(i_left, i_right)`` on shared keys."""
+    """All matching row-index pairs ``(i_left, i_right)`` on shared keys.
+
+    On the mixed-radix key path the probe side's sorted order comes
+    from the group-index cache: each side's pair keys equal its own
+    ``key_codes`` there (shared variables have one domain), so a sort
+    built by an earlier join or marginalization over the same relation
+    and key set is reused and the per-join argsort disappears.  The
+    ``np.unique`` fallback for oversized key spaces keys the two sides
+    jointly and stays uncached.
+    """
     n_left, n_right = left.ntuples, right.ntuples
     if not shared_names:
         # Cross product.
@@ -40,15 +51,37 @@ def join_match_indices(
         i_right = np.tile(np.arange(n_right, dtype=np.int64), n_left)
         return i_left, i_right
     sizes = tuple(left.variables[n].size for n in shared_names)
-    left_keys, right_keys = encode_rows_pair(
-        [left.columns[n] for n in shared_names],
-        [right.columns[n] for n in shared_names],
-        sizes,
-    )
-    order = np.argsort(right_keys, kind="stable")
-    sorted_keys = right_keys[order]
-    lo = np.searchsorted(sorted_keys, left_keys, side="left")
-    hi = np.searchsorted(sorted_keys, left_keys, side="right")
+    right_sizes = tuple(right.variables[n].size for n in shared_names)
+    if _fits_mixed_radix(sizes) and right_sizes == sizes:
+        left_keys = _mixed_radix(
+            [left.columns[n] for n in shared_names], sizes
+        )
+        gidx = group_index(right, shared_names, cache=cache)
+        order = gidx.order
+        # Locate each probe key's run via the distinct sorted keys:
+        # starts[j]..starts[j+1] is exactly the searchsorted lo..hi
+        # over the full sorted key column.
+        starts_ext = np.concatenate(
+            (gidx.starts, np.asarray([n_right], dtype=np.int64))
+        )
+        pos = np.searchsorted(gidx.unique_keys, left_keys, side="left")
+        found = pos < gidx.n_groups
+        matched = np.zeros(n_left, dtype=bool)
+        matched[found] = gidx.unique_keys[pos[found]] == left_keys[found]
+        lo = np.where(matched, starts_ext[np.minimum(pos, gidx.n_groups)], 0)
+        hi = np.where(
+            matched, starts_ext[np.minimum(pos + 1, gidx.n_groups)], 0
+        )
+    else:
+        left_keys, right_keys = encode_rows_pair(
+            [left.columns[n] for n in shared_names],
+            [right.columns[n] for n in shared_names],
+            sizes,
+        )
+        order = np.argsort(right_keys, kind="stable")
+        sorted_keys = right_keys[order]
+        lo = np.searchsorted(sorted_keys, left_keys, side="left")
+        hi = np.searchsorted(sorted_keys, left_keys, side="right")
     counts = hi - lo
     total = int(counts.sum())
     i_left = np.repeat(np.arange(n_left, dtype=np.int64), counts)

@@ -51,7 +51,9 @@ def encode_rows(columns: list[np.ndarray], sizes: tuple[int, ...]) -> np.ndarray
         return _mixed_radix(columns, sizes)
     stacked = np.column_stack(columns)
     _, inverse = np.unique(stacked, axis=0, return_inverse=True)
-    return inverse.astype(np.int64, copy=False)
+    # NumPy 2.0 returned the inverse of an axis=0 unique with an extra
+    # dimension (fixed in 2.1); flatten so every install agrees.
+    return inverse.reshape(-1).astype(np.int64, copy=False)
 
 
 def encode_rows_pair(
@@ -66,8 +68,6 @@ def encode_rows_pair(
     rows match iff their keys are equal.
     """
     if not left_columns:
-        n_left = 0
-        n_right = 0
         raise ValueError("encode_rows_pair requires at least one column")
     if _fits_mixed_radix(sizes):
         return _mixed_radix(left_columns, sizes), _mixed_radix(right_columns, sizes)
@@ -76,5 +76,6 @@ def encode_rows_pair(
         [np.concatenate([lc, rc]) for lc, rc in zip(left_columns, right_columns)]
     )
     _, inverse = np.unique(stacked, axis=0, return_inverse=True)
-    inverse = inverse.astype(np.int64, copy=False)
+    # Same NumPy 2.0 inverse-shape hardening as encode_rows.
+    inverse = inverse.reshape(-1).astype(np.int64, copy=False)
     return inverse[:n_left], inverse[n_left:]

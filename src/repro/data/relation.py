@@ -13,6 +13,7 @@ are vectorized over these columns.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -23,6 +24,13 @@ from repro.errors import FunctionalDependencyError, SchemaError
 from repro.semiring.base import Semiring
 
 __all__ = ["FunctionalRelation"]
+
+# Process-wide monotonic id source for relation fingerprints.  A
+# fingerprint identifies one immutable relation *instance*: every
+# construction path (including take/rename/with_measure/copy) mints a
+# fresh one, so a rebuilt table can never be confused with the data it
+# replaced — cache entries keyed on the old fingerprint simply age out.
+_FINGERPRINTS = itertools.count(1)
 
 
 class FunctionalRelation:
@@ -49,7 +57,10 @@ class FunctionalRelation:
         the check.
     """
 
-    __slots__ = ("variables", "columns", "measure", "name", "measure_name")
+    __slots__ = (
+        "variables", "columns", "measure", "name", "measure_name",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -66,6 +77,7 @@ class FunctionalRelation:
         self.measure = np.asarray(measure)
         self.name = name
         self.measure_name = measure_name
+        self._fingerprint = next(_FINGERPRINTS)
 
         n = len(self.measure)
         coerced: dict[str, np.ndarray] = {}
@@ -149,6 +161,17 @@ class FunctionalRelation:
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> int:
+        """Process-unique id of this relation instance.
+
+        Relations are treated as immutable once constructed; the
+        fingerprint is the cache identity used by
+        :mod:`repro.algebra.groupindex` — two relations with equal
+        contents but separate construction histories never share one.
+        """
+        return self._fingerprint
+
     @property
     def ntuples(self) -> int:
         return len(self.measure)

@@ -259,6 +259,7 @@ class Database:
         workers: int = 1,
         task_policy=None,
         worker_faults=None,
+        fuse_select_scan: bool = False,
     ):
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -278,6 +279,10 @@ class Database:
         before every task dispatch.  Injected faults never change
         results or structural counters — only the modeled schedule and
         the ``scheduler.task_*`` metrics (``docs/robustness.md``)."""
+        self.fuse_select_scan = fuse_select_scan
+        """Lower plans with the Select→Scan fusion rewrite (see
+        ``docs/internals.md``).  Results are byte-identical fused or
+        not; only the modeled CPU charges differ."""
         self.cost_model = cost_model or SimpleCostModel()
         self.pool = pool or BufferPool()
         # Explicit None check: an empty registry is falsy (len() == 0)
@@ -547,6 +552,7 @@ class Database:
             self.catalog, query.view.semiring, pool=self.pool,
             metrics=self.metrics, workers=self.workers,
             task_policy=self.task_policy, worker_faults=self.worker_faults,
+            fuse_select_scan=self.fuse_select_scan,
         )
         try:
             result, stats = executor.run(optimization.plan, guard=guard)
@@ -739,7 +745,8 @@ class Database:
                 optimizations.append(None)
                 plan_errors.append(exc)
         dag = lower(
-            [opt.plan for opt in optimizations if opt is not None]
+            [opt.plan for opt in optimizations if opt is not None],
+            fuse_select_scan=self.fuse_select_scan,
         )
         ctx = ExecutionContext(
             self.catalog, semiring, pool=self.pool, guard=guard,
@@ -751,6 +758,7 @@ class Database:
             worker_faults=(
                 self.worker_faults if worker_faults is None else worker_faults
             ),
+            fuse_select_scan=self.fuse_select_scan,
         )
         if resume_from is not None and hasattr(resume_from, "seed_context"):
             resume_from.seed_context(ctx)

@@ -138,6 +138,12 @@ METRIC_CATALOG: dict[str, str] = {
     "scheduler.hedges": "counter",
     "scheduler.degraded": "counter",
     "faults.worker_injected": "counter",
+    # kernel acceleration: group-index cache traffic of the executed
+    # operators (deltas of the process-wide cache, published per node;
+    # see docs/internals.md)
+    "kernel.groupindex_hits": "counter",
+    "kernel.groupindex_misses": "counter",
+    "kernel.groupindex_evictions": "counter",
     # cost-model calibration (labels: calib.q_error operator=<op>,
     # calib.misestimates source=<estimator step>)
     "calib.runs": "counter",

@@ -36,6 +36,7 @@ import math
 from typing import Mapping, Protocol, Sequence
 
 from repro.algebra.aggregate import marginalize
+from repro.algebra.groupindex import DEFAULT_GROUP_INDEX_CACHE
 from repro.algebra.join import product_join
 from repro.algebra.select import restrict
 from repro.algebra.semijoin import product_semijoin, update_semijoin
@@ -45,6 +46,7 @@ from repro.errors import MemoryLimitExceeded, PlanError
 from repro.plans.guard import QueryGuard
 from repro.plans.lower import PlanDAG, lower
 from repro.plans.nodes import (
+    FilterScan,
     GroupBy,
     IndexScan,
     PlanNode,
@@ -79,6 +81,7 @@ __all__ = [
     "PhysicalOperator",
     "ScanOperator",
     "IndexScanOperator",
+    "FilterScanOperator",
     "SelectOperator",
     "ProductJoinOperator",
     "GroupByOperator",
@@ -150,6 +153,7 @@ class ExecutionContext:
         workers: int = 1,
         task_policy: TaskPolicy | None = None,
         worker_faults=None,
+        fuse_select_scan: bool = False,
     ):
         if workers < 1:
             raise PlanError(f"workers must be >= 1, got {workers}")
@@ -165,6 +169,11 @@ class ExecutionContext:
         self.guard = guard
         self.metrics = metrics
         self.workers = workers
+        self.fuse_select_scan = fuse_select_scan
+        """Whether :func:`evaluate` lowers plans with the Select→Scan
+        fusion rewrite (see :func:`repro.plans.lower.lower`).  Off by
+        default: fusion changes the modeled CPU charges (that is the
+        point), so callers opt in per database/context."""
         self.schedule = CriticalPathClock(workers)
         """Modeled task schedule accumulated over the context lifetime
         (a batch, a workload program); see :meth:`publish_schedule`."""
@@ -426,6 +435,25 @@ class IndexScanOperator(PhysicalOperator):
         return relation.take(rows)
 
 
+class FilterScanOperator(PhysicalOperator):
+    """Fused Select→Scan: predicate evaluated during the base scan.
+
+    Pays the scan's page reads plus CPU for the *surviving* rows only —
+    the fusion's win over Scan-then-Select is exactly the dropped
+    ``charge_cpu(n_input)`` materialization pass.
+    """
+
+    node: FilterScan
+
+    def execute(self, ctx, inputs):
+        relation = ctx.relation(self.node.table)
+        heapfile = ctx.heapfile_for(self.node.table, relation)
+        heapfile.scan(ctx.pool, ctx.stats, guard=ctx.guard)
+        result = restrict(relation, self.node.predicate)
+        ctx.stats.charge_cpu(result.ntuples)
+        return result
+
+
 class SelectOperator(PhysicalOperator):
     """One pass over the input applying equality predicates."""
 
@@ -505,7 +533,13 @@ class GroupByOperator(PhysicalOperator):
                     f"({table_pages} pages) exceeds the memory allowance",
                 )
         if method == "sort":
-            ctx.stats.charge_cpu(int(n * math.log2(n)))
+            if _group_index_cached(child, self.node.group_names):
+                # The sorted group structure is already in the kernel
+                # cache: the aggregation is a linear gather over the
+                # cached order, not a fresh sort.
+                ctx.stats.charge_cpu(n)
+            else:
+                ctx.stats.charge_cpu(int(n * math.log2(n)))
         else:  # hash aggregation: one pass + group emission
             ctx.stats.charge_cpu(n)
         result = marginalize(child, self.node.group_names, ctx.semiring)
@@ -532,9 +566,23 @@ class SemiJoinOperator(PhysicalOperator):
         return result
 
 
+def _group_index_cached(child: FunctionalRelation, group_names) -> bool:
+    """Cost-clock peek: would this GroupBy's group index be a cache hit?
+
+    Uses the same key names :func:`~repro.algebra.aggregate.marginalize`
+    will look up (the child's variable order), without touching the
+    cache's counters or LRU order.
+    """
+    names = child.variables.subset(group_names).names
+    if not names:
+        return False  # empty grouping bypasses the cache entirely
+    return DEFAULT_GROUP_INDEX_CACHE.contains(child, names)
+
+
 OPERATORS: dict[type[PlanNode], type[PhysicalOperator]] = {
     Scan: ScanOperator,
     IndexScan: IndexScanOperator,
+    FilterScan: FilterScanOperator,
     Select: SelectOperator,
     ProductJoin: ProductJoinOperator,
     GroupBy: GroupByOperator,
@@ -759,6 +807,32 @@ def _execute_scan_sharded(ctx, node, deps):
     return ctx.relation(node.table), (spec, shards), task_ids
 
 
+def _execute_filterscan_sharded(ctx, node, deps):
+    """Fused scan+filter per shard; selection preserves partitioning."""
+    spec = _catalog_spec(ctx, node.table)
+    writer = ctx._table_writers.get(node.table, ())
+    deps = _dedup((*deps, *writer))
+    if spec is None:
+        return _single_task(ctx, node, (), deps)
+    shards = ctx.catalog.shard_relations(node.table)
+    files = ctx.catalog.shard_heapfiles(node.table)
+    thunks = []
+    for heapfile, part in zip(files, shards):
+        def filter_shard(heapfile=heapfile, part=part):
+            heapfile.scan(ctx.pool, ctx.stats, guard=ctx.guard)
+            result = restrict(part, node.predicate)
+            ctx.stats.charge_cpu(result.ntuples)
+            return result
+
+        thunks.append(filter_shard)
+    results, task_ids = _run_tasks(
+        ctx, [deps] * spec.shards, thunks, node.label()
+    )
+    ctx.count("shard.tasks", spec.shards)
+    # Selection preserves key codes, hence the partitioning.
+    return concat_relations(results), (spec, results), task_ids
+
+
 def _execute_select_sharded(ctx, node, key, inputs, child_keys, deps):
     (child_key,) = child_keys
     sharded = ctx.shard_results.get(child_key)
@@ -861,7 +935,10 @@ def _execute_groupby_sharded(ctx, node, key, inputs, child_keys, deps):
         def aggregate_shard(part=part):
             n = max(part.ntuples, 2)
             if method == "sort":
-                ctx.stats.charge_cpu(int(n * math.log2(n)))
+                if _group_index_cached(part, group_names):
+                    ctx.stats.charge_cpu(n)
+                else:
+                    ctx.stats.charge_cpu(int(n * math.log2(n)))
             else:
                 ctx.stats.charge_cpu(n)
             result = marginalize(part, group_names, ctx.semiring)
@@ -910,6 +987,8 @@ def _execute_node_scheduled(ctx, dag, node, key, inputs):
     )
     if isinstance(node, Scan):
         return _execute_scan_sharded(ctx, node, deps)
+    if isinstance(node, FilterScan):
+        return _execute_filterscan_sharded(ctx, node, deps)
     if isinstance(node, IndexScan):
         writer = ctx._table_writers.get(node.table, ())
         return _single_task(ctx, node, inputs, _dedup((*deps, *writer)))
@@ -1003,6 +1082,7 @@ def evaluate_dag(
         node = dag.nodes[key]
         inputs = tuple(fetch(k) for k in dag.children[key])
         snapshot = ctx.stats.snapshot()
+        kernel_before = DEFAULT_GROUP_INDEX_CACHE.counters()
         if scheduled:
             result, sharded, task_ids = _execute_node_scheduled(
                 ctx, dag, node, key, inputs
@@ -1014,6 +1094,7 @@ def evaluate_dag(
             ctx._node_tasks[key] = task_ids
         else:
             result = operator_for(node).execute(ctx, inputs)
+        _publish_kernel_counters(ctx, kernel_before)
         ctx.stats.record_operator(node.label(), result.ntuples)
         ctx.memo[key] = result
         ctx._memo_reads[key] = dag.base_tables(key)
@@ -1035,7 +1116,26 @@ def evaluate_dag(
     return [fetch(key) for key in roots]
 
 
+def _publish_kernel_counters(ctx, before: tuple[int, int, int]) -> None:
+    """Publish the group-index cache's counter deltas for one operator.
+
+    Deltas only — the cache is process-wide, so absolute values would
+    mix in other contexts' work — and only nonzero ones, so operators
+    that never touch the kernel cache contribute no ``kernel.*`` rows
+    to snapshot diffs.
+    """
+    hits, misses, evictions = DEFAULT_GROUP_INDEX_CACHE.counters()
+    if hits > before[0]:
+        ctx.count("kernel.groupindex_hits", hits - before[0])
+    if misses > before[1]:
+        ctx.count("kernel.groupindex_misses", misses - before[1])
+    if evictions > before[2]:
+        ctx.count("kernel.groupindex_evictions", evictions - before[2])
+
+
 def evaluate(plan: PlanNode, ctx: ExecutionContext) -> FunctionalRelation:
     """Lower one plan tree and evaluate it through the context."""
-    (result,) = evaluate_dag(lower(plan), ctx)
+    (result,) = evaluate_dag(
+        lower(plan, fuse_select_scan=ctx.fuse_select_scan), ctx
+    )
     return result

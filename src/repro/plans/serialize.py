@@ -13,6 +13,7 @@ import json
 
 from repro.errors import PlanError
 from repro.plans.nodes import (
+    FilterScan,
     GroupBy,
     IndexScan,
     PlanNode,
@@ -32,6 +33,12 @@ def plan_to_dict(plan: PlanNode) -> dict:
     if isinstance(plan, IndexScan):
         return {
             "op": "index_scan",
+            "table": plan.table,
+            "predicate": dict(plan.predicate),
+        }
+    if isinstance(plan, FilterScan):
+        return {
+            "op": "filter_scan",
             "table": plan.table,
             "predicate": dict(plan.predicate),
         }
@@ -75,6 +82,8 @@ def plan_from_dict(data: dict) -> PlanNode:
         return Scan(data["table"])
     if op == "index_scan":
         return IndexScan(data["table"], data["predicate"])
+    if op == "filter_scan":
+        return FilterScan(data["table"], data["predicate"])
     if op == "select":
         return Select(plan_from_dict(data["child"]), data["predicate"])
     if op == "product_join":

@@ -84,6 +84,7 @@ MIN_SUM = Semiring(
     dtype=np.float64,
     divide=_tropical_subtract,
     plus_at=np.minimum.at,
+    plus_reduceat=np.minimum,
     idempotent_plus=True,
 )
 """(R∪{∞}, min, +): additive costs; ``MIN`` aggregate."""
@@ -97,6 +98,7 @@ MAX_SUM = Semiring(
     dtype=np.float64,
     divide=_tropical_subtract,
     plus_at=np.maximum.at,
+    plus_reduceat=np.maximum,
     idempotent_plus=True,
 )
 """(R∪{-∞}, max, +): additive rewards; ``MAX`` aggregate."""
@@ -137,6 +139,7 @@ MIN_PRODUCT = Semiring(
     dtype=np.float64,
     divide=_minprod_divide,
     plus_at=np.minimum.at,
+    plus_reduceat=np.minimum,
     idempotent_plus=True,
 )
 """([0, ∞], min, ×): multiplicative overheads; ``MIN`` aggregate."""
@@ -150,6 +153,7 @@ MAX_PRODUCT = Semiring(
     dtype=np.float64,
     divide=_safe_divide,
     plus_at=np.maximum.at,
+    plus_reduceat=np.maximum,
     idempotent_plus=True,
 )
 """(R≥0, max, ×): most-probable-explanation queries; ``MAX`` aggregate."""
@@ -163,6 +167,7 @@ BOOLEAN = Semiring(
     dtype=np.bool_,
     divide=None,
     plus_at=np.logical_or.at,
+    plus_reduceat=np.logical_or,
     idempotent_plus=True,
     idempotent_times=True,
 )
@@ -177,6 +182,7 @@ LOG_PROB = Semiring(
     dtype=np.float64,
     divide=_tropical_subtract,
     plus_at=np.logaddexp.at,
+    plus_reduceat=np.logaddexp,
 )
 """(R∪{-∞}, logaddexp, +): sum-product in log space.
 

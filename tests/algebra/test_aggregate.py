@@ -5,7 +5,7 @@ import pytest
 
 from repro.algebra import marginalize, project_fd, total
 from repro.data import FunctionalRelation, complete_relation, var
-from repro.errors import SchemaError
+from repro.errors import FunctionalDependencyError, SchemaError
 from repro.semiring import BOOLEAN, MIN_SUM, SUM_PRODUCT
 
 
@@ -109,3 +109,31 @@ class TestProjectFD:
         projected = project_fd(rel, ["a"])
         assert projected.ntuples == 2
         assert projected.value_at({"a": 1}) == 10.0
+
+    def test_raises_when_fd_violated(self):
+        """The Proposition-1 precondition is verified, not assumed.
+
+        Two rows in the same group with different measures would be
+        silently mis-projected (one arbitrary survivor); the kernel
+        must refuse instead.
+        """
+        a, b = var("a", 2), var("b", 2)
+        rel = FunctionalRelation.from_rows(
+            [a, b],
+            [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 5.0), (1, 1, 5.0)],
+        )
+        with pytest.raises(FunctionalDependencyError, match="precondition"):
+            project_fd(rel, ["a"])
+        # The group where the FD *does* hold is not the problem: the
+        # error names the violating group a=0.
+        with pytest.raises(FunctionalDependencyError, match="'a': 0"):
+            project_fd(rel, ["a"])
+
+    def test_duplicate_keys_with_equal_measures_allowed(self):
+        a, b = var("a", 2), var("b", 2)
+        rel = FunctionalRelation.from_rows(
+            [a, b],
+            [(0, 0, 3.0), (0, 1, 3.0), (1, 0, 7.0)],
+        )
+        projected = project_fd(rel, ["a"])
+        assert projected.to_dict() == {(0,): 3.0, (1,): 7.0}

@@ -1,0 +1,254 @@
+"""Unit and differential tests for the group-index kernel cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import marginalize, product_join
+from repro.algebra.groupindex import (
+    DEFAULT_GROUP_INDEX_CACHE,
+    GroupIndex,
+    GroupIndexCache,
+    group_index,
+)
+from repro.algebra.join import join_match_indices
+from repro.data import FunctionalRelation, complete_relation, var
+from repro.semiring import ALL_SEMIRINGS, SUM_PRODUCT
+
+
+def _relation(n_rows=20, seed=0):
+    rng = np.random.default_rng(seed)
+    a, b = var("a", 4), var("b", 5)
+    return FunctionalRelation(
+        [a, b],
+        {
+            "a": rng.integers(0, 4, n_rows).astype(np.int64),
+            "b": rng.integers(0, 5, n_rows).astype(np.int64),
+        },
+        rng.random(n_rows),
+        check_fd=False,
+    )
+
+
+class TestGroupIndex:
+    def test_matches_np_unique(self):
+        rel = _relation()
+        keys = rel.key_codes(("a", "b"))
+        gidx = GroupIndex(keys)
+        uniq, first, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        assert np.array_equal(gidx.unique_keys, uniq)
+        assert np.array_equal(gidx.first_idx, first)
+        assert np.array_equal(gidx.inverse, inverse.reshape(-1))
+        assert gidx.n_groups == len(uniq)
+
+    def test_empty_input(self):
+        gidx = GroupIndex(np.empty(0, dtype=np.int64))
+        assert gidx.n_groups == 0
+        assert len(gidx.order) == 0
+        assert gidx.nbytes_elements == 0
+
+
+class TestGroupIndexCache:
+    def test_hit_miss_counters(self):
+        cache = GroupIndexCache()
+        rel = _relation()
+        assert cache.counters() == (0, 0, 0)
+        first = group_index(rel, ("a",), cache=cache)
+        assert cache.counters() == (0, 1, 0)
+        second = group_index(rel, ("a",), cache=cache)
+        assert second is first
+        assert cache.counters() == (1, 1, 0)
+        # A different key-name tuple is a distinct entry.
+        group_index(rel, ("a", "b"), cache=cache)
+        assert cache.counters() == (1, 2, 0)
+
+    def test_lru_eviction(self):
+        cache = GroupIndexCache(capacity=2)
+        r1, r2, r3 = _relation(seed=1), _relation(seed=2), _relation(seed=3)
+        group_index(r1, ("a",), cache=cache)
+        group_index(r2, ("a",), cache=cache)
+        # Refresh r1 so r2 is the least recently used.
+        group_index(r1, ("a",), cache=cache)
+        group_index(r3, ("a",), cache=cache)  # evicts r2
+        assert cache.evictions == 1
+        assert cache.contains(r1, ("a",))
+        assert not cache.contains(r2, ("a",))
+        assert cache.contains(r3, ("a",))
+
+    def test_element_budget_eviction(self):
+        rel = _relation(n_rows=100)
+        entry_size = GroupIndex(rel.key_codes(("a", "b"))).nbytes_elements
+        cache = GroupIndexCache(capacity=100, element_budget=entry_size)
+        group_index(rel, ("a", "b"), cache=cache)
+        assert len(cache) == 1
+        other = _relation(n_rows=100, seed=9)
+        group_index(other, ("a", "b"), cache=cache)
+        # Both entries cannot fit under the budget: the older one left.
+        assert len(cache) == 1
+        assert cache.evictions == 1
+        assert cache.contains(other, ("a", "b"))
+
+    def test_oversized_entry_not_retained(self):
+        cache = GroupIndexCache(element_budget=1)
+        rel = _relation()
+        gidx = group_index(rel, ("a",), cache=cache)
+        assert gidx.n_groups > 0  # still served
+        assert len(cache) == 0
+        assert cache.evictions == 0
+
+    def test_rebuilt_relation_misses(self):
+        """Fingerprints are per-instance: a rebuilt table cannot be
+        served the stale index of its predecessor."""
+        cache = GroupIndexCache()
+        rel = _relation()
+        group_index(rel, ("a",), cache=cache)
+        rebuilt = FunctionalRelation(
+            list(rel.variables),
+            {n: rel.columns[n].copy() for n in rel.var_names},
+            rel.measure.copy(),
+            check_fd=False,
+        )
+        assert rel.fingerprint != rebuilt.fingerprint
+        assert not cache.contains(rebuilt, ("a",))
+        group_index(rebuilt, ("a",), cache=cache)
+        assert cache.counters() == (0, 2, 0)
+
+    def test_contains_moves_nothing(self):
+        cache = GroupIndexCache()
+        rel = _relation()
+        assert not cache.contains(rel, ("a",))
+        group_index(rel, ("a",), cache=cache)
+        before = cache.counters()
+        assert cache.contains(rel, ("a",))
+        assert cache.counters() == before
+
+    def test_clear_resets_everything(self):
+        cache = GroupIndexCache(capacity=1)
+        group_index(_relation(seed=1), ("a",), cache=cache)
+        group_index(_relation(seed=2), ("a",), cache=cache)
+        assert cache.counters() == (0, 2, 1)
+        cache.clear()
+        assert cache.counters() == (0, 0, 0)
+        assert len(cache) == 0
+
+
+@st.composite
+def sparse_relation(draw, var_names=("a", "b"), sizes=None):
+    sizes = sizes or {n: draw(st.integers(1, 4)) for n in var_names}
+    total = 1
+    for n in var_names:
+        total *= sizes[n]
+    n_rows = draw(st.integers(1, total))
+    flat = draw(
+        st.lists(
+            st.integers(0, total - 1),
+            min_size=n_rows, max_size=n_rows, unique=True,
+        )
+    )
+    columns = {}
+    remaining = np.asarray(flat, dtype=np.int64)
+    divisor = total
+    for n in var_names:
+        divisor //= sizes[n]
+        columns[n] = (remaining // divisor) % sizes[n]
+    measure = np.asarray(
+        draw(
+            st.lists(
+                st.floats(0.01, 10.0, allow_nan=False),
+                min_size=n_rows, max_size=n_rows,
+            )
+        )
+    )
+    return FunctionalRelation(
+        [var(n, sizes[n]) for n in var_names], columns, measure,
+        check_fd=False,
+    )
+
+
+class TestDifferentialByteIdentity:
+    """Cached and uncached kernels must agree to the last bit."""
+
+    @given(sparse_relation(), st.sampled_from(range(len(ALL_SEMIRINGS))))
+    @settings(max_examples=60, deadline=None)
+    def test_marginalize_cached_vs_uncached(self, rel, idx):
+        semiring = ALL_SEMIRINGS[idx]
+        measure = rel.measure
+        if semiring.dtype.kind == "b":
+            measure = measure > 5.0
+        elif semiring.dtype.kind in "iu":
+            measure = (measure * 10).astype(semiring.dtype)
+        else:
+            measure = measure.astype(semiring.dtype)
+        rel = rel.with_measure(measure)
+
+        cache = GroupIndexCache()
+        cold = marginalize(rel, ["a"], semiring, cache=cache)
+        warm = marginalize(rel, ["a"], semiring, cache=cache)
+        # A throwaway cache per call — every lookup is a build.
+        uncached = marginalize(
+            rel, ["a"], semiring, cache=GroupIndexCache()
+        )
+        assert cache.hits >= 1
+        for out in (warm, uncached):
+            assert out.var_names == cold.var_names
+            assert np.array_equal(
+                out.measure, cold.measure
+            ), f"{semiring.name}: cached/uncached measures differ"
+            for n in out.var_names:
+                assert np.array_equal(out.columns[n], cold.columns[n])
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_join_indices_cached_vs_uncached(self, data):
+        # Both sides must agree on the shared variable's domain (as
+        # real joins do) — that is the cached probe path's guard.
+        b_size = data.draw(st.integers(1, 4))
+        left = data.draw(sparse_relation(
+            ("a", "b"), sizes={"a": data.draw(st.integers(1, 4)),
+                               "b": b_size},
+        ))
+        right = data.draw(sparse_relation(
+            ("b", "c"), sizes={"b": b_size,
+                               "c": data.draw(st.integers(1, 4))},
+        ))
+        cache = GroupIndexCache()
+        il_cold, ir_cold = join_match_indices(
+            left, right, ("b",), cache=cache
+        )
+        il_warm, ir_warm = join_match_indices(
+            left, right, ("b",), cache=cache
+        )
+        assert cache.hits >= 1
+        assert np.array_equal(il_cold, il_warm)
+        assert np.array_equal(ir_cold, ir_warm)
+        # And the joined relations themselves agree bit for bit.
+        joined = product_join(left, right, SUM_PRODUCT)
+        rejoined = product_join(left, right, SUM_PRODUCT)
+        assert np.array_equal(joined.measure, rejoined.measure)
+        for n in joined.var_names:
+            assert np.array_equal(joined.columns[n], rejoined.columns[n])
+
+    def test_marginalize_after_join_reuses_probe_sort(self):
+        """A join's probe-side sort is the marginalization's hit."""
+        rng = np.random.default_rng(3)
+        a, b = var("a", 3), var("b", 4)
+        left = complete_relation([a], rng=rng)
+        right = complete_relation([a, b], rng=rng)
+        cache = GroupIndexCache()
+        join_match_indices(left, right, ("a",), cache=cache)
+        assert cache.counters() == (0, 1, 0)
+        marginalize(right, ["a"], SUM_PRODUCT, cache=cache)
+        assert cache.counters() == (1, 1, 0)
+
+
+class TestDefaultCacheWiring:
+    def test_operators_share_the_default_cache(self):
+        DEFAULT_GROUP_INDEX_CACHE.clear()
+        rel = _relation()
+        marginalize(rel, ["a"], SUM_PRODUCT)
+        marginalize(rel, ["a"], SUM_PRODUCT)
+        hits, misses, evictions = DEFAULT_GROUP_INDEX_CACHE.counters()
+        assert (hits, misses, evictions) == (1, 1, 0)

@@ -11,8 +11,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.algebra.groupindex import DEFAULT_GROUP_INDEX_CACHE
 from repro.data import complete_relation, var
 from repro.datagen import linear_view, multistar_view, star_view, supply_chain
+
+
+@pytest.fixture(autouse=True)
+def _fresh_group_index_cache():
+    """Isolate the process-wide kernel cache per test.
+
+    Hit/miss/eviction counters (and eviction behavior near the budget)
+    must not depend on which tests ran earlier in the process.
+    """
+    DEFAULT_GROUP_INDEX_CACHE.clear()
+    yield
+    DEFAULT_GROUP_INDEX_CACHE.clear()
 
 
 @pytest.fixture

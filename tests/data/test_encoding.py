@@ -1,0 +1,65 @@
+"""Row-key encoding: mixed-radix fast path and np.unique fallback."""
+
+import numpy as np
+
+from repro.data.encoding import (
+    MIXED_RADIX_LIMIT,
+    _fits_mixed_radix,
+    encode_rows,
+    encode_rows_pair,
+)
+
+# A domain size pair whose product exceeds the int64 budget, forcing
+# the np.unique fallback.
+_BIG = int(np.sqrt(MIXED_RADIX_LIMIT)) + 2
+
+
+def test_mixed_radix_preserves_lex_order():
+    cols = [
+        np.array([0, 0, 1, 1], dtype=np.int64),
+        np.array([0, 1, 0, 1], dtype=np.int64),
+    ]
+    keys = encode_rows(cols, (2, 2))
+    assert list(keys) == [0, 1, 2, 3]
+
+
+def test_fallback_triggers_past_limit():
+    assert _fits_mixed_radix((2, 3))
+    assert not _fits_mixed_radix((_BIG, _BIG))
+
+
+def test_fallback_inverse_is_one_dimensional():
+    """np.unique(axis=0) inverse shape differs across NumPy versions
+    (2-D in 2.0, 1-D before and after); the fallback must always hand
+    back flat int64 keys."""
+    cols = [
+        np.array([5, 5, 7, 5], dtype=np.int64),
+        np.array([1, 2, 1, 1], dtype=np.int64),
+    ]
+    keys = encode_rows(cols, (_BIG, _BIG))
+    assert keys.ndim == 1
+    assert keys.dtype == np.int64
+    # Equal rows share a key; keys preserve lexicographic row order.
+    assert keys[0] == keys[3]
+    assert keys[0] < keys[1] < keys[2]
+
+
+def test_fallback_pair_matches_mixed_radix_semantics():
+    left = [
+        np.array([0, 1, 2], dtype=np.int64),
+        np.array([1, 0, 1], dtype=np.int64),
+    ]
+    right = [
+        np.array([1, 0], dtype=np.int64),
+        np.array([0, 1], dtype=np.int64),
+    ]
+    small_l, small_r = encode_rows_pair(left, right, (3, 2))
+    big_l, big_r = encode_rows_pair(left, right, (_BIG, _BIG))
+    for keys in (big_l, big_r):
+        assert keys.ndim == 1
+        assert keys.dtype == np.int64
+    # Same match structure under either encoding.
+    small = (small_l[:, None] == small_r[None, :])
+    big = (big_l[:, None] == big_r[None, :])
+    assert np.array_equal(small, big)
+    assert len(big_l) == 3 and len(big_r) == 2

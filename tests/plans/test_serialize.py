@@ -5,6 +5,7 @@ import pytest
 from repro.errors import PlanError
 from repro.optimizer import CSPlusNonlinear, QuerySpec, VariableElimination
 from repro.plans import (
+    FilterScan,
     GroupBy,
     IndexScan,
     ProductJoin,
@@ -118,6 +119,7 @@ class TestEveryNodeKind:
     SAMPLES = {
         "Scan": lambda: Scan("a"),
         "IndexScan": lambda: IndexScan("a", {"x": 1}),
+        "FilterScan": lambda: FilterScan("a", {"x": 1, "y": 0}),
         "Select": lambda: Select(Scan("a"), {"x": 2}),
         "ProductJoin": lambda: ProductJoin(
             Scan("a"), Scan("b"), method="sort_merge"
