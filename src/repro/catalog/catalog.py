@@ -197,6 +197,35 @@ class Catalog:
         self._epoch += 1
         return spec
 
+    def snapshot_view(self) -> "Catalog":
+        """A frozen shallow clone of the catalog at the current epoch.
+
+        Serving-side snapshot isolation (``repro.serve``): the clone
+        shares every immutable component — relations, statistics, heap
+        files, indexes, shard decompositions — so taking one is O(number
+        of tables), and readers holding it keep seeing the pre-reload
+        data after :meth:`replace` swaps new objects into *this*
+        catalog.  Safe because reloads never mutate the old objects:
+        ``replace`` installs a fresh heap file under a fresh file id
+        (the checkpoint manifest relies on the same contract), so stale
+        pages of the cloned catalog's files stay readable through the
+        shared buffer pool until the clone is dropped.
+        """
+        clone = Catalog(self._page_size)
+        clone._relations = dict(self._relations)
+        clone._stats = dict(self._stats)
+        clone._heapfiles = dict(self._heapfiles)
+        clone._indexes = dict(self._indexes)
+        clone._partitions = dict(self._partitions)
+        clone._shard_relations = {
+            k: list(v) for k, v in self._shard_relations.items()
+        }
+        clone._shard_files = {k: list(v) for k, v in self._shard_files.items()}
+        clone._variables = dict(self._variables)
+        clone._next_file_id = self._next_file_id
+        clone._epoch = self._epoch
+        return clone
+
     def partition_spec(self, name: str) -> PartitionSpec | None:
         """The table's :class:`PartitionSpec`, or ``None`` if unpartitioned."""
         return self._partitions.get(name)

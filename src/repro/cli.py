@@ -7,6 +7,9 @@ Commands:
   evaluation strategy;
 * ``sql`` — execute MPF statements (from ``-c`` or a file) against a
   generated supply-chain database, printing results and plans;
+* ``serve`` — deterministic multi-tenant serving soak: admission
+  control, backpressure, load shedding, and snapshot-isolated reloads
+  on a virtual clock (see ``docs/serving.md``);
 * ``table2`` / ``table3`` — regenerate the paper's ordering-heuristics
   tables on the Section 7.3 synthetic views;
 * ``inference`` — the Section 4 Bayesian-network walkthrough.
@@ -18,12 +21,14 @@ import argparse
 import json
 import math
 import sys
+from collections import Counter
 
 from repro.engine import Database
 from repro.errors import (
     CatalogError,
     MPFError,
     OptimizationError,
+    OverloadError,
     PlanError,
     QueryError,
     ResourceError,
@@ -45,10 +50,15 @@ EXIT_WORKLOAD = 6     # workload-layer precondition failures
 EXIT_PLAN = 7         # planning / optimization failures
 EXIT_CRASH = 8        # simulated crash (--crash-at); resume with --resume
 EXIT_WORKER = 9       # unrecoverable worker fault (degradation disabled)
+EXIT_OVERLOAD = 10    # request(s) shed by serving admission control
 
 
 def exit_code_for(exc: MPFError) -> int:
     """Map an error to its family's exit code (most specific first)."""
+    if isinstance(exc, OverloadError):
+        # Checked first: shedding means "retry later with backoff",
+        # unlike every family below where retrying cannot help.
+        return EXIT_OVERLOAD
     if isinstance(exc, WorkerError):
         return EXIT_WORKER
     if isinstance(exc, ResourceError):
@@ -80,14 +90,14 @@ create mpfview invest as
 def _build_database(
     scale: float, seed: int, pool=None, metrics=None, workers: int = 1,
     partitions=None, task_policy=None, worker_faults=None,
-    fuse_select_scan: bool = False,
+    fuse_select_scan: bool = False, clock=None,
 ) -> Database:
     from repro.datagen import supply_chain
 
     sc = supply_chain(scale=scale, seed=seed)
     db = Database(pool=pool, metrics=metrics, workers=workers,
                   task_policy=task_policy, worker_faults=worker_faults,
-                  fuse_select_scan=fuse_select_scan)
+                  fuse_select_scan=fuse_select_scan, clock=clock)
     for t in sc.tables:
         db.register(sc.catalog.relation(t))
     for table, key, shards in partitions or ():
@@ -167,20 +177,28 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _guard_from_args(args: argparse.Namespace):
-    """A QueryGuard from the CLI resource flags, or None when unset."""
+def _guard_from_args(args: argparse.Namespace, db: Database | None = None):
+    """A QueryGuard from the CLI resource flags, or None when unset.
+
+    With a ``db``, the guard is built by :meth:`Database.make_guard`
+    so it inherits any clock injected into the engine (the serving
+    soak and guard tests run deadlines on a controlled clock).
+    """
     timeout = getattr(args, "timeout", None)
     memory_limit = getattr(args, "memory_limit", None)
     cost_budget = getattr(args, "cost_budget", None)
     if timeout is None and memory_limit is None and cost_budget is None:
         return None
-    from repro.plans.guard import QueryGuard
-
-    return QueryGuard(
+    kwargs = dict(
         deadline_seconds=timeout,
         cost_budget=cost_budget,
         memory_limit_pages=memory_limit,
     )
+    if db is not None:
+        return db.make_guard(**kwargs)
+    from repro.plans.guard import QueryGuard
+
+    return QueryGuard(**kwargs)
 
 
 def _crash_injector_from_args(args: argparse.Namespace):
@@ -370,7 +388,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
             fuse_select_scan=args.fuse_select_scan,
         )
 
-    guard = _guard_from_args(args)
+    guard = _guard_from_args(args, db)
     statements: list[str] = []
     if args.command:
         statements.extend(args.command)
@@ -528,6 +546,159 @@ def _replay_recorded_statement(db, sql, record, args, guard):
     print(result.head(args.limit))
     print(f"[recovered; {result.ntuples} rows]\n")
     return None
+
+
+def _parse_reloads(specs):
+    """Parse repeatable ``--reload-at TABLE@TIME`` flags.
+
+    Returns ``[(time, table), ...]``; raises ``ValueError`` with a
+    usage message on a malformed spec.
+    """
+    parsed = []
+    for spec in specs or ():
+        table, sep, at = spec.partition("@")
+        if not sep or not table.strip():
+            raise ValueError(
+                f"--reload-at expects TABLE@TIME, got {spec!r}"
+            )
+        try:
+            parsed.append((float(at), table.strip()))
+        except ValueError:
+            raise ValueError(
+                f"--reload-at expects a numeric time, got {spec!r}"
+            ) from None
+    return parsed
+
+
+# Default tenant mix for `repro serve`: a high-priority tenant with a
+# latency SLO and an unlimited-rate bulk tenant that soaks up queue
+# room — enough contention at the default --arrival-gap to exercise
+# backpressure, eviction, and deadline shedding in one soak.
+_DEFAULT_TENANTS = (
+    "gold,priority=2,queue=8,slo=2e6",
+    "bulk,queue=4,burst=4",
+)
+
+_SERVE_GROUP_VARS = ("pid", "sid", "wid", "cid", "tid")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.datagen import supply_chain
+    from repro.serve import (
+        ServeRequest,
+        ServingRuntime,
+        VirtualClock,
+        parse_tenant_spec,
+    )
+
+    if args.workers < 1:
+        print(
+            f"--workers must be >= 1, got {args.workers}", file=sys.stderr
+        )
+        return EXIT_USAGE
+    if args.mix < 1:
+        print(f"--mix must be >= 1, got {args.mix}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        partitions = _parse_partitions(args.partition)
+        task_policy = _task_policy_from_args(args)
+        worker_faults = _worker_faults_from_args(args)
+        tenants = [
+            parse_tenant_spec(text)
+            for text in (args.tenant or _DEFAULT_TENANTS)
+        ]
+        reload_specs = _parse_reloads(args.reload_at)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_USAGE
+
+    clock = VirtualClock()
+    db = _build_database(
+        args.scale, args.seed, workers=args.workers,
+        partitions=partitions, task_policy=task_policy,
+        worker_faults=worker_faults,
+        fuse_select_scan=args.fuse_select_scan, clock=clock,
+    )
+    runtime = ServingRuntime(
+        db, tenants, clock=clock, strategy=args.strategy,
+        drain_policy=args.drain,
+    )
+
+    # Seeded workload: tenant, query shape, and inter-arrival gaps are
+    # all drawn from one generator, so a given (--seed, --mix,
+    # --arrival-gap, --tenant) combination replays byte-identically.
+    rng = np.random.default_rng(args.seed)
+    names = [spec.name for spec in tenants]
+    arrival = 0.0
+    requests = []
+    for _ in range(args.mix):
+        arrival += float(rng.exponential(args.arrival_gap))
+        var = _SERVE_GROUP_VARS[int(rng.integers(len(_SERVE_GROUP_VARS)))]
+        sql = f"select {var}, sum(inv) from invest group by {var}"
+        if rng.random() < 0.25:
+            sql = (
+                f"select {var}, sum(inv) from invest "
+                f"where tid = 0 group by {var}"
+            )
+        requests.append(ServeRequest(
+            tenant=names[int(rng.integers(len(names)))],
+            query=db._select_query(sql),
+            arrival=arrival,
+        ))
+
+    reloads = []
+    for k, (at, table) in enumerate(reload_specs):
+        # A reload installs a freshly regenerated copy of the table
+        # (different seed), so post-reload epochs serve different data.
+        fresh = supply_chain(scale=args.scale, seed=args.seed + 101 + k)
+        reloads.append((at, fresh.catalog.relation(table), table))
+
+    report = runtime.run_workload(requests, reloads)
+
+    print(f"serving soak @ scale {args.scale}, seed {args.seed}: "
+          f"{report.summary()}")
+    for spec in tenants:
+        outs = [
+            o for o in report.outcomes if o.request.tenant == spec.name
+        ]
+        sheds = Counter(
+            o.error.reason for o in outs if o.shed
+        )
+        executed = [o for o in outs if not o.shed]
+        wait = (
+            sum(o.queue_wait for o in executed) / len(executed)
+            if executed else 0.0
+        )
+        shed_text = (
+            " [" + ", ".join(
+                f"{reason}={count}" for reason, count in sorted(sheds.items())
+            ) + "]" if sheds else ""
+        )
+        print(
+            f"  {spec.name}: {len(outs)} submitted, "
+            f"{sum(o.ok for o in outs)} ok, "
+            f"{sum(bool(o.shed) for o in outs)} shed{shed_text}, "
+            f"{sum(o.status == 'error' for o in outs)} failed, "
+            f"mean wait {wait:.0f} units"
+        )
+    hits = sum(o.plan_cached for o in report.completed)
+    epochs = sorted({o.epoch for o in report.outcomes if o.epoch is not None})
+    print(f"  plan cache: {hits}/{len(report.completed)} hits; "
+          f"epochs served: {epochs}")
+    if args.metrics_json:
+        # Last line of stdout: one schema-tagged metrics document for
+        # the soak (pipe into `python -m repro.obs.validate -`).
+        print(json.dumps(db.metrics_document(name="cli.serve"),
+                         sort_keys=True))
+    if args.fail_on_shed and report.shed:
+        print(
+            f"error: {len(report.shed)} request(s) shed under overload",
+            file=sys.stderr,
+        )
+        return EXIT_OVERLOAD
+    return 0
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -737,6 +908,75 @@ def build_parser() -> argparse.ArgumentParser:
                      help="restrict seeded worker faults to these kinds "
                           "(comma-separated; default: all kinds)")
     sql.set_defaults(fn=cmd_sql)
+
+    srv = sub.add_parser(
+        "serve",
+        help="deterministic multi-tenant serving soak (admission "
+             "control, load shedding, snapshot-isolated reloads)",
+    )
+    srv.add_argument("--scale", type=float, default=0.01)
+    srv.add_argument("--seed", type=int, default=42)
+    srv.add_argument("--strategy", default="auto")
+    srv.add_argument("--tenant", action="append", default=None,
+                     metavar="SPEC",
+                     help="tenant spec 'name[,key=value,...]' with keys "
+                          "priority, rate, burst, slots, queue, slo, "
+                          "cost, mem, retries (repeatable; default: a "
+                          "gold/bulk pair that contends at the default "
+                          "arrival gap)")
+    srv.add_argument("--mix", type=int, default=40, metavar="N",
+                     help="seeded queries to submit across the tenants")
+    srv.add_argument("--arrival-gap", type=float, default=5e4,
+                     metavar="UNITS",
+                     help="mean inter-arrival gap in simulated cost "
+                          "units (exponential, seeded)")
+    srv.add_argument("--reload-at", action="append", default=None,
+                     metavar="TABLE@TIME",
+                     help="reload TABLE with freshly regenerated data "
+                          "at virtual time TIME, snapshot-isolated "
+                          "from in-flight queries (repeatable)")
+    srv.add_argument("--drain", choices=("finish", "shed"),
+                     default="finish",
+                     help="queued work after the last arrival is "
+                          "finished or shed")
+    srv.add_argument("--fail-on-shed", action="store_true",
+                     help=f"exit {EXIT_OVERLOAD} if any request was "
+                          "shed (overload is a failure for this run)")
+    srv.add_argument("--metrics-json", action="store_true",
+                     help="after the soak, print the session's metrics "
+                          "document on one line")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="modeled executor count for partition-parallel "
+                          "execution")
+    srv.add_argument("--partition", action="append", default=None,
+                     metavar="TABLE=KEY:N",
+                     help="hash-partition TABLE on variable KEY into N "
+                          "shards before serving (repeatable)")
+    srv.add_argument("--fuse-select-scan", action="store_true",
+                     help="lower plans with the Select over Scan fusion "
+                          "rewrite")
+    srv.add_argument("--task-timeout", type=float, default=None,
+                     metavar="UNITS",
+                     help="modeled per-task deadline (see `sql`)")
+    srv.add_argument("--task-retries", type=int, default=None,
+                     metavar="N", help="retry budget per scheduled task")
+    srv.add_argument("--hedge-after", type=float, default=None,
+                     metavar="UNITS",
+                     help="hedge straggling tasks after this many "
+                          "cost units")
+    srv.add_argument("--no-task-degrade", action="store_true",
+                     help="disable graceful degradation to serial "
+                          "re-execution on worker faults")
+    srv.add_argument("--fault-worker", action="append", default=None,
+                     metavar="KIND[:N]",
+                     help="inject a worker fault on scheduled task "
+                          "ordinal N (repeatable; see `sql`)")
+    srv.add_argument("--fault-worker-rate", type=float, default=0.0,
+                     metavar="P",
+                     help="seeded per-task worker fault probability")
+    srv.add_argument("--fault-worker-kinds", default=None, metavar="CSV",
+                     help="restrict seeded worker faults to these kinds")
+    srv.set_defaults(fn=cmd_serve)
 
     t2 = sub.add_parser("table2", help="regenerate paper Table 2")
     t2.add_argument("--n-tables", type=int, default=5)

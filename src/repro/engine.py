@@ -27,7 +27,7 @@ from repro.cost.model import CostModel, SimpleCostModel
 from repro.data.relation import FunctionalRelation
 from repro.errors import MPFError, QueryError
 from repro.obs.export import explain_document, metrics_document
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import SECONDS_BUCKETS, MetricsRegistry
 from repro.optimizer.base import OptimizationResult, Optimizer
 from repro.optimizer.cs import CSOptimizer
 from repro.optimizer.csplus import CSPlusLinear, CSPlusNonlinear
@@ -260,6 +260,7 @@ class Database:
         task_policy=None,
         worker_faults=None,
         fuse_select_scan: bool = False,
+        clock=None,
     ):
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -292,10 +293,31 @@ class Database:
         ``docs/observability.md`` for the metric catalog."""
         if self.pool.metrics is None:
             self.pool.metrics = self.metrics
+        self.clock = clock
+        """Optional wall-clock callable (``() -> float`` seconds) the
+        engine threads into every timing-sensitive component it
+        constructs: guards built by :meth:`make_guard` and the
+        optimizer's ``planning_seconds`` stopwatch.  ``None`` keeps the
+        real process clocks (``time.monotonic`` / ``time.perf_counter``).
+        The serving runtime and guard tests inject a controlled clock
+        here so deadline behavior is reproducible without real sleeps."""
         self._views: dict[str, _ViewEntry] = {}
         self._caches: dict[str, VECache] = {}
         self._plan_cache: dict[tuple, dict] = {}
         self.plan_cache_hits = 0
+
+    def make_guard(self, **kwargs) -> QueryGuard:
+        """Build a :class:`QueryGuard` on the database's clock.
+
+        Accepts every ``QueryGuard`` constructor argument; the guard's
+        wall-clock defaults to :attr:`clock` when one was injected, so
+        callers get deadline enforcement on the same (possibly virtual)
+        timebase as the rest of the engine without threading ``clock``
+        themselves.
+        """
+        if self.clock is not None:
+            kwargs.setdefault("clock", self.clock)
+        return QueryGuard(**kwargs)
 
     def metrics_snapshot(self):
         """Deterministic snapshot of the engine-wide registry."""
@@ -488,10 +510,20 @@ class Database:
         if cache_key is not None:
             self.metrics.counter("plan_cache.misses").inc()
         optimizer = self.make_optimizer(strategy, heuristic, seed)
-        optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
+        optimization = optimizer.optimize(
+            spec, self.catalog, self.cost_model, clock=self.clock
+        )
         self.metrics.counter("optimizer.plans_considered").inc(
             optimization.plans_considered
         )
+        if self.clock is not None:
+            # Planning elapsed enters the registry only under an
+            # injected clock: the default wall clock would make metric
+            # snapshots differ between identical seeded runs, and the
+            # determinism suite treats that as a bug.
+            self.metrics.histogram(
+                "optimizer.elapsed", buckets=SECONDS_BUCKETS
+            ).observe(optimization.planning_seconds)
         if cache_key is not None:
             from repro.plans.serialize import plan_to_dict
 
@@ -878,7 +910,9 @@ class Database:
         query = self._select_query(sql)
         spec = query.to_spec(self.catalog)
         optimizer = self.make_optimizer(strategy, **options)
-        optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
+        optimization = optimizer.optimize(
+            spec, self.catalog, self.cost_model, clock=self.clock
+        )
         return profile_execution(
             optimization.plan, self.catalog, query.view.semiring,
             pool=self.pool, guard=guard, metrics=self.metrics,
@@ -920,7 +954,9 @@ class Database:
         query = self._select_query(sql, what="explain_analyze")
         spec = query.to_spec(self.catalog)
         optimizer = self.make_optimizer(strategy, **options)
-        optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
+        optimization = optimizer.optimize(
+            spec, self.catalog, self.cost_model, clock=self.clock
+        )
         # Optimizers keep estimates in their own search structures;
         # re-annotate so every plan node carries the estimator's
         # cardinality/cost for the calibration join.
@@ -1025,7 +1061,9 @@ class Database:
             query = sql_or_query
         spec = query.to_spec(self.catalog)
         optimizer = self.make_optimizer(strategy, **options)
-        optimization = optimizer.optimize(spec, self.catalog, self.cost_model)
+        optimization = optimizer.optimize(
+            spec, self.catalog, self.cost_model, clock=self.clock
+        )
         return explain(optimization.plan)
 
     # ------------------------------------------------------------------

@@ -128,6 +128,30 @@ class WorkerError(MPFError):
     """
 
 
+class OverloadError(MPFError):
+    """A request was shed by the serving runtime's admission control.
+
+    Raised (or attached to a request outcome) when a multi-tenant
+    serving runtime refuses work it cannot complete within policy: the
+    tenant's token bucket is empty (``reason="rate"``), its bounded
+    queue is full and the request lost the priority comparison
+    (``reason="queue_full"``), a queued request was evicted by a
+    higher-priority arrival (``reason="evicted"``), the propagated
+    deadline was already blown while the request waited in queue
+    (``reason="deadline"``), or the server is draining for shutdown
+    (``reason="draining"``).
+
+    Shedding is *not* a query error: the identical request would
+    succeed on an unloaded server.  It gets its own CLI exit code (10)
+    so drivers can distinguish "retry later with backoff" from every
+    failure family that retrying cannot help.
+    """
+
+    def __init__(self, message: str, reason: str = "overload"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class ResourceError(MPFError):
     """A query exceeded a resource bound set by its QueryGuard.
 

@@ -93,6 +93,7 @@ METRIC_CATALOG: dict[str, str] = {
     "plan_cache.misses": "counter",
     "plan_cache.invalidations": "counter",
     "optimizer.plans_considered": "counter",
+    "optimizer.elapsed": "histogram",
     "queries.total": "counter",
     "batches.total": "counter",
     "batch.shared_subplans": "counter",
@@ -151,6 +152,25 @@ METRIC_CATALOG: dict[str, str] = {
     "calib.misestimates": "counter",
     "calib.plan_regret": "histogram",
     "calib.plans_replayed": "counter",
+    # multi-tenant serving runtime (labels: tenant=<name> on all;
+    # serve.shed additionally reason=rate|queue_full|evicted|deadline|
+    # draining; serve.completed additionally status=ok|error).
+    # serve.queue_wait records the runtime's clock units: simulated
+    # cost units under the deterministic driver, seconds under the
+    # asyncio server (see docs/serving.md).
+    "serve.requests": "counter",
+    "serve.admitted": "counter",
+    "serve.shed": "counter",
+    "serve.completed": "counter",
+    "serve.deadline_misses": "counter",
+    "serve.queue_depth": "gauge",
+    "serve.queue_wait": "histogram",
+    "serve.plan_cache.hits": "counter",
+    "serve.plan_cache.misses": "counter",
+    "serve.reloads": "counter",
+    "serve.snapshots_active": "gauge",
+    "serve.snapshots_retired": "counter",
+    "serve.drains": "counter",
 }
 
 _IOSTATS_KEYS = (

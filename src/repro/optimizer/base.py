@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.statistics import TableStats
@@ -210,7 +210,14 @@ class PlanContext:
 
 
 class Optimizer:
-    """Base class: times the search and packages the result."""
+    """Base class: times the search and packages the result.
+
+    ``clock`` is the timing source for ``planning_seconds`` — by
+    default the process wall clock, but injectable so hosts under a
+    controlled clock (the serving runtime's deterministic driver, guard
+    tests) time planning on the same clock contract as everything else
+    instead of a raw ``time.perf_counter`` call they cannot virtualize.
+    """
 
     algorithm = "abstract"
 
@@ -219,11 +226,13 @@ class Optimizer:
         spec: QuerySpec,
         catalog: Catalog,
         model: CostModel | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> OptimizationResult:
         context = PlanContext(spec, catalog, model)
-        start = time.perf_counter()
+        clock = clock or time.perf_counter
+        start = clock()
         best = self._search(context)
-        elapsed = time.perf_counter() - start
+        elapsed = clock() - start
         return OptimizationResult(
             plan=best.plan,
             cost=best.cost,

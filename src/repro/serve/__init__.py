@@ -1,0 +1,51 @@
+"""Multi-tenant serving runtime: admission, backpressure, snapshots.
+
+The paper's decision-support setting is a *workload* of MPF queries
+arriving against a shared model.  This package turns the engine's
+building blocks — :class:`~repro.plans.guard.QueryGuard` budgets, the
+``stats_epoch``-versioned plan cache, the checkpoint machinery, the
+deterministic :class:`~repro.obs.metrics.MetricsRegistry` — into a
+serving front end that stays correct and predictable under overload:
+
+* :mod:`repro.serve.tenancy` — per-tenant policy (:class:`TenantSpec`)
+  and the token-bucket rate limiter;
+* :mod:`repro.serve.admission` — bounded per-tenant queues with
+  priority-aware load shedding (:class:`AdmissionController`);
+* :mod:`repro.serve.snapshot` — refcounted epoch-pinned catalog
+  snapshots so reloads never corrupt in-flight readers
+  (:class:`SnapshotManager`);
+* :mod:`repro.serve.runtime` — the deterministic single-server driver
+  (:class:`ServingRuntime`) and the asyncio front end
+  (:class:`AsyncServer`).
+
+See ``docs/serving.md`` for the tenancy model, shedding policy,
+deadline propagation, and drain semantics.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.serve.runtime import (
+    AsyncServer,
+    RequestOutcome,
+    ServeReport,
+    ServeRequest,
+    ServingRuntime,
+    VirtualClock,
+)
+from repro.serve.snapshot import Snapshot, SnapshotManager
+from repro.serve.tenancy import TenantSpec, TokenBucket, parse_tenant_spec
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AsyncServer",
+    "RequestOutcome",
+    "ServeReport",
+    "ServeRequest",
+    "ServingRuntime",
+    "Snapshot",
+    "SnapshotManager",
+    "TenantSpec",
+    "TokenBucket",
+    "VirtualClock",
+    "parse_tenant_spec",
+]

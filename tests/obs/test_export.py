@@ -176,6 +176,24 @@ class TestMetricsDocument:
         missing = [name for name in METRIC_CATALOG if f"`{name}" not in doc]
         assert not missing, f"undocumented metrics: {missing}"
 
+    def test_serve_metrics_documented_in_serving_guide(self):
+        """docs/serving.md must name every serve.* catalog metric.
+
+        The serving guide carries its own metrics table; this keeps
+        it from drifting as serving metrics are added.
+        """
+        from pathlib import Path
+
+        doc = (
+            Path(__file__).parents[2] / "docs" / "serving.md"
+        ).read_text()
+        serve_names = [
+            name for name in METRIC_CATALOG if name.startswith("serve.")
+        ]
+        assert serve_names, "serve.* metrics missing from the catalog"
+        missing = [name for name in serve_names if f"`{name}" not in doc]
+        assert not missing, f"not in docs/serving.md: {missing}"
+
 
 class TestBenchDocument:
     def test_roundtrip_validates(self):

@@ -301,3 +301,34 @@ class TestExecutorIntegration:
         # The executor still works afterwards.
         result, _ = executor.run(PLAN)
         assert result.ntuples == 4
+
+
+class TestDatabaseGuardFactory:
+    def test_make_guard_inherits_injected_clock(self):
+        from repro.engine import Database
+
+        clock = FakeClock(now=100.0)
+        db = Database(clock=clock)
+        guard = db.make_guard(deadline_seconds=10.0)
+        stats = IOStats()
+        guard.restart(stats)
+        guard.check(stats)
+        clock.advance(11.0)
+        with pytest.raises(QueryTimeout):
+            guard.check(stats)
+
+    def test_make_guard_without_clock_uses_wall_default(self):
+        from repro.engine import Database
+
+        guard = Database().make_guard(deadline_seconds=3600.0)
+        stats = IOStats()
+        guard.restart(stats)
+        guard.check(stats)  # an hour of wall clock has not passed
+
+    def test_make_guard_explicit_clock_wins(self):
+        from repro.engine import Database
+
+        db_clock, guard_clock = FakeClock(), FakeClock()
+        db = Database(clock=db_clock)
+        guard = db.make_guard(clock=guard_clock)
+        assert guard._clock is guard_clock

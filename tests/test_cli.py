@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import (
+    EXIT_OVERLOAD,
     EXIT_QUERY,
     EXIT_RESOURCE,
     EXIT_USAGE,
@@ -320,3 +321,80 @@ class TestWorkerFaultFlags:
     def test_bad_fault_flags_are_usage_errors(self, argv, capsys):
         code = main(["sql", *argv, "-c", "select 1"])
         assert code == EXIT_USAGE
+
+
+class TestServe:
+    ARGS = ["serve", "--scale", "0.004", "--mix", "12"]
+
+    def test_default_soak_succeeds(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "serving soak" in out
+        assert "gold:" in out and "bulk:" in out
+        assert "plan cache:" in out
+
+    def test_overload_error_exit_code(self):
+        from repro.errors import OverloadError
+
+        assert exit_code_for(OverloadError("x", reason="rate")) == \
+            EXIT_OVERLOAD
+
+    def test_forced_shed_exits_overload(self, capsys):
+        code = main([
+            *self.ARGS, "--tenant", "only,queue=0", "--fail-on-shed",
+        ])
+        assert code == EXIT_OVERLOAD
+        assert "shed under overload" in capsys.readouterr().err
+
+    def test_shed_without_flag_is_success(self, capsys):
+        assert main([*self.ARGS, "--tenant", "only,queue=0"]) == 0
+        assert "12 shed" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("argv", [
+        ["--tenant", "bad,nope=1"],
+        ["--tenant", "priority=2"],
+        ["--tenant", "t,slots=0"],
+        ["--reload-at", "location"],
+        ["--reload-at", "location@soon"],
+        ["--mix", "0"],
+        ["--workers", "0"],
+    ])
+    def test_bad_flags_are_usage_errors(self, argv, capsys):
+        assert main(["serve", *argv]) == EXIT_USAGE
+
+    def test_reload_and_metrics_json(self, capsys):
+        import json
+
+        from repro.obs.export import validate_metrics_document
+
+        code = main([
+            *self.ARGS, "--reload-at", "location@2e5", "--metrics-json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out.strip().splitlines()[-1])
+        validate_metrics_document(doc)
+        assert doc["name"] == "cli.serve"
+        assert doc["metrics"]["serve.reloads"]["value"] == 1
+        # Requests span both epochs.
+        assert "epochs served: [5, 6]" in out
+
+    def test_soak_is_deterministic(self, capsys):
+        argv = [*self.ARGS, "--reload-at", "location@2e5", "--metrics-json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_worker_faults_compose_with_serving(self, capsys):
+        # Injected worker faults are retried/degraded inside each
+        # request's execution; the soak itself still succeeds.
+        code = main([
+            *self.ARGS, "--workers", "2",
+            "--partition", "location=wid:4",
+            "--fault-worker-rate", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving soak" in out
+        assert "0 failed" in out
