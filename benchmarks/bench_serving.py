@@ -20,6 +20,7 @@ import pytest
 from _harness import reporter
 
 from repro.cli import _build_database
+from repro.obs.slo import quantile
 from repro.serve import ServeRequest, ServingRuntime, TenantSpec, VirtualClock
 
 SCALE, SEED = 0.004, 7
@@ -34,7 +35,8 @@ _REPORT = reporter(
     "serving",
     "Serving runtime — admission outcomes and makespan by load level",
     ["load", "mix", "completed", "shed", "failed", "plan_hits",
-     "duration", "mean_wait"],
+     "duration", "mean_wait", "lat_p50", "lat_p99", "wait_p50",
+     "wait_p99"],
 )
 
 
@@ -105,6 +107,10 @@ def test_serving_soak(benchmark, load, gap):
     )
     waits = [o.queue_wait for o in report.completed]
     mean_wait = sum(waits) / len(waits) if waits else 0.0
+    # End-to-end latency (arrival -> completion) and queue-wait tail
+    # quantiles over the completed population; nearest-rank, so every
+    # cell is deterministic on the virtual clock.
+    lats = [o.latency for o in report.completed if o.latency is not None]
 
     benchmark.extra_info.update(
         completed=len(report.completed), shed=len(report.shed)
@@ -114,4 +120,6 @@ def test_serving_soak(benchmark, load, gap):
         load, mix, len(report.completed), len(report.shed),
         len(report.failed), int(hits), report.duration,
         round(mean_wait, 1),
+        round(quantile(lats, 0.50), 1), round(quantile(lats, 0.99), 1),
+        round(quantile(waits, 0.50), 1), round(quantile(waits, 0.99), 1),
     )

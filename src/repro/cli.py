@@ -404,6 +404,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    trace_entries: list[dict] = []
     for i, sql in enumerate(statements):
         key = f"stmt:{i}:{sql}"
         print(f"mpf> {sql}")
@@ -426,12 +427,28 @@ def cmd_sql(args: argparse.Namespace) -> int:
         if crash is not None:
             crash.reach("batch.query")
         before = db.metrics.snapshot() if wal is not None else None
+        tracer = None
+        if args.trace_json:
+            from repro.obs.trace import QueryTracer
+
+            tracer = QueryTracer()
         try:
-            outcome = db.execute(sql, strategy=args.strategy, guard=guard)
+            outcome = db.execute(
+                sql, strategy=args.strategy, guard=guard, tracer=tracer
+            )
         except MPFError as exc:
             _record_statement(db, wal, key, before, error=exc)
             print(f"error: {exc}", file=sys.stderr)
             return exit_code_for(exc)
+        if tracer is not None and not isinstance(outcome, str):
+            trace_entries.append({
+                "request_id": f"stmt-{i:04d}",
+                "tenant": None,
+                "stats_epoch": db.catalog.stats_epoch,
+                "status": "ok",
+                "reason": None,
+                "root": tracer.finish().to_dict(),
+            })
         if isinstance(outcome, str):
             _record_statement(db, wal, key, before)
             if checkpointer is not None:
@@ -448,6 +465,16 @@ def cmd_sql(args: argparse.Namespace) -> int:
             print(json.dumps(outcome.to_explain_dict(), sort_keys=True))
         print(f"[{outcome.optimization.algorithm}; "
               f"{outcome.result.ntuples} rows]\n")
+    if args.trace_json:
+        from repro.obs.export import trace_document
+
+        # One repro.trace.v1 document covering every traced statement
+        # (printed before --metrics-json, which stays the last line).
+        print(json.dumps(
+            trace_document(trace_entries, name="cli.sql"), sort_keys=True
+        ))
+    if args.metrics_text:
+        _write_metrics_text(db, args.metrics_text)
     if args.metrics_json:
         # Last line of stdout: one schema-tagged metrics document for
         # the whole session (pipe into `python -m repro.obs.validate -`).
@@ -582,7 +609,12 @@ _DEFAULT_TENANTS = (
 _SERVE_GROUP_VARS = ("pid", "sid", "wid", "cid", "tid")
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
+def _serve_soak(args: argparse.Namespace, tracer=None):
+    """Shared `serve`/`top` soak: build, generate, run.
+
+    Returns ``(db, runtime, report, tenants)``; on a usage error,
+    prints the message and returns the exit code instead.
+    """
     import numpy as np
 
     from repro.datagen import supply_chain
@@ -623,7 +655,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     runtime = ServingRuntime(
         db, tenants, clock=clock, strategy=args.strategy,
-        drain_policy=args.drain,
+        drain_policy=args.drain, tracer=tracer,
     )
 
     # Seeded workload: tenant, query shape, and inter-arrival gaps are
@@ -656,6 +688,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         reloads.append((at, fresh.catalog.relation(table), table))
 
     report = runtime.run_workload(requests, reloads)
+    return db, runtime, report, tenants
+
+
+def _write_metrics_text(db, target: str) -> None:
+    """Write the Prometheus-style exposition to stdout (``-``) or a file."""
+    from repro.obs.expo import metrics_text
+
+    text = metrics_text(db.metrics)
+    if target == "-":
+        sys.stdout.write(text)
+    else:
+        with open(target, "w") as fh:
+            fh.write(text)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.trace import ServeTracer
+
+    tracer = ServeTracer() if args.trace_json else None
+    soak = _serve_soak(args, tracer)
+    if isinstance(soak, int):
+        return soak
+    db, runtime, report, tenants = soak
 
     print(f"serving soak @ scale {args.scale}, seed {args.seed}: "
           f"{report.summary()}")
@@ -687,6 +742,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     epochs = sorted({o.epoch for o in report.outcomes if o.epoch is not None})
     print(f"  plan cache: {hits}/{len(report.completed)} hits; "
           f"epochs served: {epochs}")
+    if args.trace_json:
+        # One schema-tagged repro.trace.v1 document for the whole soak
+        # (pipe `tail -n 1` into `python -m repro.obs.validate -` when
+        # combined with --metrics-json, which stays the last line).
+        print(json.dumps(tracer.document(name="cli.serve"),
+                         sort_keys=True))
+    if args.metrics_text:
+        _write_metrics_text(db, args.metrics_text)
     if args.metrics_json:
         # Last line of stdout: one schema-tagged metrics document for
         # the soak (pipe into `python -m repro.obs.validate -`).
@@ -698,6 +761,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_OVERLOAD
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """One-shot per-tenant SLO summary view over a seeded soak."""
+    soak = _serve_soak(args)
+    if isinstance(soak, int):
+        return soak
+    db, runtime, report, tenants = soak
+    print(f"serving soak @ scale {args.scale}, seed {args.seed}: "
+          f"{report.summary()}")
+    print(runtime.slo.render())
+    if args.metrics_text:
+        _write_metrics_text(db, args.metrics_text)
     return 0
 
 
@@ -829,6 +906,15 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--metrics-json", action="store_true",
                      help="after all statements, print the session's "
                           "metrics document on one line")
+    sql.add_argument("--metrics-text", nargs="?", const="-", default=None,
+                     metavar="PATH",
+                     help="after all statements, write the session's "
+                          "metrics as a Prometheus-style text exposition "
+                          "to PATH (default: stdout)")
+    sql.add_argument("--trace-json", action="store_true",
+                     help="after all statements, print one "
+                          "repro.trace.v1 document with each select's "
+                          "span tree on one line")
     sql.add_argument("--calibrate", action="store_true",
                      help="run selects as EXPLAIN ANALYZE with cost-model "
                           "calibration: print each query's one-line "
@@ -909,74 +995,99 @@ def build_parser() -> argparse.ArgumentParser:
                           "(comma-separated; default: all kinds)")
     sql.set_defaults(fn=cmd_sql)
 
+    def add_serve_soak_options(p):
+        """Workload-shaping flags shared by `serve` and `top`."""
+        p.add_argument("--scale", type=float, default=0.01)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--strategy", default="auto")
+        p.add_argument("--tenant", action="append", default=None,
+                       metavar="SPEC",
+                       help="tenant spec 'name[,key=value,...]' with keys "
+                            "priority, rate, burst, slots, queue, slo, "
+                            "objective, cost, mem, retries (repeatable; "
+                            "default: a gold/bulk pair that contends at "
+                            "the default arrival gap)")
+        p.add_argument("--mix", type=int, default=40, metavar="N",
+                       help="seeded queries to submit across the tenants")
+        p.add_argument("--arrival-gap", type=float, default=5e4,
+                       metavar="UNITS",
+                       help="mean inter-arrival gap in simulated cost "
+                            "units (exponential, seeded)")
+        p.add_argument("--reload-at", action="append", default=None,
+                       metavar="TABLE@TIME",
+                       help="reload TABLE with freshly regenerated data "
+                            "at virtual time TIME, snapshot-isolated "
+                            "from in-flight queries (repeatable)")
+        p.add_argument("--drain", choices=("finish", "shed"),
+                       default="finish",
+                       help="queued work after the last arrival is "
+                            "finished or shed")
+        p.add_argument("--metrics-text", nargs="?", const="-",
+                       default=None, metavar="PATH",
+                       help="after the soak, write the metrics as a "
+                            "Prometheus-style text exposition to PATH "
+                            "(default: stdout)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="modeled executor count for "
+                            "partition-parallel execution")
+        p.add_argument("--partition", action="append", default=None,
+                       metavar="TABLE=KEY:N",
+                       help="hash-partition TABLE on variable KEY into N "
+                            "shards before serving (repeatable)")
+        p.add_argument("--fuse-select-scan", action="store_true",
+                       help="lower plans with the Select over Scan "
+                            "fusion rewrite")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       metavar="UNITS",
+                       help="modeled per-task deadline (see `sql`)")
+        p.add_argument("--task-retries", type=int, default=None,
+                       metavar="N",
+                       help="retry budget per scheduled task")
+        p.add_argument("--hedge-after", type=float, default=None,
+                       metavar="UNITS",
+                       help="hedge straggling tasks after this many "
+                            "cost units")
+        p.add_argument("--no-task-degrade", action="store_true",
+                       help="disable graceful degradation to serial "
+                            "re-execution on worker faults")
+        p.add_argument("--fault-worker", action="append", default=None,
+                       metavar="KIND[:N]",
+                       help="inject a worker fault on scheduled task "
+                            "ordinal N (repeatable; see `sql`)")
+        p.add_argument("--fault-worker-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="seeded per-task worker fault probability")
+        p.add_argument("--fault-worker-kinds", default=None,
+                       metavar="CSV",
+                       help="restrict seeded worker faults to these "
+                            "kinds")
+
     srv = sub.add_parser(
         "serve",
         help="deterministic multi-tenant serving soak (admission "
              "control, load shedding, snapshot-isolated reloads)",
     )
-    srv.add_argument("--scale", type=float, default=0.01)
-    srv.add_argument("--seed", type=int, default=42)
-    srv.add_argument("--strategy", default="auto")
-    srv.add_argument("--tenant", action="append", default=None,
-                     metavar="SPEC",
-                     help="tenant spec 'name[,key=value,...]' with keys "
-                          "priority, rate, burst, slots, queue, slo, "
-                          "cost, mem, retries (repeatable; default: a "
-                          "gold/bulk pair that contends at the default "
-                          "arrival gap)")
-    srv.add_argument("--mix", type=int, default=40, metavar="N",
-                     help="seeded queries to submit across the tenants")
-    srv.add_argument("--arrival-gap", type=float, default=5e4,
-                     metavar="UNITS",
-                     help="mean inter-arrival gap in simulated cost "
-                          "units (exponential, seeded)")
-    srv.add_argument("--reload-at", action="append", default=None,
-                     metavar="TABLE@TIME",
-                     help="reload TABLE with freshly regenerated data "
-                          "at virtual time TIME, snapshot-isolated "
-                          "from in-flight queries (repeatable)")
-    srv.add_argument("--drain", choices=("finish", "shed"),
-                     default="finish",
-                     help="queued work after the last arrival is "
-                          "finished or shed")
+    add_serve_soak_options(srv)
     srv.add_argument("--fail-on-shed", action="store_true",
                      help=f"exit {EXIT_OVERLOAD} if any request was "
                           "shed (overload is a failure for this run)")
     srv.add_argument("--metrics-json", action="store_true",
                      help="after the soak, print the session's metrics "
                           "document on one line")
-    srv.add_argument("--workers", type=int, default=1,
-                     help="modeled executor count for partition-parallel "
-                          "execution")
-    srv.add_argument("--partition", action="append", default=None,
-                     metavar="TABLE=KEY:N",
-                     help="hash-partition TABLE on variable KEY into N "
-                          "shards before serving (repeatable)")
-    srv.add_argument("--fuse-select-scan", action="store_true",
-                     help="lower plans with the Select over Scan fusion "
-                          "rewrite")
-    srv.add_argument("--task-timeout", type=float, default=None,
-                     metavar="UNITS",
-                     help="modeled per-task deadline (see `sql`)")
-    srv.add_argument("--task-retries", type=int, default=None,
-                     metavar="N", help="retry budget per scheduled task")
-    srv.add_argument("--hedge-after", type=float, default=None,
-                     metavar="UNITS",
-                     help="hedge straggling tasks after this many "
-                          "cost units")
-    srv.add_argument("--no-task-degrade", action="store_true",
-                     help="disable graceful degradation to serial "
-                          "re-execution on worker faults")
-    srv.add_argument("--fault-worker", action="append", default=None,
-                     metavar="KIND[:N]",
-                     help="inject a worker fault on scheduled task "
-                          "ordinal N (repeatable; see `sql`)")
-    srv.add_argument("--fault-worker-rate", type=float, default=0.0,
-                     metavar="P",
-                     help="seeded per-task worker fault probability")
-    srv.add_argument("--fault-worker-kinds", default=None, metavar="CSV",
-                     help="restrict seeded worker faults to these kinds")
+    srv.add_argument("--trace-json", action="store_true",
+                     help="after the soak, print its repro.trace.v1 "
+                          "document — every request's admission → queue "
+                          "→ dispatch → operator span tree — on one "
+                          "line (before --metrics-json)")
     srv.set_defaults(fn=cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="one-shot per-tenant SLO summary (latency/queue-wait "
+             "p50/p95/p99, attainment, burn rate) over a seeded soak",
+    )
+    add_serve_soak_options(top)
+    top.set_defaults(fn=cmd_top)
 
     t2 = sub.add_parser("table2", help="regenerate paper Table 2")
     t2.add_argument("--n-tables", type=int, default=5)

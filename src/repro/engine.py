@@ -19,6 +19,7 @@ chosen plan, its estimated cost, and the simulated execution stats.
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -562,6 +563,7 @@ class Database:
         seed: int | None = None,
         use_plan_cache: bool = False,
         guard: QueryGuard | None = None,
+        tracer=None,
     ) -> QueryReport:
         """Optimize and execute one MPF query.
 
@@ -576,18 +578,38 @@ class Database:
         budget, memory ceiling, cancellation, fault-retry budget); a
         violation raises the corresponding
         :class:`~repro.errors.ResourceError`.
+
+        ``tracer``, when given (a
+        :class:`~repro.obs.trace.QueryTracer`), is bound to the run's
+        cost clock and records the planning event plus an ``execute``
+        span wrapping the per-operator spans.
         """
         optimization = self._optimize_query(
             query, strategy, heuristic, seed, use_plan_cache
         )
+        run_stats = IOStats()
+        if tracer is not None:
+            tracer.bind_stats(run_stats)
+            tracer.event(
+                "planned",
+                algorithm=optimization.algorithm,
+                plans_considered=optimization.plans_considered,
+            )
         executor = Executor(
             self.catalog, query.view.semiring, pool=self.pool,
             metrics=self.metrics, workers=self.workers,
             task_policy=self.task_policy, worker_faults=self.worker_faults,
-            fuse_select_scan=self.fuse_select_scan,
+            fuse_select_scan=self.fuse_select_scan, tracer=tracer,
+        )
+        span = (
+            tracer.span("execute") if tracer is not None
+            else _nullcontext()
         )
         try:
-            result, stats = executor.run(optimization.plan, guard=guard)
+            with span:
+                result, stats = executor.run(
+                    optimization.plan, stats=run_stats, guard=guard
+                )
         except MPFError:
             self.metrics.counter("queries.total", status="error").inc()
             raise

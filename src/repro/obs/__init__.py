@@ -19,22 +19,40 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
-from repro.obs.trace import OperatorProfile, QueryTracer, Span
+from repro.obs.trace import (
+    OperatorProfile,
+    QueryTracer,
+    RequestTrace,
+    ServeTracer,
+    Span,
+    SPAN_KINDS,
+    TRACE_SCHEMA,
+    TraceContext,
+)
 from repro.obs.export import (
     BENCH_SCHEMA,
     CALIBRATION_SCHEMA,
     EXPLAIN_SCHEMA,
     METRIC_CATALOG,
     METRICS_SCHEMA,
+    SHED_REASONS,
     bench_document,
     explain_document,
     metrics_document,
     plan_explain_dict,
+    trace_document,
     validate_bench_document,
     validate_calibration_document,
     validate_explain_document,
     validate_metrics_document,
+    validate_trace_document,
 )
+from repro.obs.expo import (
+    metrics_text,
+    parse_metrics_text,
+    validate_metrics_text,
+)
+from repro.obs.slo import SlidingDigest, SLOMonitor, quantile
 from repro.obs.calib import (
     CandidateReplay,
     NodeCalibration,
@@ -57,12 +75,20 @@ __all__ = [
     "MetricsSnapshot",
     "OperatorProfile",
     "QueryTracer",
+    "RequestTrace",
+    "ServeTracer",
+    "SlidingDigest",
+    "SLOMonitor",
     "Span",
+    "TraceContext",
     "BENCH_SCHEMA",
     "CALIBRATION_SCHEMA",
     "EXPLAIN_SCHEMA",
     "METRICS_SCHEMA",
     "METRIC_CATALOG",
+    "SHED_REASONS",
+    "SPAN_KINDS",
+    "TRACE_SCHEMA",
     "CandidateReplay",
     "NodeCalibration",
     "PlanAudit",
@@ -71,10 +97,16 @@ __all__ = [
     "calibrate_plan",
     "explain_document",
     "metrics_document",
+    "metrics_text",
+    "parse_metrics_text",
     "plan_explain_dict",
     "q_error",
+    "quantile",
+    "trace_document",
     "validate_bench_document",
     "validate_calibration_document",
     "validate_explain_document",
     "validate_metrics_document",
+    "validate_metrics_text",
+    "validate_trace_document",
 ]

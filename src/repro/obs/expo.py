@@ -1,0 +1,193 @@
+"""Prometheus-style text exposition of the metrics registry.
+
+``metrics_text`` renders a registry (or snapshot) in the Prometheus
+text format: metric names are the catalog names with ``.`` mangled to
+``_`` (Prometheus names cannot contain dots), each family gets one
+``# TYPE`` line, counters and gauges are single samples, and
+histograms expand to the conventional cumulative ``_bucket`` series
+(with an ``le="+Inf"`` terminator) plus ``_sum`` and ``_count``.
+Families and samples are emitted in canonical sorted-key order, so the
+exposition is deterministic — byte-identical across identical seeded
+runs — which lets CI diff it like any other artifact.
+
+``parse_metrics_text`` is the strict inverse used by the CI round-trip
+check: every line must parse, every sample's family must reverse-map
+to a METRIC_CATALOG name (``bench.*`` names are exempt, as in the JSON
+validator), and histogram series must be tagged histogram.  It raises
+``ValueError`` on the first malformed line, matching the other
+validators' contract.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.export import METRIC_CATALOG
+from repro.obs.metrics import MetricsSnapshot, split_key
+
+__all__ = ["metrics_text", "parse_metrics_text", "validate_metrics_text"]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s(\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _mangle(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(labels[k]))}"' for k in sorted(labels)
+    )
+    return f"{{{inner}}}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return repr(int(value))
+    return repr(value)
+
+
+def metrics_text(source) -> str:
+    """Render ``source`` (registry or snapshot) as Prometheus text."""
+    snap = source if isinstance(source, MetricsSnapshot) else source.snapshot()
+    lines: list[str] = []
+    typed: set[str] = set()
+    for key in sorted(snap.values):
+        entry = snap.values[key]
+        name, labels = split_key(key)
+        family = _mangle(name)
+        if not _NAME_RE.fullmatch(family):
+            raise ValueError(f"metric name not expressible: {name!r}")
+        if family not in typed:
+            lines.append(f"# TYPE {family} {entry['kind']}")
+            typed.add(family)
+        if entry["kind"] == "histogram":
+            cumulative = 0
+            for bound, count in zip(entry["bounds"], entry["counts"]):
+                cumulative += count
+                bl = dict(labels, le=repr(float(bound)))
+                lines.append(
+                    f"{family}_bucket{_format_labels(bl)} {cumulative}"
+                )
+            cumulative += entry["counts"][-1]
+            bl = dict(labels, le="+Inf")
+            lines.append(
+                f"{family}_bucket{_format_labels(bl)} {cumulative}"
+            )
+            lines.append(
+                f"{family}_sum{_format_labels(labels)}"
+                f" {_format_value(entry['sum'])}"
+            )
+            lines.append(
+                f"{family}_count{_format_labels(labels)} {entry['count']}"
+            )
+        else:
+            lines.append(
+                f"{family}{_format_labels(labels)}"
+                f" {_format_value(entry['value'])}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _known_families() -> dict[str, str]:
+    """Mangled exposition name → catalog kind."""
+    return {_mangle(name): kind for name, kind in METRIC_CATALOG.items()}
+
+
+def parse_metrics_text(text: str) -> list[dict]:
+    """Strictly parse an exposition; raises ``ValueError`` on drift.
+
+    Returns one dict per sample line: ``{"family", "series", "labels",
+    "value", "kind"}`` where ``family`` is the mangled base name with
+    any ``_bucket``/``_sum``/``_count`` suffix stripped.
+    """
+    known = _known_families()
+    types: dict[str, str] = {}
+    samples: list[dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "TYPE":
+                raise ValueError(f"line {lineno}: unrecognized comment {line!r}")
+            _, _, family, kind = parts
+            if kind not in {"counter", "gauge", "histogram"}:
+                raise ValueError(f"line {lineno}: unknown kind {kind!r}")
+            types[family] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        series, rawlabels, rawvalue = match.groups()
+        labels = {}
+        if rawlabels:
+            consumed = _LABEL_RE.sub("", rawlabels).replace(",", "").strip()
+            if consumed:
+                raise ValueError(
+                    f"line {lineno}: malformed labels {rawlabels!r}"
+                )
+            for k, v in _LABEL_RE.findall(rawlabels):
+                labels[k] = _unescape(v)
+        try:
+            value = float(rawvalue)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value {rawvalue!r}"
+            ) from None
+        family = series
+        for suffix in ("_bucket", "_sum", "_count"):
+            if series.endswith(suffix) and series[: -len(suffix)] in types:
+                family = series[: -len(suffix)]
+                break
+        kind = types.get(family)
+        if kind is None:
+            raise ValueError(
+                f"line {lineno}: sample {series!r} has no # TYPE line"
+            )
+        if family != series and kind != "histogram":
+            raise ValueError(
+                f"line {lineno}: {series!r} suffix on non-histogram family"
+            )
+        if not family.startswith("bench_"):
+            catalog_kind = known.get(family)
+            if catalog_kind is None:
+                raise ValueError(
+                    f"line {lineno}: {family!r} not in METRIC_CATALOG"
+                )
+            if catalog_kind != kind:
+                raise ValueError(
+                    f"line {lineno}: {family!r} kind {kind!r} != "
+                    f"catalog {catalog_kind!r}"
+                )
+        samples.append({
+            "family": family,
+            "series": series,
+            "labels": labels,
+            "value": value,
+            "kind": kind,
+        })
+    return samples
+
+
+def validate_metrics_text(text: str) -> int:
+    """Validate an exposition; returns the sample count, raises on drift."""
+    return len(parse_metrics_text(text))

@@ -33,34 +33,50 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, base_name
-from repro.obs.trace import OperatorProfile
+from repro.obs.trace import SPAN_KINDS, TRACE_SCHEMA, OperatorProfile
 from repro.storage.iostats import IOStats
 
 # NOTE: this module must not import repro.plans — repro.plans.profile
 # imports repro.obs.trace, so a module-level dependency here would be
 # a circular import.  Plan nodes are dispatched by class name.
+# (TRACE_SCHEMA and SPAN_KINDS live in repro.obs.trace for the same
+# reason, in the other direction: trace cannot import this module.)
 
 __all__ = [
     "METRICS_SCHEMA",
     "EXPLAIN_SCHEMA",
     "BENCH_SCHEMA",
     "CALIBRATION_SCHEMA",
+    "TRACE_SCHEMA",
     "METRIC_CATALOG",
+    "SPAN_KINDS",
+    "SHED_REASONS",
     "iostats_dict",
     "plan_explain_dict",
     "explain_document",
     "metrics_document",
     "bench_document",
+    "trace_document",
     "validate_metrics_document",
     "validate_explain_document",
     "validate_bench_document",
     "validate_calibration_document",
+    "validate_trace_document",
 ]
 
 METRICS_SCHEMA = "repro.metrics.v1"
 EXPLAIN_SCHEMA = "repro.explain.v1"
 BENCH_SCHEMA = "repro.bench.v1"
 CALIBRATION_SCHEMA = "repro.calibration.v1"
+
+# The typed load-shedding vocabulary: every shed outcome — the
+# ``serve.shed`` counter's ``reason`` label, an OverloadError's
+# ``reason``, and a trace entry's ``reason`` field — draws from this
+# set.  Defined here (not in repro.serve) so trace validation needs no
+# serve import; repro.serve.admission imports it back.
+SHED_REASONS = frozenset(
+    {"rate", "queue_full", "evicted", "deadline", "draining"}
+)
 
 # The documented metric catalog: base instrument name -> kind.  Every
 # name a registry may contain must be listed here (or carry the
@@ -171,6 +187,18 @@ METRIC_CATALOG: dict[str, str] = {
     "serve.snapshots_active": "gauge",
     "serve.snapshots_retired": "counter",
     "serve.drains": "counter",
+    # per-tenant SLO telemetry (all labelled tenant=; sliding-window
+    # nearest-rank quantiles and the SRE burn-rate ratio — see
+    # repro.obs.slo).  Latency/queue-wait gauges are in the serving
+    # clock's units: simulated cost under the deterministic driver.
+    "serve.slo_latency_p50": "gauge",
+    "serve.slo_latency_p95": "gauge",
+    "serve.slo_latency_p99": "gauge",
+    "serve.slo_queue_wait_p50": "gauge",
+    "serve.slo_queue_wait_p95": "gauge",
+    "serve.slo_queue_wait_p99": "gauge",
+    "serve.slo_attainment": "gauge",
+    "serve.slo_burn_rate": "gauge",
 }
 
 _IOSTATS_KEYS = (
@@ -392,6 +420,31 @@ def bench_document(
     if suite is not None:
         doc["suite"] = suite
     return doc
+
+
+def trace_document(
+    requests: Sequence,
+    events: Sequence[Mapping] = (),
+    name: str | None = None,
+    clock: str = "virtual",
+) -> dict:
+    """Build a ``repro.trace.v1`` document from request trace entries.
+
+    ``requests`` may hold ready entry dicts or objects exposing
+    ``entry()`` (:class:`~repro.obs.trace.RequestTrace`).  ``clock``
+    names the timestamp domain: ``virtual`` (simulated cost units —
+    deterministic) or ``wall`` (seconds — best effort).
+    """
+    entries = [
+        r if isinstance(r, Mapping) else r.entry() for r in requests
+    ]
+    return {
+        "schema": TRACE_SCHEMA,
+        "name": name,
+        "clock": clock,
+        "requests": [dict(e) for e in entries],
+        "events": [dict(e) for e in events],
+    }
 
 
 # ----------------------------------------------------------------------
@@ -661,4 +714,122 @@ def validate_calibration_document(doc) -> None:
                 problems.append(
                     f"audit: plan_regret must be >= 1.0, got {regret!r}"
                 )
+    _fail(problems)
+
+
+_TRACE_REQUEST_KEYS = frozenset({
+    "request_id", "tenant", "stats_epoch", "status", "reason", "root",
+})
+_SPAN_KEYS = frozenset({
+    "name", "kind", "start", "end", "cost", "attributes", "events",
+    "children",
+})
+_TRACE_STATUSES = frozenset({"ok", "shed", "error"})
+
+# An admitted-and-completed request's span tree must link the serving
+# lifecycle end to end; operator spans then hang off the dispatch span.
+_REQUIRED_OK_KINDS = frozenset({"admission", "queue", "dispatch"})
+
+
+def _validate_span_tree(what: str, root, problems: list[str]) -> None:
+    stack = [(what, root)]
+    while stack:
+        label, span = stack.pop()
+        if not _check_keys(label, span, _SPAN_KEYS, problems):
+            continue
+        if span["kind"] not in SPAN_KINDS:
+            problems.append(f"{label}: unknown span kind {span['kind']!r}")
+        if span["end"] is None:
+            problems.append(f"{label}: span left open (end is None)")
+        elif span["end"] < span["start"]:
+            problems.append(
+                f"{label}: end {span['end']!r} < start {span['start']!r}"
+            )
+        events = span["events"]
+        if not isinstance(events, list):
+            problems.append(f"{label}: events must be a list")
+        else:
+            for i, event in enumerate(events):
+                if (
+                    not isinstance(event, Mapping)
+                    or "name" not in event
+                    or "at" not in event
+                ):
+                    problems.append(
+                        f"{label}.events[{i}]: needs 'name' and 'at'"
+                    )
+        children = span["children"]
+        if not isinstance(children, list):
+            problems.append(f"{label}: children must be a list")
+            continue
+        for i, child in enumerate(children):
+            stack.append((f"{label}.children[{i}]", child))
+
+
+def validate_trace_document(doc) -> None:
+    """Raise :class:`ValueError` unless ``doc`` matches the schema."""
+    problems: list[str] = []
+    top = frozenset({"schema", "name", "clock", "requests", "events"})
+    if _check_keys("trace document", doc, top, problems):
+        if doc["schema"] != TRACE_SCHEMA:
+            problems.append(
+                f"trace document: schema {doc['schema']!r} != "
+                f"{TRACE_SCHEMA!r}"
+            )
+        if doc["clock"] not in {"virtual", "wall"}:
+            problems.append(
+                f"trace document: unknown clock {doc['clock']!r}"
+            )
+        events = doc["events"]
+        if not isinstance(events, list):
+            problems.append("trace document: events must be a list")
+        else:
+            for i, event in enumerate(events):
+                if (
+                    not isinstance(event, Mapping)
+                    or "name" not in event
+                    or "at" not in event
+                ):
+                    problems.append(
+                        f"events[{i}]: needs 'name' and 'at'"
+                    )
+        requests = doc["requests"]
+        if not isinstance(requests, list):
+            problems.append("trace document: requests must be a list")
+            requests = []
+        for i, entry in enumerate(requests):
+            what = f"requests[{i}]"
+            if not _check_keys(what, entry, _TRACE_REQUEST_KEYS, problems):
+                continue
+            status = entry["status"]
+            if status not in _TRACE_STATUSES:
+                problems.append(f"{what}: unknown status {status!r}")
+            reason = entry["reason"]
+            if status == "shed":
+                if reason not in SHED_REASONS:
+                    problems.append(
+                        f"{what}: shed without a typed reason "
+                        f"(got {reason!r})"
+                    )
+            elif reason is not None:
+                problems.append(
+                    f"{what}: reason {reason!r} on non-shed status "
+                    f"{status!r}"
+                )
+            root = entry["root"]
+            _validate_span_tree(f"{what}.root", root, problems)
+            if not isinstance(root, Mapping):
+                continue
+            if root.get("kind") == "request" and status == "ok":
+                kinds = {
+                    c.get("kind")
+                    for c in root.get("children", ())
+                    if isinstance(c, Mapping)
+                }
+                missing = sorted(_REQUIRED_OK_KINDS - kinds)
+                if missing:
+                    problems.append(
+                        f"{what}: completed request missing lifecycle "
+                        f"spans {missing}"
+                    )
     _fail(problems)

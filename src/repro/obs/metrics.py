@@ -36,6 +36,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "SECONDS_BUCKETS",
     "metric_key",
+    "base_name",
+    "split_key",
 ]
 
 # Decade buckets in simulated cost units: wide enough to separate a
@@ -64,6 +66,19 @@ def base_name(key: str) -> str:
     """Instrument name with any ``{label=value}`` suffix stripped."""
     brace = key.find("{")
     return key if brace < 0 else key[:brace]
+
+
+def split_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key`: ``(name, labels)`` from a flat key."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    name, inner = key[:brace], key[brace + 1 : -1]
+    labels = {}
+    for part in inner.split(","):
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return name, labels
 
 
 class Counter:

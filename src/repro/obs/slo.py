@@ -1,0 +1,229 @@
+"""Per-tenant sliding-window SLO telemetry for the serving runtime.
+
+The metrics layer records queue-wait and latency *histograms*, which
+is the right shape for cheap aggregation but loses order: a histogram
+cannot answer "what was p99 over the last N requests".  This module
+keeps the raw tail — a bounded sliding window of observations per
+tenant — and computes deterministic quantiles over it, plus SLO
+attainment (fraction of recent requests that completed within the
+tenant's ``slo`` deadline) and error-budget burn rate.
+
+Quantiles use the nearest-rank method on the sorted window: for ``n``
+samples the ``q``-quantile is the value at rank ``ceil(q*n)`` (1-based).
+No interpolation means the figures are exact functions of the input
+sequence — two identical seeded soaks report byte-identical p50/p95/p99.
+
+Burn rate is the standard SRE ratio: ``(1 - attainment) / (1 -
+objective)``.  A tenant with a 99% objective burning at rate 1.0 is
+spending its error budget exactly as fast as it accrues; above 1.0 it
+will exhaust the budget early.  Tenants without an ``slo`` count every
+completed request as good, so their attainment reflects shed/error
+rates only.
+
+Everything is published as ``serve.slo_*`` gauges labelled by tenant
+(see METRIC_CATALOG) and rendered by :meth:`SLOMonitor.render` — the
+``python -m repro top`` one-shot view.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["quantile", "SlidingDigest", "SLOMonitor", "DEFAULT_WINDOW"]
+
+DEFAULT_WINDOW = 256
+"""Default sliding-window size (requests) for digests and attainment."""
+
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def quantile(values, q: float) -> float:
+    """Nearest-rank quantile of ``values`` (0 < q <= 1); 0.0 if empty."""
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile fraction out of range: {q}")
+    idx = max(0, math.ceil(q * len(data)) - 1)
+    return float(data[idx])
+
+
+class SlidingDigest:
+    """A bounded window of observations with deterministic quantiles."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._window = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self._window.append(float(value))
+        self.count += 1
+        self.total += float(value)
+
+    def quantile(self, q: float) -> float:
+        return quantile(self._window, q)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+
+class _TenantSLO:
+    """Sliding-window SLO state for one tenant."""
+
+    def __init__(self, name, slo, objective, window):
+        self.name = name
+        self.slo = slo
+        self.objective = objective
+        self.latency = SlidingDigest(window)
+        self.queue_wait = SlidingDigest(window)
+        self.good = deque(maxlen=window)
+        self.submitted = 0
+        self.ok = 0
+        self.shed = 0
+        self.errors = 0
+
+    def attainment(self) -> float:
+        if not self.good:
+            return 1.0
+        return sum(1 for g in self.good if g) / len(self.good)
+
+    def burn_rate(self) -> float:
+        budget = 1.0 - self.objective
+        if budget <= 0.0:
+            budget = 1e-9
+        return (1.0 - self.attainment()) / budget
+
+
+class SLOMonitor:
+    """Per-tenant latency/queue-wait digests, attainment, and burn rate.
+
+    ``specs`` is an iterable of tenant specs (anything with ``name``,
+    ``slo`` and optionally ``slo_objective``); tenants not declared up
+    front are registered lazily on first observation with no SLO.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable = (),
+        metrics: MetricsRegistry | None = None,
+        window: int = DEFAULT_WINDOW,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._window = window
+        self._tenants: dict[str, _TenantSLO] = {}
+        for spec in specs:
+            self._tenants[spec.name] = _TenantSLO(
+                spec.name,
+                getattr(spec, "slo", None),
+                getattr(spec, "slo_objective", 0.99),
+                window,
+            )
+
+    def _state(self, tenant: str) -> _TenantSLO:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantSLO(tenant, None, 0.99, self._window)
+            self._tenants[tenant] = state
+        return state
+
+    def record(
+        self,
+        tenant: str,
+        status: str,
+        latency: float | None = None,
+        queue_wait: float | None = None,
+    ) -> None:
+        """Fold one finished request into the tenant's window.
+
+        ``status`` is the outcome ("ok" / "shed" / "error"); a request
+        is *good* when it completed and, if the tenant declared an
+        ``slo``, finished within it.
+        """
+        state = self._state(tenant)
+        state.submitted += 1
+        if status == "ok":
+            state.ok += 1
+        elif status == "shed":
+            state.shed += 1
+        else:
+            state.errors += 1
+        if latency is not None:
+            state.latency.observe(latency)
+        if queue_wait is not None:
+            state.queue_wait.observe(queue_wait)
+        good = status == "ok" and (
+            state.slo is None
+            or (latency is not None and latency <= state.slo)
+        )
+        state.good.append(good)
+        self._publish(state)
+
+    def _publish(self, state: _TenantSLO) -> None:
+        labels = {"tenant": state.name}
+        for tag, q in QUANTILES:
+            self.metrics.gauge(f"serve.slo_latency_{tag}", **labels).set(
+                state.latency.quantile(q)
+            )
+            self.metrics.gauge(f"serve.slo_queue_wait_{tag}", **labels).set(
+                state.queue_wait.quantile(q)
+            )
+        self.metrics.gauge("serve.slo_attainment", **labels).set(
+            state.attainment()
+        )
+        self.metrics.gauge("serve.slo_burn_rate", **labels).set(
+            state.burn_rate()
+        )
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+    def rows(self) -> list[dict]:
+        """One summary row per tenant, sorted by name (deterministic)."""
+        out = []
+        for name in sorted(self._tenants):
+            s = self._tenants[name]
+            out.append({
+                "tenant": name,
+                "submitted": s.submitted,
+                "ok": s.ok,
+                "shed": s.shed,
+                "errors": s.errors,
+                "latency_p50": s.latency.quantile(0.50),
+                "latency_p95": s.latency.quantile(0.95),
+                "latency_p99": s.latency.quantile(0.99),
+                "queue_wait_p50": s.queue_wait.quantile(0.50),
+                "queue_wait_p95": s.queue_wait.quantile(0.95),
+                "queue_wait_p99": s.queue_wait.quantile(0.99),
+                "slo": s.slo,
+                "objective": s.objective,
+                "attainment": s.attainment(),
+                "burn_rate": s.burn_rate(),
+            })
+        return out
+
+    def render(self) -> str:
+        """The ``python -m repro top`` one-shot table."""
+        header = (
+            f"{'TENANT':<10} {'OK':>6} {'SHED':>6} {'ERR':>5} "
+            f"{'LAT p50':>12} {'LAT p95':>12} {'LAT p99':>12} "
+            f"{'WAIT p99':>12} {'SLO%':>7} {'BURN':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows():
+            lines.append(
+                f"{row['tenant']:<10} {row['ok']:>6} {row['shed']:>6} "
+                f"{row['errors']:>5} "
+                f"{row['latency_p50']:>12.1f} {row['latency_p95']:>12.1f} "
+                f"{row['latency_p99']:>12.1f} "
+                f"{row['queue_wait_p99']:>12.1f} "
+                f"{row['attainment'] * 100:>6.2f}% "
+                f"{row['burn_rate']:>7.2f}"
+            )
+        return "\n".join(lines)

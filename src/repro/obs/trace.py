@@ -21,20 +21,57 @@ could leak onto the wrong profile row when the degraded operator was
 followed by a memo hit, or raised before completing.  Keying by node
 makes the note attach to exactly the operator that degraded, or to
 nothing at all.
+
+Request-scoped tracing (the serving runtime): a :class:`TraceContext`
+identifies one served request (request id, tenant, pinned stats
+epoch); a :class:`RequestTrace` wraps one request's
+:class:`QueryTracer` with the serving lifecycle spans — admission →
+queue wait → dispatch → plan/execute (operator spans nest inside
+execute); a :class:`ServeTracer` collects every request trace of a
+soak plus server-level events (reloads, snapshot retirements) and
+assembles the strict ``repro.trace.v1`` document (validated by
+:func:`repro.obs.export.validate_trace_document`).  All serving spans
+are timestamped on the runtime's clock — the virtual clock under the
+deterministic driver — so two identical seeded soaks emit
+byte-identical trace documents.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.storage.iostats import IOStats
 
 if TYPE_CHECKING:  # plans imports obs back; keep this one-way at runtime
     from repro.plans.nodes import PlanNode
 
-__all__ = ["OperatorProfile", "Span", "QueryTracer"]
+__all__ = [
+    "OperatorProfile",
+    "Span",
+    "QueryTracer",
+    "TraceContext",
+    "RequestTrace",
+    "ServeTracer",
+    "TRACE_SCHEMA",
+    "SPAN_KINDS",
+]
+
+TRACE_SCHEMA = "repro.trace.v1"
+
+# The closed span-kind vocabulary of the trace document.  ``lifecycle``
+# and ``phase`` come from the single-query tracer, ``operator`` from
+# the runtime hooks, and the serving kinds from RequestTrace.
+SPAN_KINDS = frozenset({
+    "lifecycle",
+    "phase",
+    "operator",
+    "request",
+    "admission",
+    "queue",
+    "dispatch",
+})
 
 
 @dataclass(frozen=True)
@@ -122,11 +159,18 @@ class QueryTracer:
     evaluated node — the ``EXPLAIN ANALYZE`` breakdown.
     """
 
-    def __init__(self, stats: IOStats | None = None):
-        self.root = Span("query", kind="lifecycle")
+    def __init__(
+        self,
+        stats: IOStats | None = None,
+        clock: Callable[[], float] | None = None,
+        root_name: str = "query",
+        root_kind: str = "lifecycle",
+    ):
+        self.root = Span(root_name, kind=root_kind)
         self._stack: list[Span] = [self.root]
         self.operators: list[OperatorProfile] = []
         self._stats = stats
+        self._clock = clock
         # Pending degradation notes keyed by plan-node identity; see
         # the module docstring for why this must not be a single slot.
         self._pending_degrade: dict[int, str] = {}
@@ -135,28 +179,90 @@ class QueryTracer:
     # Cost clock
     # ------------------------------------------------------------------
     def bind_stats(self, stats: IOStats) -> None:
-        """Attach the stats clock that timestamps spans."""
+        """Attach the stats clock that timestamps spans.
+
+        A bound stats clock takes precedence over ``bind_clock``: per
+        -query tracing measures cost relative to the run's own IOStats.
+        """
         self._stats = stats
 
+    def bind_clock(self, clock: Callable[[], float] | None) -> None:
+        """Attach an external time source (e.g. the serving clock)."""
+        self._clock = clock
+
     def _now(self) -> float:
-        return self._stats.elapsed() if self._stats is not None else 0.0
+        if self._stats is not None:
+            return self._stats.elapsed()
+        if self._clock is not None:
+            return self._clock()
+        return 0.0
 
     # ------------------------------------------------------------------
     # Lifecycle spans
     # ------------------------------------------------------------------
     @contextmanager
     def span(self, name: str, kind: str = "phase", **attributes):
-        """Open a nested span; closes (cost-stamped) on exit."""
+        """Open a nested span; closes (cost-stamped) on exit.
+
+        If the body raises, the span still closes — an ``error`` event
+        carrying the exception type and message is recorded on it, and
+        any descendant spans the body left open (via ``push_span`` or a
+        hook that raised mid-way) are closed too, so the failure cannot
+        corrupt the parentage of later spans.
+        """
+        span = self.push_span(name, kind=kind, **attributes)
+        try:
+            yield span
+        except BaseException as exc:
+            self._record_error(span, exc)
+            raise
+        finally:
+            self.pop_span(span)
+
+    def push_span(
+        self,
+        name: str,
+        kind: str = "phase",
+        start: float | None = None,
+        **attributes,
+    ) -> Span:
+        """Open a span without a ``with`` block (close via ``pop_span``).
+
+        The serving layer needs this: a request's queue span opens at
+        admission and closes at dispatch — two different call sites.
+        """
         span = Span(
-            name, kind=kind, start=self._now(), attributes=dict(attributes)
+            name,
+            kind=kind,
+            start=self._now() if start is None else start,
+            attributes=dict(attributes),
         )
         self._stack[-1].children.append(span)
         self._stack.append(span)
-        try:
-            yield span
-        finally:
-            span.end = self._now()
-            self._stack.pop()
+        return span
+
+    def pop_span(self, span: Span | None = None, end: float | None = None) -> None:
+        """Close the innermost open span — or, given ``span``, close it
+        and any descendants still dangling above it (defensive
+        rebalance: a raising body must not skew later parentage)."""
+        target = span if span is not None else self._stack[-1]
+        if not any(open_span is target for open_span in self._stack[1:]):
+            return  # already closed (or the root): nothing to do
+        now = self._now() if end is None else end
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if top.end is None:
+                top.end = now
+            if top is target:
+                return
+
+    def _record_error(self, span: Span, exc: BaseException) -> None:
+        span.events.append({
+            "name": "error",
+            "at": self._now(),
+            "type": type(exc).__name__,
+            "message": str(exc),
+        })
 
     def event(self, name: str, **attributes) -> None:
         """Record a point event on the innermost open span."""
@@ -169,9 +275,14 @@ class QueryTracer:
         return self._stack[-1]
 
     def finish(self) -> Span:
-        """Close the root span and return it."""
+        """Close any dangling spans plus the root, and return the root."""
+        now = self._now()
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if top.end is None:
+                top.end = now
         if self.root.end is None:
-            self.root.end = self._now()
+            self.root.end = now
         return self.root
 
     # ------------------------------------------------------------------
@@ -244,3 +355,175 @@ class QueryTracer:
     def to_dict(self) -> dict:
         """The whole trace as one JSON-safe span tree."""
         return self.finish().to_dict()
+
+
+@dataclass
+class TraceContext:
+    """Identity of one served request, threaded through the pipeline.
+
+    ``stats_epoch`` is unknown until admission pins a snapshot, so the
+    context is mutable: the admission path fills it in.
+    """
+
+    request_id: str
+    tenant: str | None = None
+    stats_epoch: int | None = None
+
+
+class RequestTrace:
+    """One served request's span tree: admission → queue → dispatch.
+
+    Wraps a :class:`QueryTracer` whose root is a ``request`` span and
+    exposes the serving lifecycle transitions as methods.  Timestamps
+    come from the serving clock by default; during plan/execute the
+    runtime swaps in an offset clock (``set_time``) so the operator
+    spans recorded by the runtime hooks land on the same timeline.
+    """
+
+    def __init__(
+        self,
+        context: TraceContext,
+        clock: Callable[[], float],
+        arrival: float = 0.0,
+    ):
+        self.context = context
+        self._clock = clock
+        self._override: Callable[[], float] | None = None
+        self.tracer = QueryTracer(clock=self._time, root_name="request",
+                                  root_kind="request")
+        self.tracer.root.start = arrival
+        self.tracer.root.attributes.update(
+            request_id=context.request_id, tenant=context.tenant
+        )
+        self.status: str | None = None
+        self.reason: str | None = None
+        self._queue_span: Span | None = None
+
+    def _time(self) -> float:
+        return (self._override or self._clock)()
+
+    def set_time(self, fn: Callable[[], float]) -> None:
+        """Temporarily source timestamps from ``fn`` (execution offset
+        clock); undo with :meth:`reset_time`."""
+        self._override = fn
+
+    def reset_time(self) -> None:
+        self._override = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle transitions
+    # ------------------------------------------------------------------
+    def admission(
+        self,
+        now: float,
+        admitted: bool,
+        epoch: int | None = None,
+        reason: str | None = None,
+    ) -> None:
+        """Record the admission decision; on admit, open the queue span."""
+        span = self.tracer.push_span("admission", kind="admission",
+                                     start=now)
+        if admitted:
+            self.context.stats_epoch = epoch
+            span.events.append({"name": "admitted", "at": now})
+            span.events.append(
+                {"name": "snapshot_pin", "at": now, "epoch": epoch}
+            )
+        else:
+            span.events.append({"name": "shed", "at": now, "reason": reason})
+        self.tracer.pop_span(span, end=now)
+        if admitted:
+            self._queue_span = self.tracer.push_span(
+                "queue", kind="queue", start=now
+            )
+        else:
+            self.close(now, "shed", reason)
+
+    def begin_dispatch(self, now: float, wait: float) -> Span:
+        """Close the queue span and open the dispatch span."""
+        if self._queue_span is not None:
+            self._queue_span.attributes["queue_wait"] = wait
+            self.tracer.pop_span(self._queue_span, end=now)
+            self._queue_span = None
+        return self.tracer.push_span("dispatch", kind="dispatch", start=now)
+
+    def shed_now(self, now: float, reason: str) -> None:
+        """The request was shed after admission (evicted, drained, or
+        deadline-missed at dispatch)."""
+        self.tracer.current.events.append(
+            {"name": "shed", "at": now, "reason": reason}
+        )
+        self.close(now, "shed", reason)
+
+    def close(
+        self, now: float, status: str, reason: str | None = None
+    ) -> None:
+        """Finalize: close dangling spans and stamp the outcome."""
+        if self.status is not None:
+            return
+        self.status = status
+        self.reason = reason
+        while len(self.tracer._stack) > 1:
+            self.tracer.pop_span(end=now)
+        self.tracer.root.end = now
+        self._queue_span = None
+
+    def entry(self) -> dict:
+        """This request's row in the ``repro.trace.v1`` document."""
+        return {
+            "request_id": self.context.request_id,
+            "tenant": self.context.tenant,
+            "stats_epoch": self.context.stats_epoch,
+            "status": self.status or "error",
+            "reason": self.reason,
+            "root": self.tracer.root.to_dict(),
+        }
+
+
+class ServeTracer:
+    """Collects every request trace of a soak plus server-level events.
+
+    Attach one to :class:`~repro.serve.runtime.ServingRuntime` and call
+    :meth:`document` afterwards for the full ``repro.trace.v1`` export.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock or (lambda: 0.0)
+        self._requests: list[RequestTrace] = []
+        self.events: list[dict] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def event(self, name: str, **attributes) -> None:
+        """Record a server-level point event (reload, retirement, …)."""
+        self.events.append(
+            {"name": name, "at": self._clock(), **attributes}
+        )
+
+    def begin_request(
+        self, request_id: str, tenant: str | None, arrival: float
+    ) -> RequestTrace:
+        trace = RequestTrace(
+            TraceContext(request_id=request_id, tenant=tenant),
+            clock=self._clock,
+            arrival=arrival,
+        )
+        self._requests.append(trace)
+        return trace
+
+    @property
+    def requests(self) -> list[RequestTrace]:
+        return list(self._requests)
+
+    def document(
+        self, name: str | None = None, clock: str = "virtual"
+    ) -> dict:
+        """The strict schema-tagged ``repro.trace.v1`` document."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "name": name,
+            "clock": clock,
+            "requests": [t.entry() for t in self._requests],
+            "events": [dict(e) for e in self.events],
+        }

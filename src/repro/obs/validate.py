@@ -1,11 +1,15 @@
 """Schema validation entry point: ``python -m repro.obs.validate``.
 
 Validates observability JSON documents (metrics, explain, bench,
-calibration, bench-history — dispatched on their ``schema`` tag) read
-from file arguments or stdin (``-``).  Exits non-zero on the first
-malformed document; the CI benchmark-smoke job runs this over
-``benchmarks/out/*.json``, the CLI's ``--metrics-json`` and
-``--calibrate`` output, and the committed ``BENCH_*.json`` baselines.
+calibration, bench-history, trace — dispatched on their ``schema``
+tag) read from file arguments or stdin (``-``).  With ``--text`` the
+inputs are instead Prometheus-style text expositions (the CLI's
+``--metrics-text`` output), checked line by line against
+METRIC_CATALOG.  Exits non-zero on the first malformed document; the
+CI benchmark-smoke job runs this over ``benchmarks/out/*.json``, the
+CLI's ``--metrics-json``/``--metrics-text`` and ``--calibrate``
+output, the serving soak's ``--trace-json`` stream, and the committed
+``BENCH_*.json`` baselines.
 """
 
 from __future__ import annotations
@@ -18,11 +22,14 @@ from repro.obs.export import (
     CALIBRATION_SCHEMA,
     EXPLAIN_SCHEMA,
     METRICS_SCHEMA,
+    TRACE_SCHEMA,
     validate_bench_document,
     validate_calibration_document,
     validate_explain_document,
     validate_metrics_document,
+    validate_trace_document,
 )
+from repro.obs.expo import validate_metrics_text
 from repro.obs.history import HISTORY_SCHEMA, validate_history_document
 
 __all__ = ["validate_document", "main"]
@@ -33,6 +40,7 @@ _VALIDATORS = {
     BENCH_SCHEMA: validate_bench_document,
     CALIBRATION_SCHEMA: validate_calibration_document,
     HISTORY_SCHEMA: validate_history_document,
+    TRACE_SCHEMA: validate_trace_document,
 }
 
 
@@ -50,15 +58,25 @@ def validate_document(doc) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     paths = list(sys.argv[1:] if argv is None else argv)
+    text_mode = "--text" in paths
+    if text_mode:
+        paths = [p for p in paths if p != "--text"]
     if not paths:
-        print("usage: python -m repro.obs.validate FILE [FILE...] | -",
-              file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.validate [--text] "
+            "FILE [FILE...] | -",
+            file=sys.stderr,
+        )
         return 2
     status = 0
     for path in paths:
         try:
             text = sys.stdin.read() if path == "-" else open(path).read()
-            schema = validate_document(json.loads(text))
+            if text_mode:
+                samples = validate_metrics_text(text)
+                schema = f"metrics text, {samples} samples"
+            else:
+                schema = validate_document(json.loads(text))
         except (OSError, ValueError) as exc:
             print(f"{path}: INVALID: {exc}", file=sys.stderr)
             status = 1

@@ -48,11 +48,13 @@ class Executor:
         task_policy=None,
         worker_faults=None,
         fuse_select_scan: bool = False,
+        tracer=None,
     ):
         self.context = context or ExecutionContext(
             catalog, semiring, pool=pool, workmem_pages=workmem_pages,
             metrics=metrics, workers=workers, task_policy=task_policy,
             worker_faults=worker_faults, fuse_select_scan=fuse_select_scan,
+            tracer=tracer,
         )
 
     @property

@@ -182,6 +182,7 @@ class ExecutionContext:
         self._task_runtime = TaskRuntime(
             OrderedPool(workers), policy=task_policy,
             injector=worker_faults, count=self.count,
+            event=self._task_event,
         )
         """Fault-tolerant dispatch: every scheduled task goes through
         the runtime's retry/timeout/hedging supervision (a no-op
@@ -338,6 +339,14 @@ class ExecutionContext:
         """Increment a registry counter; no-op without a registry."""
         if self.metrics is not None:
             self.metrics.counter(name, **labels).inc(amount)
+
+    def _task_event(self, name: str, **attributes) -> None:
+        """Forward a task-dispatch event (retry/hedge/timeout/fault/
+        degrade) to the attached tracer's innermost open span."""
+        if self.tracer is not None:
+            hook = getattr(self.tracer, "event", None)
+            if hook is not None:
+                hook(name, **attributes)
 
     def publish_schedule(self) -> ScheduleReport:
         """Compute and publish the accumulated modeled schedule.

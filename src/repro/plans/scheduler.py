@@ -322,11 +322,16 @@ class TaskRuntime:
     :class:`~repro.errors.WorkerError` instead.
     """
 
-    def __init__(self, pool, policy=None, injector=None, count=None):
+    def __init__(self, pool, policy=None, injector=None, count=None,
+                 event=None):
         self.pool = pool
         self.policy = policy if policy is not None else DEFAULT_TASK_POLICY
         self.injector = injector
         self.count = count if count is not None else (lambda *a, **k: None)
+        # Trace-event hook (name, **attributes): the attempt loop runs
+        # inside the OrderedPool's ticket window, so events fire in
+        # serial order at any worker count — safe to append to a span.
+        self.event = event if event is not None else (lambda *a, **k: None)
         self.degraded = False
         self.degraded_reasons: list[str] = []
         self._seq = 0
@@ -346,6 +351,7 @@ class TaskRuntime:
         if reason not in self.degraded_reasons:
             self.degraded_reasons.append(reason)
             self.count("scheduler.degraded", reason=reason)
+            self.event("task_degraded", reason=reason)
 
     # ------------------------------------------------------------------
     def _supervise(self, thunk, label):
@@ -370,6 +376,7 @@ class TaskRuntime:
                     return self._commit(faulted, elapsed, wait, lost)
                 faulted = True
                 self.count("faults.worker_injected", kind=kind)
+                self.event("task_fault", kind=kind, task=seq, label=label)
                 if kind == "slow":
                     # The straggler itself completes the work (or its
                     # hedge does — same pure result either way); only
@@ -381,6 +388,7 @@ class TaskRuntime:
                         and slowed > policy.hedge_after + elapsed
                     ):
                         self.count("scheduler.hedges")
+                        self.event("task_hedge", task=seq, label=label)
                         slowed = policy.hedge_after + elapsed
                     return self._commit(True, elapsed, wait, lost, slowed)
                 if kind == "hang":
@@ -388,6 +396,7 @@ class TaskRuntime:
                         # The hedge launches while the original hangs
                         # and wins unconditionally.
                         self.count("scheduler.hedges")
+                        self.event("task_hedge", task=seq, label=label)
                         elapsed = thunk()
                         return self._commit(
                             True, elapsed, wait + policy.hedge_after, lost
@@ -399,6 +408,7 @@ class TaskRuntime:
                         )
                     wait += policy.timeout
                     self.count("scheduler.task_timeouts")
+                    self.event("task_timeout", task=seq, label=label)
                 elif kind == "lost":
                     lost += 1
                 # crash / poison / lost / timed-out hang: retry.
@@ -409,6 +419,9 @@ class TaskRuntime:
                         f"retry budget exhausted after {attempt} attempts",
                     )
                 self.count("scheduler.task_retries")
+                self.event(
+                    "task_retry", task=seq, label=label, attempt=attempt
+                )
                 wait += policy.delay_for(attempt - 1)
 
         return attempt_loop

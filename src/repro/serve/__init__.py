@@ -22,7 +22,12 @@ See ``docs/serving.md`` for the tenancy model, shedding policy,
 deadline propagation, and drain semantics.
 """
 
-from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.obs.trace import RequestTrace, ServeTracer, TraceContext
+from repro.serve.admission import (
+    SHED_REASONS,
+    AdmissionController,
+    AdmissionDecision,
+)
 from repro.serve.runtime import (
     AsyncServer,
     RequestOutcome,
@@ -39,13 +44,17 @@ __all__ = [
     "AdmissionDecision",
     "AsyncServer",
     "RequestOutcome",
+    "RequestTrace",
+    "SHED_REASONS",
     "ServeReport",
     "ServeRequest",
+    "ServeTracer",
     "ServingRuntime",
     "Snapshot",
     "SnapshotManager",
     "TenantSpec",
     "TokenBucket",
+    "TraceContext",
     "VirtualClock",
     "parse_tenant_spec",
 ]

@@ -28,10 +28,11 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import OverloadError, QueryError
+from repro.obs.export import SHED_REASONS
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.tenancy import TenantSpec, TokenBucket
 
-__all__ = ["AdmissionController", "AdmissionDecision"]
+__all__ = ["AdmissionController", "AdmissionDecision", "SHED_REASONS"]
 
 
 @dataclass
@@ -137,6 +138,10 @@ class AdmissionController:
     def _shed(
         self, request, reason: str, message: str
     ) -> AdmissionDecision:
+        # Every shed reason is part of the typed vocabulary the trace
+        # schema validates against — fail loudly, not in validation.
+        if reason not in SHED_REASONS:
+            raise QueryError(f"untyped shed reason {reason!r}")
         self.metrics.counter(
             "serve.shed", tenant=request.tenant, reason=reason
         ).inc()

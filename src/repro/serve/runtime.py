@@ -27,10 +27,13 @@ executing.  Otherwise the remaining budget tightens the tenant's
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.errors import MPFError, OverloadError, QueryError
 from repro.obs.metrics import SECONDS_BUCKETS
+from repro.obs.slo import SLOMonitor
+from repro.obs.trace import RequestTrace, ServeTracer
 from repro.plans.executor import Executor
 from repro.serve.admission import AdmissionController
 from repro.serve.snapshot import Snapshot, SnapshotManager
@@ -91,6 +94,9 @@ class RequestOutcome:
     result: object | None = None
     error: MPFError | None = None
     queue_wait: float = 0.0
+    latency: float | None = None
+    """Arrival-to-completion time in clock units (executed requests
+    only — a shed request never ran, so it has no latency)."""
     epoch: int | None = None
     """Catalog ``stats_epoch`` the request executed against."""
     plan_cached: bool = False
@@ -154,6 +160,7 @@ class ServingRuntime:
         seed: int | None = None,
         checkpointer=None,
         drain_policy: str = "finish",
+        tracer: ServeTracer | None = None,
     ):
         if drain_policy not in ("finish", "shed"):
             raise QueryError(
@@ -168,11 +175,20 @@ class ServingRuntime:
         self.seed = seed
         self.drain_policy = drain_policy
         self.metrics = db.metrics
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(self.clock)
         self.controller = AdmissionController(tenants, metrics=self.metrics)
         self.snapshots = SnapshotManager(
-            db, metrics=self.metrics, checkpointer=checkpointer
+            db, metrics=self.metrics, checkpointer=checkpointer,
+            tracer=tracer,
+        )
+        # Per-tenant sliding-window SLO telemetry (serve.slo_* gauges).
+        self.slo = SLOMonitor(
+            self.controller.specs.values(), metrics=self.metrics
         )
         self._pinned: dict[int, Snapshot] = {}
+        self._traces: dict[int, RequestTrace] = {}
         self._plans: dict[tuple, dict] = {}
 
     # ------------------------------------------------------------------
@@ -189,12 +205,22 @@ class ServingRuntime:
         if request.priority is None:
             request.priority = self.controller.spec(request.tenant).priority
         now = request.arrival if not self.wall else self.clock()
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.begin_request(
+                f"req-{request.seq:05d}", request.tenant, request.arrival
+            )
+            self._traces[request.seq] = trace
         decision = self.controller.offer(request, now)
         finalized: list[RequestOutcome] = []
         for victim in decision.evicted:
             snap = self._pinned.pop(victim.seq, None)
             if snap is not None:
                 self.snapshots.unpin(snap)
+            victim_trace = self._traces.pop(victim.seq, None)
+            if victim_trace is not None:
+                victim_trace.shed_now(now, "evicted")
+            self.slo.record(victim.tenant, "shed")
             finalized.append(
                 RequestOutcome(
                     request=victim,
@@ -208,13 +234,20 @@ class ServingRuntime:
                 )
             )
         if not decision.admitted:
+            if trace is not None:
+                self._traces.pop(request.seq, None)
+                trace.admission(now, False, reason=decision.error.reason)
+            self.slo.record(request.tenant, "shed")
             finalized.append(
                 RequestOutcome(
                     request=request, status="shed", error=decision.error
                 )
             )
         else:
-            self._pinned[request.seq] = self.snapshots.pin()
+            snap = self.snapshots.pin()
+            self._pinned[request.seq] = snap
+            if trace is not None:
+                trace.admission(now, True, epoch=snap.epoch)
         return finalized
 
     def next_runnable(self) -> ServeRequest | None:
@@ -241,6 +274,9 @@ class ServingRuntime:
         self.metrics.histogram(
             "serve.queue_wait", tenant=spec.name
         ).observe(wait)
+        trace = self._traces.pop(request.seq, None)
+        if trace is not None:
+            trace.begin_dispatch(self.clock(), wait)
         try:
             remaining = None
             if spec.slo is not None:
@@ -254,11 +290,23 @@ class ServingRuntime:
                         f"SLO of {spec.slo:g} blown in queue "
                         f"(waited {wait:g})",
                     )
+                    if trace is not None:
+                        trace.shed_now(self.clock(), "deadline")
+                    self.slo.record(
+                        request.tenant, "shed", queue_wait=wait
+                    )
                     return RequestOutcome(
                         request=request, status="shed", error=error,
                         queue_wait=wait,
                     )
-            return self._execute(request, spec, wait, remaining)
+            outcome = self._execute(request, spec, wait, remaining, trace)
+            if trace is not None:
+                trace.close(self.clock(), outcome.status)
+            self.slo.record(
+                request.tenant, outcome.status,
+                latency=outcome.latency, queue_wait=wait,
+            )
+            return outcome
         finally:
             snap = self._pinned.pop(request.seq, None)
             if snap is not None:
@@ -271,6 +319,7 @@ class ServingRuntime:
         spec: TenantSpec,
         wait: float,
         remaining: float | None,
+        trace: RequestTrace | None = None,
     ) -> RequestOutcome:
         snap = self._pinned[request.seq]
         guard = spec.make_guard(
@@ -282,15 +331,35 @@ class ServingRuntime:
         result = None
         error: MPFError | None = None
         cached = False
+        qt = trace.tracer if trace is not None else None
+        if trace is not None and not self.wall:
+            # Execution accrues simulated cost before the serving clock
+            # advances (below); source the operator spans from the
+            # dispatch instant plus the run's accrued cost so they land
+            # on the serving timeline.  (Under a wall clock the serving
+            # clock itself is the right time source.)
+            base = self.clock()
+            trace.set_time(lambda: base + stats.elapsed())
         try:
-            plan, cached = self._plan(request, snap)
+            plan_span = (
+                qt.span("plan", epoch=snap.epoch)
+                if qt is not None else nullcontext()
+            )
+            with plan_span as ps:
+                plan, cached = self._plan(request, snap)
+                if ps is not None:
+                    ps.attributes["cached"] = cached
             executor = Executor(
                 snap.catalog, request.query.view.semiring, pool=db.pool,
                 metrics=db.metrics, workers=db.workers,
                 task_policy=db.task_policy, worker_faults=db.worker_faults,
-                fuse_select_scan=db.fuse_select_scan,
+                fuse_select_scan=db.fuse_select_scan, tracer=qt,
             )
-            raw, stats = executor.run(plan, stats=stats, guard=guard)
+            execute_span = (
+                qt.span("execute") if qt is not None else nullcontext()
+            )
+            with execute_span:
+                raw, stats = executor.run(plan, stats=stats, guard=guard)
         except MPFError as exc:
             error = exc
         else:
@@ -298,6 +367,9 @@ class ServingRuntime:
             result = request.query.finish(raw).with_name(
                 request.query.view.name
             )
+        finally:
+            if trace is not None:
+                trace.reset_time()
         if not self.wall:
             # The engine was busy for the query's simulated cost —
             # partial cost too, when the guard or a fault killed it.
@@ -307,7 +379,9 @@ class ServingRuntime:
         ).inc()
         return RequestOutcome(
             request=request, status=status, result=result, error=error,
-            queue_wait=wait, epoch=snap.epoch, plan_cached=cached,
+            queue_wait=wait,
+            latency=max(0.0, self.clock() - request.arrival),
+            epoch=snap.epoch, plan_cached=cached,
             stats=stats,
         )
 
@@ -377,6 +451,10 @@ class ServingRuntime:
             error = self.controller.shed_at_dispatch(
                 victim, reason, "request shed: server is draining"
             )
+            trace = self._traces.pop(victim.seq, None)
+            if trace is not None:
+                trace.shed_now(now, reason)
+            self.slo.record(victim.tenant, "shed")
             outcomes.append(
                 RequestOutcome(
                     request=victim, status="shed", error=error,

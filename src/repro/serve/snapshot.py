@@ -51,7 +51,7 @@ class SnapshotManager:
     """Refcounted per-epoch catalog snapshots for one database."""
 
     def __init__(self, db, metrics: MetricsRegistry | None = None,
-                 checkpointer=None):
+                 checkpointer=None, tracer=None):
         self.db = db
         if metrics is None:
             # Note: an *empty* registry is falsy, so this must be an
@@ -59,7 +59,15 @@ class SnapshotManager:
             metrics = getattr(db, "metrics", None)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.checkpointer = checkpointer
+        # Optional ServeTracer: reloads and retirements become
+        # server-level trace events (pins are per-request spans).
+        self.tracer = tracer
         self._entries: dict[int, _Entry] = {}
+
+    def _trace_event(self, name: str, **attributes) -> None:
+        hook = getattr(self.tracer, "event", None)
+        if hook is not None:
+            hook(name, **attributes)
 
     # ------------------------------------------------------------------
     # Pinning
@@ -93,6 +101,7 @@ class SnapshotManager:
         ]
         for epoch in stale:
             del self._entries[epoch]
+            self._trace_event("snapshot_retire", epoch=epoch)
         if stale:
             self.metrics.counter("serve.snapshots_retired").inc(len(stale))
         self._publish()
@@ -113,8 +122,13 @@ class SnapshotManager:
         if self.checkpointer is not None:
             self.checkpointer.checkpoint(self.db)
         self.metrics.counter("serve.reloads").inc()
+        epoch = self.db.catalog.stats_epoch
+        self._trace_event(
+            "reload", table=name or getattr(relation, "name", None),
+            epoch=epoch,
+        )
         self._retire()
-        return self.db.catalog.stats_epoch
+        return epoch
 
     # ------------------------------------------------------------------
     # Introspection

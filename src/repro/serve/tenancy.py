@@ -51,6 +51,10 @@ class TenantSpec:
         arrival.  Queue wait is subtracted from it before execution
         (deadline propagation); a request whose SLO is already blown
         at dispatch is shed, never executed.
+    slo_objective:
+        Target fraction of requests that should meet the SLO (the
+        denominator of the error-budget burn rate published as
+        ``serve.slo_burn_rate``; see :class:`repro.obs.slo.SLOMonitor`).
     cost_budget / memory_limit_pages / retry_budget:
         The :class:`QueryGuard` template every admitted query runs
         under (see :meth:`make_guard`).
@@ -63,6 +67,7 @@ class TenantSpec:
     slots: int = 1
     queue_depth: int = 8
     slo: float | None = None
+    slo_objective: float = 0.99
     cost_budget: float | None = None
     memory_limit_pages: int | None = None
     retry_budget: int = 64
@@ -86,6 +91,11 @@ class TenantSpec:
         if self.rate is not None and self.burst < 1:
             raise QueryError(
                 f"tenant {self.name!r}: burst must be >= 1, got {self.burst}"
+            )
+        if not 0.0 < self.slo_objective < 1.0:
+            raise QueryError(
+                f"tenant {self.name!r}: slo_objective must be in (0, 1), "
+                f"got {self.slo_objective}"
             )
 
     def make_guard(
@@ -155,6 +165,7 @@ _FIELD_ALIASES = {
     "slots": ("slots", int),
     "queue": ("queue_depth", int),
     "slo": ("slo", float),
+    "objective": ("slo_objective", float),
     "cost": ("cost_budget", float),
     "mem": ("memory_limit_pages", int),
     "retries": ("retry_budget", int),
@@ -165,7 +176,8 @@ def parse_tenant_spec(text: str) -> TenantSpec:
     """Parse a CLI tenant spec: ``name[,key=value,...]``.
 
     Keys: ``priority``, ``rate``, ``burst``, ``slots``, ``queue``
-    (queue depth), ``slo``, ``cost`` (guard cost budget), ``mem``
+    (queue depth), ``slo``, ``objective`` (SLO attainment target),
+    ``cost`` (guard cost budget), ``mem``
     (guard page ceiling), ``retries`` (guard retry budget).  Raises
     :class:`ValueError` on malformed input so the CLI maps it to the
     usage exit code.

@@ -14,6 +14,7 @@ faults and two mid-soak snapshot-isolated reloads — must satisfy:
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 
 import numpy as np
@@ -22,7 +23,14 @@ import pytest
 from repro.cli import _build_database
 from repro.datagen import supply_chain
 from repro.errors import OverloadError
-from repro.serve import ServeRequest, ServingRuntime, TenantSpec, VirtualClock
+from repro.obs import SHED_REASONS, validate_trace_document
+from repro.serve import (
+    ServeRequest,
+    ServeTracer,
+    ServingRuntime,
+    TenantSpec,
+    VirtualClock,
+)
 from repro.storage.faults import WorkerFaultInjector
 
 SCALE, SEED = 0.004, 7
@@ -84,10 +92,11 @@ def run_soak():
         SCALE, SEED, clock=clock, workers=2, partitions=PARTITIONS,
         worker_faults=WorkerFaultInjector(seed=11, rate=0.05),
     )
-    runtime = ServingRuntime(db, tenant_mix(), clock=clock)
+    tracer = ServeTracer()
+    runtime = ServingRuntime(db, tenant_mix(), clock=clock, tracer=tracer)
     requests, sqls = build_workload(db)
     report = runtime.run_workload(requests, reload_relations())
-    return db, report, sqls
+    return db, report, sqls, tracer
 
 
 def result_bytes(relation):
@@ -102,7 +111,7 @@ def soak():
 
 class TestOverloadSoak:
     def test_the_mix_actually_overloads(self, soak):
-        _, report, _ = soak
+        _, report, _, _ = soak
         assert len(report.outcomes) == N_QUERIES
         # The soak must exercise both sides of admission: a healthy
         # completed population and a substantial shed population.
@@ -110,7 +119,7 @@ class TestOverloadSoak:
         assert len(report.shed) > 100
 
     def test_admitted_results_match_unloaded_serial_execution(self, soak):
-        _, report, sqls = soak
+        _, report, sqls, _ = soak
         wanted = defaultdict(set)
         for outcome, sql in zip(report.outcomes, sqls):
             if outcome.ok:
@@ -145,7 +154,7 @@ class TestOverloadSoak:
         assert checked == len(report.completed)
 
     def test_shed_requests_fail_only_with_overload_error(self, soak):
-        _, report, _ = soak
+        _, report, _, _ = soak
         assert report.shed
         reasons = set()
         for outcome in report.shed:
@@ -160,7 +169,7 @@ class TestOverloadSoak:
         assert {"rate", "queue_full"} <= reasons
 
     def test_no_query_executes_past_its_deadline(self, soak):
-        db, report, _ = soak
+        db, report, _, tracer = soak
         slo = {spec.name: spec.slo for spec in tenant_mix()}
         for outcome in report.outcomes:
             bound = slo[outcome.request.tenant]
@@ -181,7 +190,7 @@ class TestOverloadSoak:
     def test_worker_faults_were_injected_and_absorbed(self, soak):
         from repro.errors import ResourceError, WorkerError
 
-        db, report, _ = soak
+        db, report, _, tracer = soak
         snap = db.metrics.snapshot().to_dict()
         injected = sum(
             v["value"] for k, v in snap.items()
@@ -198,7 +207,7 @@ class TestOverloadSoak:
             assert not isinstance(outcome.error, WorkerError)
 
     def test_reloads_were_snapshot_isolated(self, soak):
-        db, report, _ = soak
+        db, report, _, tracer = soak
         epochs = sorted({o.epoch for o in report.outcomes if o.ok})
         assert len(epochs) == 3
         snap = db.metrics.snapshot().to_dict()
@@ -209,8 +218,8 @@ class TestOverloadSoak:
         assert snap["serve.snapshots_retired"]["value"] >= 2
 
     def test_double_run_is_byte_identical(self, soak):
-        db, report, _ = soak
-        db2, report2, _ = run_soak()
+        db, report, _, tracer = soak
+        db2, report2, _, tracer2 = run_soak()
         first = [
             (o.status, getattr(o.error, "reason", None), o.epoch,
              result_bytes(o.result) if o.ok else None)
@@ -227,3 +236,65 @@ class TestOverloadSoak:
             db.metrics.snapshot().to_json()
             == db2.metrics.snapshot().to_json()
         )
+        # The virtual clock timestamps every span, so the full trace
+        # document — and with it every quantile gauge derived from the
+        # same run — replays byte-for-byte.
+        doc = json.dumps(tracer.document(name="soak"), sort_keys=True)
+        doc2 = json.dumps(tracer2.document(name="soak"), sort_keys=True)
+        assert doc == doc2
+
+    def test_trace_document_links_every_request(self, soak):
+        db, report, _, tracer = soak
+        doc = tracer.document(name="soak")
+        validate_trace_document(doc)
+        assert len(doc["requests"]) == N_QUERIES
+
+        by_id = {e["request_id"]: e for e in doc["requests"]}
+        assert len(by_id) == N_QUERIES
+        for outcome, entry in zip(report.outcomes, doc["requests"]):
+            assert entry["tenant"] == outcome.request.tenant
+            root = entry["root"]
+            assert root["kind"] == "request"
+            assert root["attributes"]["request_id"] == entry["request_id"]
+            if outcome.ok:
+                # Admission -> queue wait -> dispatch -> operator spans,
+                # all under one root with a consistent epoch.
+                assert entry["status"] == "ok"
+                assert entry["stats_epoch"] == outcome.epoch
+                kinds = [c["kind"] for c in root["children"]]
+                assert kinds[:2] == ["admission", "queue"]
+                assert "dispatch" in kinds
+                dispatch = root["children"][kinds.index("dispatch")]
+                below, found = list(dispatch["children"]), False
+                while below:
+                    node = below.pop()
+                    found = found or node["kind"] == "operator"
+                    below.extend(node["children"])
+                assert found, f"no operator spans in {entry['request_id']}"
+                queue = root["children"][1]
+                assert queue["attributes"]["queue_wait"] == (
+                    outcome.queue_wait
+                )
+            elif outcome.shed:
+                assert entry["status"] == "shed"
+                assert entry["reason"] in SHED_REASONS
+                assert entry["reason"] == outcome.error.reason
+
+        # Reload/retire events from both mid-soak reloads are on the
+        # shared event stream, stamped on the same virtual clock.
+        names = [e["name"] for e in doc["events"]]
+        assert names.count("reload") == len(RELOADS)
+        assert "snapshot_retire" in names
+
+    def test_trace_spans_nest_on_the_virtual_clock(self, soak):
+        _, report, _, tracer = soak
+        doc = tracer.document(name="soak")
+        for entry in doc["requests"]:
+            stack = [(entry["root"], None)]
+            while stack:
+                span, parent = stack.pop()
+                assert span["end"] >= span["start"]
+                if parent is not None:
+                    assert span["start"] >= parent["start"]
+                    assert span["end"] <= parent["end"]
+                stack.extend((c, span) for c in span["children"])

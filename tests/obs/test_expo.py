@@ -1,0 +1,122 @@
+"""Tests for the Prometheus-style text exposition and its parser."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    metrics_text,
+    parse_metrics_text,
+    validate_metrics_text,
+)
+
+
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("queries.total", status="ok").inc(3)
+    reg.gauge("serve.queue_depth", tenant="gold").set(2.0)
+    hist = reg.histogram("serve.queue_wait", tenant="gold")
+    hist.observe(5.0)
+    hist.observe(50.0)
+    return reg
+
+
+class TestRender:
+    def test_families_are_typed_and_mangled(self):
+        text = metrics_text(registry())
+        lines = text.splitlines()
+        assert "# TYPE queries_total counter" in lines
+        assert "# TYPE serve_queue_depth gauge" in lines
+        assert "# TYPE serve_queue_wait histogram" in lines
+        assert 'queries_total{status="ok"} 3' in lines
+        assert 'serve_queue_depth{tenant="gold"} 2' in lines
+
+    def test_histogram_expands_cumulatively(self):
+        text = metrics_text(registry())
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("serve_queue_wait_bucket")
+        ]
+        assert buckets[-1].startswith(
+            'serve_queue_wait_bucket{le="+Inf",tenant="gold"}'
+        )
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)        # cumulative
+        assert counts[-1] == 2
+        assert 'serve_queue_wait_sum{tenant="gold"} 55' in text
+        assert 'serve_queue_wait_count{tenant="gold"} 2' in text
+
+    def test_deterministic_and_snapshot_equivalent(self):
+        reg = registry()
+        assert metrics_text(reg) == metrics_text(reg.snapshot())
+
+    def test_empty_registry_renders_empty(self):
+        assert metrics_text(MetricsRegistry()) == ""
+
+
+class TestRoundTrip:
+    def test_every_line_parses_and_matches_catalog(self):
+        text = metrics_text(registry())
+        samples = parse_metrics_text(text)
+        assert validate_metrics_text(text) == len(samples)
+        families = {s["family"] for s in samples}
+        assert families == {
+            "queries_total", "serve_queue_depth", "serve_queue_wait",
+        }
+        wait = [s for s in samples if s["family"] == "serve_queue_wait"]
+        assert all(s["kind"] == "histogram" for s in wait)
+        inf = [
+            s for s in wait if s["labels"].get("le") == "+Inf"
+        ]
+        assert len(inf) == 1 and inf[0]["value"] == 2.0
+
+    def test_bench_prefix_exempt_from_catalog(self):
+        reg = MetricsRegistry()
+        reg.counter("bench.serving_runs").inc()
+        samples = parse_metrics_text(metrics_text(reg))
+        assert samples[0]["family"] == "bench_serving_runs"
+
+
+class TestDriftRejection:
+    def test_unknown_family_rejected(self):
+        text = (
+            "# TYPE made_up_metric counter\n"
+            "made_up_metric 1\n"
+        )
+        with pytest.raises(ValueError, match="not in METRIC_CATALOG"):
+            parse_metrics_text(text)
+
+    def test_kind_mismatch_rejected(self):
+        text = (
+            "# TYPE queries_total gauge\n"
+            "queries_total 1\n"
+        )
+        with pytest.raises(ValueError, match="kind"):
+            parse_metrics_text(text)
+
+    def test_untyped_sample_rejected(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_metrics_text("queries_total 1\n")
+
+    def test_unparseable_line_rejected(self):
+        text = (
+            "# TYPE queries_total counter\n"
+            "queries_total one\n"
+        )
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_metrics_text(text)
+
+    def test_malformed_labels_rejected(self):
+        text = (
+            "# TYPE queries_total counter\n"
+            "queries_total{status=ok} 1\n"
+        )
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_metrics_text(text)
+
+    def test_suffix_on_non_histogram_rejected(self):
+        text = (
+            "# TYPE queries_total counter\n"
+            "queries_total_sum 1\n"
+        )
+        with pytest.raises(ValueError, match="non-histogram"):
+            parse_metrics_text(text)

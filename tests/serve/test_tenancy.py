@@ -23,10 +23,17 @@ class TestTenantSpec:
         {"name": "t", "rate": 0.0},
         {"name": "t", "rate": -1.0},
         {"name": "t", "rate": 1.0, "burst": 0.5},
+        {"name": "t", "slo_objective": 0.0},
+        {"name": "t", "slo_objective": 1.0},
+        {"name": "t", "slo_objective": -0.5},
     ])
     def test_invalid_specs_rejected(self, kwargs):
         with pytest.raises(QueryError):
             TenantSpec(**kwargs)
+
+    def test_slo_objective_defaults_and_bounds(self):
+        assert TenantSpec("t").slo_objective == 0.99
+        assert TenantSpec("t", slo_objective=0.5).slo_objective == 0.5
 
     def test_zero_queue_depth_is_legal(self):
         # queue=0 is the "shed everything" configuration the CLI's
@@ -107,12 +114,12 @@ class TestParseTenantSpec:
     def test_full_spec(self):
         spec = parse_tenant_spec(
             "gold,priority=2,rate=0.5,burst=4,slots=2,queue=16,"
-            "slo=1e6,cost=5e5,mem=64,retries=8"
+            "slo=1e6,objective=0.95,cost=5e5,mem=64,retries=8"
         )
         assert spec == TenantSpec(
             "gold", priority=2, rate=0.5, burst=4.0, slots=2,
-            queue_depth=16, slo=1e6, cost_budget=5e5,
-            memory_limit_pages=64, retry_budget=8,
+            queue_depth=16, slo=1e6, slo_objective=0.95,
+            cost_budget=5e5, memory_limit_pages=64, retry_budget=8,
         )
 
     def test_name_only(self):

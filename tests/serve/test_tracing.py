@@ -1,0 +1,125 @@
+"""Request-scoped tracing and SLO telemetry through the runtime."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datagen import supply_chain
+from repro.obs import ServeTracer, validate_trace_document
+from repro.serve import ServeRequest, TenantSpec
+
+
+def tenants():
+    return [
+        TenantSpec("gold", priority=2, queue_depth=8, slo=6e5),
+        TenantSpec("bulk", priority=0, queue_depth=2),
+    ]
+
+
+def workload(db, make_query, n=16, gap=2e4):
+    rng = np.random.default_rng(5)
+    names = ["gold", "bulk"]
+    requests, arrival = [], 0.0
+    for seq in range(n):
+        arrival += float(rng.exponential(gap))
+        requests.append(ServeRequest(
+            tenant=names[int(rng.integers(len(names)))],
+            query=make_query(db),
+            arrival=arrival,
+            seq=seq,
+        ))
+    return requests
+
+
+@pytest.fixture
+def traced_soak(make_runtime, make_query):
+    tracer = ServeTracer()
+    db, runtime = make_runtime(tenants(), tracer=tracer)
+    reload_rel = supply_chain(
+        scale=0.004, seed=1043
+    ).catalog.relation("location")
+    report = runtime.run_workload(
+        workload(db, make_query),
+        reloads=[(3e5, reload_rel, "location")],
+    )
+    return db, runtime, report, tracer
+
+
+class TestRuntimeTracing:
+    def test_document_validates_and_covers_every_request(self, traced_soak):
+        _, _, report, tracer = traced_soak
+        doc = tracer.document(name="unit-soak")
+        validate_trace_document(doc)
+        assert len(doc["requests"]) == len(report.outcomes)
+        for outcome, entry in zip(report.outcomes, doc["requests"]):
+            assert entry["status"] == outcome.status
+            assert entry["tenant"] == outcome.request.tenant
+            if outcome.ok:
+                assert entry["stats_epoch"] == outcome.epoch
+            if outcome.shed:
+                assert entry["reason"] == outcome.error.reason
+
+    def test_completed_latency_recorded(self, traced_soak):
+        _, _, report, _ = traced_soak
+        assert report.completed
+        for outcome in report.completed:
+            assert outcome.latency is not None
+            assert outcome.latency >= outcome.queue_wait
+        for outcome in report.shed:
+            assert outcome.latency is None
+
+    def test_reload_and_retire_events_on_the_stream(self, traced_soak):
+        _, _, report, tracer = traced_soak
+        names = [e["name"] for e in tracer.events]
+        assert names.count("reload") == 1
+        (reload_event,) = (
+            e for e in tracer.events if e["name"] == "reload"
+        )
+        assert reload_event["table"] == "location"
+        assert reload_event["at"] >= 3e5
+
+    def test_slo_monitor_saw_every_outcome(self, traced_soak):
+        db, runtime, report, _ = traced_soak
+        rows = {r["tenant"]: r for r in runtime.slo.rows()}
+        for name in ("gold", "bulk"):
+            row = rows[name]
+            per_tenant = [
+                o for o in report.outcomes if o.request.tenant == name
+            ]
+            assert row["submitted"] == len(per_tenant)
+            assert row["ok"] == sum(1 for o in per_tenant if o.ok)
+        snap = db.metrics.snapshot().to_dict()
+        gold_p50 = snap["serve.slo_latency_p50{tenant=gold}"]["value"]
+        lats = sorted(
+            o.latency for o in report.completed
+            if o.request.tenant == "gold"
+        )
+        assert gold_p50 in lats
+
+    def test_dispatch_spans_sit_on_the_serving_timeline(self, traced_soak):
+        _, _, report, tracer = traced_soak
+        doc = tracer.document()
+        for outcome, entry in zip(report.outcomes, doc["requests"]):
+            if not outcome.ok:
+                continue
+            root = entry["root"]
+            kinds = [c["kind"] for c in root["children"]]
+            dispatch = root["children"][kinds.index("dispatch")]
+            # Dispatch covers exactly the executed cost: its span ends
+            # where the request completes on the virtual clock.
+            assert dispatch["end"] == pytest.approx(
+                outcome.request.arrival + outcome.latency
+            )
+            assert root["end"] == dispatch["end"]
+
+    def test_double_run_traces_identically(self, make_runtime, make_query):
+        def run():
+            tracer = ServeTracer()
+            db, runtime = make_runtime(tenants(), tracer=tracer)
+            runtime.run_workload(workload(db, make_query))
+            return json.dumps(tracer.document(name="rerun"), sort_keys=True)
+
+        assert run() == run()

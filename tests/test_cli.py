@@ -125,6 +125,47 @@ class TestSql:
         validate_metrics_document(doc)
         assert doc["metrics"]["queries.total{status=ok}"]["value"] == 2
 
+    def test_trace_json_flag(self, capsys):
+        import json
+
+        from repro.obs import validate_trace_document
+
+        rc = main(
+            [
+                "sql", "--scale", "0.005", "--trace-json",
+                "-c", "select cid, sum(inv) from invest group by cid",
+                "-c", "select wid, sum(inv) from invest group by wid",
+            ]
+        )
+        assert rc == 0
+        last = capsys.readouterr().out.strip().splitlines()[-1]
+        doc = json.loads(last)
+        validate_trace_document(doc)
+        assert doc["name"] == "cli.sql"
+        assert [e["request_id"] for e in doc["requests"]] == [
+            "stmt-0000", "stmt-0001",
+        ]
+        for entry in doc["requests"]:
+            names = [c["name"] for c in entry["root"]["children"]]
+            assert "execute" in names
+
+    def test_metrics_text_flag(self, capsys):
+        from repro.obs import parse_metrics_text
+
+        rc = main(
+            [
+                "sql", "--scale", "0.005", "--metrics-text",
+                "-c", "select cid, sum(inv) from invest group by cid",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        start = out.index("# TYPE")
+        samples = parse_metrics_text(out[start:])
+        assert {s["family"] for s in samples} >= {
+            "queries_total", "bufferpool_reads",
+        }
+
     def test_calibrate_flag(self, capsys):
         import json
 
@@ -398,3 +439,87 @@ class TestServe:
         out = capsys.readouterr().out
         assert "serving soak" in out
         assert "0 failed" in out
+
+    def test_trace_json_flag(self, capsys):
+        import json
+
+        from repro.obs import validate_trace_document
+
+        code = main([
+            *self.ARGS, "--reload-at", "location@2e5", "--trace-json",
+        ])
+        assert code == 0
+        last = capsys.readouterr().out.strip().splitlines()[-1]
+        doc = json.loads(last)
+        validate_trace_document(doc)
+        assert doc["name"] == "cli.serve"
+        assert doc["clock"] == "virtual"
+        assert len(doc["requests"]) == 12
+        assert any(e["name"] == "reload" for e in doc["events"])
+        for entry in doc["requests"]:
+            if entry["status"] == "ok":
+                kinds = [c["kind"] for c in entry["root"]["children"]]
+                assert kinds[:2] == ["admission", "queue"]
+                assert "dispatch" in kinds
+
+    def test_metrics_json_stays_last_line_with_trace(self, capsys):
+        import json
+
+        from repro.obs import validate_metrics_document
+
+        code = main([*self.ARGS, "--trace-json", "--metrics-json"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        validate_metrics_document(json.loads(lines[-1]))
+        trace = json.loads(lines[-2])
+        assert trace["schema"] == "repro.trace.v1"
+
+    def test_metrics_text_to_stdout(self, capsys):
+        from repro.obs import parse_metrics_text
+
+        code = main([*self.ARGS, "--metrics-text"])
+        assert code == 0
+        out = capsys.readouterr().out
+        start = out.index("# TYPE")
+        samples = parse_metrics_text(out[start:])
+        families = {s["family"] for s in samples}
+        assert "serve_requests" in families
+        assert "serve_slo_latency_p50" in families
+
+    def test_metrics_text_to_file(self, tmp_path):
+        from repro.obs import validate_metrics_text
+
+        target = tmp_path / "metrics.prom"
+        assert main([*self.ARGS, "--metrics-text", str(target)]) == 0
+        assert validate_metrics_text(target.read_text()) > 0
+
+
+class TestTop:
+    ARGS = ["top", "--scale", "0.004", "--mix", "12"]
+
+    def test_renders_per_tenant_slo_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "serving soak" in out
+        assert "TENANT" in out and "BURN" in out
+        assert "gold" in out and "bulk" in out
+
+    def test_is_deterministic(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert capsys.readouterr().out == first
+
+    def test_shares_serve_workload_flags(self, capsys):
+        code = main([
+            *self.ARGS, "--reload-at", "location@2e5",
+            "--tenant", "gold,priority=2,slo=6e5,objective=0.9",
+            "--tenant", "bulk,queue=2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gold" in out and "bulk" in out
+
+    def test_usage_errors_match_serve(self, capsys):
+        assert main(["top", "--mix", "0"]) == EXIT_USAGE
+        assert main(["top", "--tenant", "t,bogus=1"]) == EXIT_USAGE
